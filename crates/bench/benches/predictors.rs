@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the load predictors: per-forecast inference
+//! latency (the Figure 6a latency series) and one training step for the
+//! neural models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fifer_predict::train::TrainConfig;
+use fifer_predict::{LoadPredictor, PredictorKind};
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 100.0 + 60.0 * (i as f64 * 0.3).sin() + (i % 7) as f64 * 5.0)
+        .collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forecast_latency");
+    let hist = series(200);
+    for kind in PredictorKind::ALL {
+        let mut p = if kind.is_neural() {
+            // a briefly trained model (inference cost does not depend on
+            // training quality)
+            let mut cfg = TrainConfig::default();
+            cfg.epochs = 2;
+            build_with(kind, cfg)
+        } else {
+            kind.build(1)
+        };
+        p.pretrain(&hist[..120]);
+        for &v in &hist[120..] {
+            p.observe(v);
+        }
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| black_box(p.forecast()))
+        });
+    }
+    g.finish();
+}
+
+fn build_with(kind: PredictorKind, cfg: TrainConfig) -> Box<dyn LoadPredictor + Send> {
+    match kind {
+        PredictorKind::SimpleFeedForward => {
+            Box::new(fifer_predict::SimpleFfPredictor::new(cfg, 32, 1))
+        }
+        PredictorKind::WeaveNet => Box::new(fifer_predict::WeaveNetPredictor::new(cfg, 16, 1)),
+        PredictorKind::DeepAr => Box::new(fifer_predict::DeepArPredictor::new(cfg, 32, 1)),
+        PredictorKind::Lstm => Box::new(fifer_predict::LstmPredictor::new(cfg, 32, 1, 2)),
+        other => other.build(1),
+    }
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_one_epoch");
+    g.sample_size(10);
+    let hist = series(120);
+    for kind in PredictorKind::ALL.into_iter().filter(|k| k.is_neural()) {
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                let mut cfg = TrainConfig::default();
+                cfg.epochs = 1;
+                let mut p = build_with(kind, cfg);
+                p.pretrain(black_box(&hist));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_epoch);
+criterion_main!(benches);

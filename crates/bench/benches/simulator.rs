@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the discrete-event simulator itself: end-to-end
+//! throughput per resource manager and the event-queue hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fifer_core::rm::RmKind;
+use fifer_metrics::{SimDuration, SimTime};
+use fifer_sim::engine::{Event, EventQueue};
+use fifer_sim::{SimConfig, Simulation};
+use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(
+                    SimTime::from_micros((i * 7919) % 1_000_000),
+                    Event::JobArrival { job: i as usize },
+                );
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation_throughput");
+    g.sample_size(10);
+    let stream = JobStream::generate(
+        &PoissonTrace::new(20.0),
+        WorkloadMix::Heavy,
+        SimDuration::from_secs(60),
+        42,
+    );
+    // Fifer without pre-training (pre-training cost is a predictor bench)
+    for kind in [RmKind::Bline, RmKind::SBatch, RmKind::RScale, RmKind::Fifer] {
+        g.bench_function(format!("{kind}_60s_20rps"), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::prototype(kind.config(), 20.0);
+                black_box(Simulation::new(cfg, &stream).run().total_spawns)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_simulation);
+criterion_main!(benches);

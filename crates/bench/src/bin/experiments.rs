@@ -1,0 +1,79 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments list                # show available ids
+//! experiments fig8 fig9          # run specific artifacts
+//! experiments all                # run everything
+//! experiments --quick all        # shrunken horizons (CI smoke run)
+//! experiments --out DIR fig13    # custom output directory
+//! ```
+
+use fifer_bench::figures;
+use fifer_bench::runner::Ctx;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_dir = "results".to_string();
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.first().cloned() {
+        args.remove(0);
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = args
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| usage_and_exit("--out needs a directory"));
+                args.remove(0);
+            }
+            "list" => {
+                // ignore broken pipes so `experiments list | head` is clean
+                use std::io::Write;
+                let stdout = std::io::stdout();
+                let mut out = stdout.lock();
+                for e in figures::ALL {
+                    if writeln!(out, "{:<12} {}", e.id, e.about).is_err() {
+                        break;
+                    }
+                }
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage_and_exit("no experiment ids given");
+    }
+    let ctx = Ctx::new(&out_dir, quick);
+    let selected: Vec<&figures::Experiment> = if ids.iter().any(|i| i == "all") {
+        figures::ALL.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                figures::find(id).unwrap_or_else(|| {
+                    usage_and_exit(&format!("unknown experiment id: {id}"))
+                })
+            })
+            .collect()
+    };
+    let total = Instant::now();
+    for e in selected {
+        let t0 = Instant::now();
+        println!("\n### {} — {}", e.id, e.about);
+        (e.run)(&ctx);
+        println!("### {} done in {:.1}s", e.id, t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nall done in {:.1}s; CSVs in {}",
+        total.elapsed().as_secs_f64(),
+        out_dir
+    );
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: experiments [--quick] [--out DIR] <id>... | all | list");
+    std::process::exit(2);
+}

@@ -1,0 +1,299 @@
+//! Ablation drivers for the design choices DESIGN.md calls out: slack
+//! division (§4.1), LSF scheduling (§4.3), predictor choice (§4.5.1),
+//! SLO sensitivity (§8) and the greedy selection/placement pair (§4.4).
+
+use crate::runner::{Ctx, RunSpec, TraceKind};
+use fifer_core::rm::{NodePlacement, RmKind};
+use fifer_core::scheduling::{ContainerSelection, SchedulingPolicy};
+use fifer_core::slack::{batch_size, AppPlan, SlackPolicy};
+use fifer_metrics::report::{fmt_f64, Table};
+use fifer_metrics::SimDuration;
+use fifer_predict::PredictorKind;
+use fifer_workloads::{Application, WorkloadMix};
+
+/// Proportional vs equal-division slack allocation inside Fifer.
+pub fn slack(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "slack_policy",
+        "slo_violations",
+        "avg_containers",
+        "p99_ms",
+        "overall_rpc",
+    ]);
+    let specs = vec![
+        RunSpec::prototype(
+            "proportional",
+            RmKind::Fifer.config(),
+            WorkloadMix::Heavy,
+        ),
+        RunSpec::prototype(
+            "equal-division",
+            RmKind::Fifer
+                .config()
+                .with_slack_policy(SlackPolicy::EqualDivision),
+            WorkloadMix::Heavy,
+        ),
+    ];
+    for (label, r) in ctx.run_labeled(specs) {
+        t.row(vec![
+            label,
+            fmt_f64(r.slo_violation_fraction(), 4),
+            fmt_f64(r.avg_live_containers(), 1),
+            fmt_f64(r.p99_latency_ms(), 0),
+            fmt_f64(r.overall_rpc(), 1),
+        ]);
+    }
+    ctx.emit("abl_slack_division", &t);
+}
+
+/// LSF vs FIFO task scheduling, with per-application violation fractions —
+/// the Medium mix shares its NLP and QA stages between IPA and IMG, which
+/// is exactly the scenario LSF exists for (§4.3).
+pub fn scheduling(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "scheduling",
+        "slo_violations",
+        "ipa_violations",
+        "img_violations",
+        "p99_ms",
+    ]);
+    let mut fifo_cfg = RmKind::Fifer.config();
+    fifo_cfg.scheduling = SchedulingPolicy::Fifo;
+    let specs = vec![
+        RunSpec::prototype("LSF", RmKind::Fifer.config(), WorkloadMix::Medium),
+        RunSpec::prototype("FIFO", fifo_cfg, WorkloadMix::Medium),
+    ];
+    for (label, r) in ctx.run_labeled(specs) {
+        t.row(vec![
+            label,
+            fmt_f64(r.slo_violation_fraction(), 4),
+            fmt_f64(r.slo.app_violation_fraction("IPA"), 4),
+            fmt_f64(r.slo.app_violation_fraction("IMG"), 4),
+            fmt_f64(r.p99_latency_ms(), 0),
+        ]);
+    }
+    ctx.emit("abl_scheduling", &t);
+}
+
+/// Shared vs per-application stages (§4.3 footnote): sharing the NLP/QA
+/// microservices between IPA and IMG versus giving each app private pools.
+pub fn sharing(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "stage_pools",
+        "slo_violations",
+        "avg_containers",
+        "ipa_p99_ms",
+        "img_p99_ms",
+        "overall_rpc",
+    ]);
+    for (label, share) in [("shared", true), ("per-app", false)] {
+        let mut spec = RunSpec::prototype(label, RmKind::Fifer.config(), WorkloadMix::Medium);
+        spec.share_stages = share;
+        let r = ctx.run(spec);
+        t.row(vec![
+            label.to_string(),
+            fmt_f64(r.slo_violation_fraction(), 4),
+            fmt_f64(r.avg_live_containers(), 1),
+            fmt_f64(r.app_latency_percentile_ms("IPA", 99.0), 0),
+            fmt_f64(r.app_latency_percentile_ms("IMG", 99.0), 0),
+            fmt_f64(r.overall_rpc(), 1),
+        ]);
+    }
+    ctx.emit("abl_sharing", &t);
+}
+
+/// Fifer with each of the eight predictors swapped in, on the bursty
+/// WITS-like trace where prediction quality matters most.
+pub fn predictor(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "predictor",
+        "slo_violations",
+        "avg_containers",
+        "cold_starts",
+        "blocking_cold_starts",
+    ]);
+    let specs: Vec<RunSpec> = PredictorKind::ALL
+        .iter()
+        .map(|&kind| {
+            RunSpec::large_scale(
+                kind.to_string(),
+                RmKind::Fifer.config().with_predictor(kind),
+                WorkloadMix::Heavy,
+                TraceKind::Wits,
+            )
+        })
+        .collect();
+    for (label, r) in ctx.run_labeled(specs) {
+        t.row(vec![
+            label,
+            fmt_f64(r.slo_violation_fraction(), 4),
+            fmt_f64(r.avg_live_containers(), 1),
+            r.spawns_in_window().to_string(),
+            r.blocking_cold_starts.to_string(),
+        ]);
+    }
+    ctx.emit("abl_predictor", &t);
+}
+
+/// SLO sensitivity (§8): tighter SLOs shrink slack and batch sizes until
+/// batching degenerates to one request per container.
+pub fn slo_sweep(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "slo_ms",
+        "ipa_total_slack_ms",
+        "ipa_max_batch",
+        "slo_violations",
+        "avg_containers",
+    ]);
+    for slo_ms in [500u64, 750, 1000, 1500, 2000] {
+        let slo = SimDuration::from_millis(slo_ms);
+        let spec_app = Application::Ipa.spec_with_slo(slo);
+        let plan = AppPlan::new(&spec_app, SlackPolicy::Proportional);
+        let max_batch = plan
+            .stages()
+            .iter()
+            .map(|s| s.batch_size)
+            .max()
+            .unwrap_or(1);
+        let mut spec = RunSpec::prototype(
+            format!("slo{slo_ms}"),
+            RmKind::Fifer.config(),
+            WorkloadMix::Heavy,
+        );
+        spec.slo = slo;
+        let r = ctx.run(spec);
+        t.row(vec![
+            slo_ms.to_string(),
+            fmt_f64(spec_app.total_slack().as_millis_f64(), 0),
+            max_batch.to_string(),
+            fmt_f64(r.slo_violation_fraction(), 4),
+            fmt_f64(r.avg_live_containers(), 1),
+        ]);
+    }
+    ctx.emit("abl_slo_sweep", &t);
+
+    // the pure batching-collapse curve (no simulation): batch size as the
+    // exec-to-SLO ratio grows, §8's "benefits reduce beyond exec > 50% SLO"
+    let mut c = Table::new(vec!["exec_fraction_of_slo", "batch_size"]);
+    for pct in [10u64, 25, 40, 50, 60, 75, 90] {
+        let slo = SimDuration::from_millis(1000);
+        let exec = SimDuration::from_millis(pct * 10);
+        let slack = slo - exec;
+        c.row(vec![
+            format!("0.{pct:02}"),
+            batch_size(slack, exec).to_string(),
+        ]);
+    }
+    ctx.emit("abl_slo_batch_collapse", &c);
+}
+
+/// Tenant isolation cost (§2.1): per-tenant stage pools over the shared
+/// cluster. Total load is constant; only the isolation boundary moves.
+pub fn tenancy(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "tenants",
+        "slo_violations",
+        "avg_containers",
+        "cold_starts",
+        "energy_kj",
+        "overall_rpc",
+    ]);
+    let specs: Vec<RunSpec> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|n| {
+            let mut spec = RunSpec::prototype(
+                format!("{n}"),
+                RmKind::Fifer.config(),
+                WorkloadMix::Heavy,
+            );
+            spec.tenants = n;
+            spec
+        })
+        .collect();
+    for (label, r) in ctx.run_labeled(specs) {
+        t.row(vec![
+            label,
+            fmt_f64(r.slo_whole_run.violation_fraction(), 4),
+            fmt_f64(r.avg_live_containers(), 1),
+            r.total_spawns.to_string(),
+            fmt_f64(r.energy_joules / 1e3, 1),
+            fmt_f64(r.overall_rpc(), 1),
+        ]);
+    }
+    ctx.emit("abl_tenancy", &t);
+}
+
+/// Pre-warmed pool sizing for the non-batching baseline (§2.2.1: pools
+/// avoid cold starts but waste memory/energy) — the trade-off Fifer's
+/// batching + prediction replaces.
+pub fn warm_pool(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "variant",
+        "blocking_cold_starts",
+        "slo_violations_whole_run",
+        "avg_containers",
+        "energy_kj",
+    ]);
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for pool in [0usize, 2, 4, 8] {
+        let mut spec = RunSpec::prototype(
+            format!("Bline+pool{pool}"),
+            RmKind::Bline.config(),
+            WorkloadMix::Heavy,
+        );
+        spec.min_warm_pool = pool;
+        specs.push(spec);
+    }
+    specs.push(RunSpec::prototype(
+        "Fifer",
+        RmKind::Fifer.config(),
+        WorkloadMix::Heavy,
+    ));
+    for (label, r) in ctx.run_labeled(specs) {
+        t.row(vec![
+            label,
+            r.blocking_cold_starts.to_string(),
+            fmt_f64(r.slo_whole_run.violation_fraction(), 4),
+            fmt_f64(r.avg_live_containers(), 1),
+            fmt_f64(r.energy_joules / 1e3, 1),
+        ]);
+    }
+    ctx.emit("abl_warm_pool", &t);
+}
+
+/// Greedy container selection and bin-packing placement versus their
+/// baselines (§4.4).
+pub fn greedy(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "variant",
+        "energy_kj",
+        "avg_active_nodes",
+        "overall_rpc",
+        "slo_violations",
+    ]);
+    let mut variants: Vec<(String, fifer_core::rm::RmConfig)> = Vec::new();
+    variants.push(("greedy+binpack (Fifer)".into(), RmKind::Fifer.config()));
+    let mut v = RmKind::Fifer.config();
+    v.container_selection = ContainerSelection::FirstFit;
+    variants.push(("firstfit+binpack".into(), v));
+    let mut v = RmKind::Fifer.config();
+    v.container_selection = ContainerSelection::MostFreeSlots;
+    variants.push(("mostfree+binpack".into(), v));
+    let mut v = RmKind::Fifer.config();
+    v.placement = NodePlacement::Spread;
+    variants.push(("greedy+spread".into(), v));
+    let specs: Vec<RunSpec> = variants
+        .into_iter()
+        .map(|(label, cfg)| RunSpec::prototype(label, cfg, WorkloadMix::Heavy))
+        .collect();
+    for (label, r) in ctx.run_labeled(specs) {
+        t.row(vec![
+            label,
+            fmt_f64(r.energy_joules / 1e3, 1),
+            fmt_f64(r.active_nodes.time_weighted_mean(r.horizon, 0.0), 2),
+            fmt_f64(r.overall_rpc(), 1),
+            fmt_f64(r.slo_violation_fraction(), 4),
+        ]);
+    }
+    ctx.emit("abl_greedy", &t);
+}

@@ -1,0 +1,220 @@
+//! One driver per paper table/figure plus the ablations (see DESIGN.md's
+//! per-experiment index). Each driver prints its artifact and writes CSVs.
+
+mod ablations;
+mod motivation;
+mod predictors;
+mod prototype;
+mod tables;
+mod traces;
+
+use crate::runner::Ctx;
+
+/// An experiment driver: id, short description, and the entry point.
+pub struct Experiment {
+    /// Command-line id (`fig8`, `tab3`, `abl-pred`, …).
+    pub id: &'static str,
+    /// One-line description shown by `experiments list`.
+    pub about: &'static str,
+    /// Entry point.
+    pub run: fn(&Ctx),
+}
+
+/// Every experiment in paper order.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        id: "tab1",
+        about: "Tables 1-2: hardware/software configuration constants",
+        run: tables::tab1,
+    },
+    Experiment {
+        id: "fig2",
+        about: "Figure 2: AWS Lambda cold vs warm start, 7 MXNet models",
+        run: motivation::fig2,
+    },
+    Experiment {
+        id: "fig3",
+        about: "Figure 3: per-stage exec breakdown + microservice variation",
+        run: motivation::fig3,
+    },
+    Experiment {
+        id: "fig4",
+        about: "Figure 4: Baseline vs request-batching worked example",
+        run: motivation::fig4,
+    },
+    Experiment {
+        id: "fig6",
+        about: "Figure 6: predictor bake-off (RMSE, latency, LSTM accuracy)",
+        run: predictors::fig6,
+    },
+    Experiment {
+        id: "fig7",
+        about: "Figure 7: WITS and Wiki arrival-trace envelopes",
+        run: motivation::fig7,
+    },
+    Experiment {
+        id: "fig8",
+        about: "Figure 8: prototype SLO violations & containers (3 mixes)",
+        run: prototype::fig8,
+    },
+    Experiment {
+        id: "fig8-ci",
+        about: "Figure 8 replicated across seeds (mean +/- std)",
+        run: prototype::fig8_ci,
+    },
+    Experiment {
+        id: "fig9",
+        about: "Figure 9: P99 tail-latency breakdown (heavy mix)",
+        run: prototype::fig9,
+    },
+    Experiment {
+        id: "fig10",
+        about: "Figure 10: latency CDF to P95 + queuing-time distribution",
+        run: prototype::fig10,
+    },
+    Experiment {
+        id: "fig11",
+        about: "Figure 11: container distribution across IPA stages",
+        run: prototype::fig11,
+    },
+    Experiment {
+        id: "fig12",
+        about: "Figure 12: jobs-per-container & cumulative containers",
+        run: prototype::fig12,
+    },
+    Experiment {
+        id: "fig13",
+        about: "Figure 13: SLO violations & containers on Wiki/WITS traces",
+        run: traces::fig13,
+    },
+    Experiment {
+        id: "fig14",
+        about: "Figure 14: median & tail latency on Wiki/WITS traces",
+        run: traces::fig14,
+    },
+    Experiment {
+        id: "fig15",
+        about: "Figure 15: cluster energy normalized to Bline",
+        run: prototype::fig15,
+    },
+    Experiment {
+        id: "fig16",
+        about: "Figure 16: cold starts on Wiki/WITS (2h window)",
+        run: traces::fig16,
+    },
+    Experiment {
+        id: "tab3",
+        about: "Table 3: microservice catalog",
+        run: tables::tab3,
+    },
+    Experiment {
+        id: "tab4",
+        about: "Table 4: chains and computed slack vs paper",
+        run: tables::tab4,
+    },
+    Experiment {
+        id: "tab5",
+        about: "Table 5: workload mixes",
+        run: tables::tab5,
+    },
+    Experiment {
+        id: "tab6",
+        about: "Table 6: feature matrix vs related work",
+        run: tables::tab6,
+    },
+    Experiment {
+        id: "plots",
+        about: "Emit gnuplot scripts rendering the CSV artifacts",
+        run: emit_plots,
+    },
+    Experiment {
+        id: "batch-plans",
+        about: "Appendix: per-stage batch sizes under both slack policies",
+        run: tables::batch_plans,
+    },
+    Experiment {
+        id: "ovh",
+        about: "Section 6.1.5: system overheads",
+        run: prototype::overheads,
+    },
+    Experiment {
+        id: "abl-slack",
+        about: "Ablation: proportional vs equal-division slack allocation",
+        run: ablations::slack,
+    },
+    Experiment {
+        id: "abl-sched",
+        about: "Ablation: LSF vs FIFO scheduling with shared stages",
+        run: ablations::scheduling,
+    },
+    Experiment {
+        id: "abl-pred",
+        about: "Ablation: Fifer with each of the 8 predictors",
+        run: ablations::predictor,
+    },
+    Experiment {
+        id: "abl-share",
+        about: "Ablation: shared vs per-application stage pools",
+        run: ablations::sharing,
+    },
+    Experiment {
+        id: "abl-slo",
+        about: "Ablation: SLO sensitivity sweep (500-2000 ms)",
+        run: ablations::slo_sweep,
+    },
+    Experiment {
+        id: "abl-tenancy",
+        about: "Ablation: tenant-isolation cost (per-tenant stage pools)",
+        run: ablations::tenancy,
+    },
+    Experiment {
+        id: "abl-warmpool",
+        about: "Ablation: pre-warmed pool sizing vs Fifer (cold starts vs waste)",
+        run: ablations::warm_pool,
+    },
+    Experiment {
+        id: "abl-greedy",
+        about: "Ablation: container-selection and node-placement policies",
+        run: ablations::greedy,
+    },
+];
+
+/// Writes every generated gnuplot script under `<out>/plots/`.
+fn emit_plots(ctx: &Ctx) {
+    for script in crate::plots::all() {
+        ctx.emit_plot(&script);
+    }
+}
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL.len());
+    }
+
+    #[test]
+    fn every_paper_figure_has_a_driver() {
+        for id in [
+            "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "tab1", "tab3", "tab4", "tab5", "tab6",
+        ] {
+            assert!(find(id).is_some(), "missing driver for {id}");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(find("fig99").is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 6 driver: the predictor bake-off (§4.5.1).
+
+use crate::runner::Ctx;
+use fifer_metrics::report::{fmt_f64, Table};
+use fifer_metrics::SimDuration;
+use fifer_predict::train::train_test_split;
+use fifer_predict::{accuracy, rmse, LoadPredictor, PredictorKind};
+use fifer_sim::driver::window_max_series;
+use fifer_workloads::{TraceGenerator, WitsLikeTrace};
+use std::time::Instant;
+
+/// Builds the WITS-like window-max rate series the models are evaluated on
+/// (the paper trains/evaluates on the WITS trace, §4.5.1).
+fn wits_series(ctx: &Ctx) -> Vec<f64> {
+    let horizon = if ctx.quick {
+        SimDuration::from_secs(2_000)
+    } else {
+        SimDuration::from_secs(8_000)
+    };
+    let trace = WitsLikeTrace::scaled(0.5, horizon, 6);
+    let arrivals = trace.generate(horizon, 6);
+    window_max_series(&arrivals, 5)
+}
+
+/// Runs one predictor through the 60/40 protocol; returns
+/// `(rmse, accuracy, mean per-forecast latency in ms, predictions)`.
+fn evaluate(
+    kind: PredictorKind,
+    series: &[f64],
+    quick: bool,
+) -> (f64, f64, f64, Vec<f64>, Vec<f64>) {
+    let mut p: Box<dyn LoadPredictor + Send> = kind.build(6);
+    let (train, test) = train_test_split(series);
+    if kind.is_neural() && quick {
+        // quick mode: fewer epochs via the fast config equivalents
+        p = build_quick(kind);
+    }
+    p.pretrain(train);
+    for &v in &train[train.len().saturating_sub(32)..] {
+        p.observe(v);
+    }
+    let mut preds = Vec::with_capacity(test.len());
+    let mut actuals = Vec::with_capacity(test.len());
+    let t0 = Instant::now();
+    let mut forecasts = 0u32;
+    for &v in test {
+        preds.push(p.forecast());
+        forecasts += 1;
+        actuals.push(v);
+        p.observe(v);
+    }
+    let latency_ms = t0.elapsed().as_secs_f64() * 1e3 / forecasts.max(1) as f64;
+    (
+        rmse(&preds, &actuals),
+        accuracy(&preds, &actuals),
+        latency_ms,
+        preds,
+        actuals,
+    )
+}
+
+fn build_quick(kind: PredictorKind) -> Box<dyn LoadPredictor + Send> {
+    use fifer_predict::train::TrainConfig;
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = 10;
+    match kind {
+        PredictorKind::SimpleFeedForward => {
+            Box::new(fifer_predict::SimpleFfPredictor::new(cfg, 32, 6))
+        }
+        PredictorKind::WeaveNet => Box::new(fifer_predict::WeaveNetPredictor::new(cfg, 16, 6)),
+        PredictorKind::DeepAr => Box::new(fifer_predict::DeepArPredictor::new(cfg, 32, 6)),
+        PredictorKind::Lstm => Box::new(fifer_predict::LstmPredictor::new(cfg, 32, 6, 2)),
+        other => other.build(6),
+    }
+}
+
+/// Figure 6a: RMSE and per-forecast latency for all eight models;
+/// Figure 6b: LSTM predicted-vs-actual series on the WITS test split.
+pub fn fig6(ctx: &Ctx) {
+    let series = wits_series(ctx);
+    let mut t = Table::new(vec!["model", "rmse", "accuracy", "latency_ms"]);
+    let mut lstm_csv = String::from("step,actual,predicted\n");
+    for kind in PredictorKind::ALL {
+        let (e, acc, lat, preds, actuals) = evaluate(kind, &series, ctx.quick);
+        t.row(vec![
+            kind.to_string(),
+            fmt_f64(e, 2),
+            fmt_f64(acc, 3),
+            fmt_f64(lat, 3),
+        ]);
+        if kind == PredictorKind::Lstm {
+            for (i, (a, p)) in actuals.iter().zip(&preds).enumerate() {
+                lstm_csv.push_str(&format!("{i},{a:.1},{p:.1}\n"));
+            }
+        }
+    }
+    ctx.emit("fig6a_predictor_bakeoff", &t);
+    ctx.emit_raw("fig6b_lstm_accuracy", &lstm_csv);
+}

@@ -1,0 +1,171 @@
+//! Drivers for the paper's configuration tables (1–6).
+
+use crate::runner::Ctx;
+use fifer_core::features::{ComparedSystem, Feature};
+use fifer_core::slack::{AppPlan, SlackPolicy};
+use fifer_metrics::report::{fmt_f64, Table};
+use fifer_sim::ClusterConfig;
+use fifer_workloads::{Application, Microservice, WorkloadMix};
+
+/// Tables 1–2: hardware and software configuration the simulator models.
+pub fn tab1(ctx: &Ctx) {
+    let mut t = Table::new(vec!["parameter", "value", "paper source"]);
+    let proto = ClusterConfig::prototype();
+    let large = ClusterConfig::large_scale();
+    t.row(vec![
+        "prototype cluster".into(),
+        format!("{} nodes x {} cores = {} cores", proto.nodes, proto.cores_per_node, proto.total_cores()),
+        "§5.3: 80 compute-core cluster".into(),
+    ]);
+    t.row(vec![
+        "large-scale cluster".into(),
+        format!("{} nodes x {} cores = {} cores", large.nodes, large.cores_per_node, large.total_cores()),
+        "§5.3: 2500-core simulation".into(),
+    ]);
+    t.row(vec![
+        "DRAM per node".into(),
+        format!("{} GB", proto.mem_per_node_gb),
+        "Table 1".into(),
+    ]);
+    t.row(vec![
+        "container request".into(),
+        "0.5 CPU, 1 GB".into(),
+        "§5.1".into(),
+    ]);
+    t.row(vec![
+        "monitoring interval T".into(),
+        "10 s".into(),
+        "§4.5".into(),
+    ]);
+    t.row(vec![
+        "sampling window Ws".into(),
+        "5 s over past 100 s".into(),
+        "§4.5".into(),
+    ]);
+    t.row(vec![
+        "idle-container timeout".into(),
+        "10 min".into(),
+        "§4.4.1".into(),
+    ]);
+    t.row(vec![
+        "SLO".into(),
+        "1000 ms".into(),
+        "§4.1".into(),
+    ]);
+    t.row(vec![
+        "cold start range".into(),
+        "2-9 s by image size".into(),
+        "§6.1.5".into(),
+    ]);
+    ctx.emit("tab1_config", &t);
+}
+
+/// Table 3: the microservice catalog.
+pub fn tab3(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "domain",
+        "microservice",
+        "ml_model",
+        "avg_exec_ms",
+        "image_mb",
+        "cold_start_s",
+    ]);
+    for ms in Microservice::ALL {
+        let spec = ms.spec();
+        t.row(vec![
+            spec.domain.to_string(),
+            ms.to_string(),
+            spec.model_name.to_string(),
+            fmt_f64(spec.mean_exec_ms, 3),
+            fmt_f64(spec.image_size_mb, 0),
+            fmt_f64(spec.cold_start_time(150.0).as_secs_f64(), 2),
+        ]);
+    }
+    ctx.emit("tab3_microservices", &t);
+}
+
+/// Table 4: chains, computed slack and paper slack.
+pub fn tab4(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "application",
+        "chain",
+        "total_exec_ms",
+        "slack_ms",
+        "paper_slack_ms",
+    ]);
+    for app in Application::ALL {
+        let spec = app.spec();
+        let chain = app
+            .chain()
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        t.row(vec![
+            app.to_string(),
+            chain,
+            fmt_f64(spec.total_exec().as_millis_f64(), 1),
+            fmt_f64(spec.total_slack().as_millis_f64(), 0),
+            fmt_f64(app.table4_slack().as_millis_f64(), 0),
+        ]);
+    }
+    ctx.emit("tab4_chains", &t);
+}
+
+/// Table 5: workload mixes with their average slack ordering.
+pub fn tab5(ctx: &Ctx) {
+    let mut t = Table::new(vec!["workload", "query_mix", "avg_slack_ms"]);
+    for mix in WorkloadMix::ALL {
+        let [a, b] = mix.applications();
+        t.row(vec![
+            mix.to_string(),
+            format!("{a}, {b}"),
+            fmt_f64(mix.average_slack().as_millis_f64(), 0),
+        ]);
+    }
+    ctx.emit("tab5_mixes", &t);
+}
+
+/// Table 6: the feature matrix versus related work.
+pub fn tab6(ctx: &Ctx) {
+    let mut headers = vec!["feature".to_string()];
+    headers.extend(ComparedSystem::ALL.iter().map(|s| s.label().to_string()));
+    let mut t = Table::new(headers);
+    for f in Feature::ALL {
+        let mut row = vec![f.label().to_string()];
+        for s in ComparedSystem::ALL {
+            row.push(if s.has(f) { "yes" } else { "no" }.to_string());
+        }
+        t.row(row);
+    }
+    ctx.emit("tab6_features", &t);
+}
+
+/// Batch-size appendix: per-stage plans under both slack policies (useful
+/// context for Figures 4 and 11).
+pub fn batch_plans(ctx: &Ctx) {
+    let mut t = Table::new(vec![
+        "application",
+        "policy",
+        "stage",
+        "exec_ms",
+        "slack_ms",
+        "batch_size",
+    ]);
+    for app in Application::ALL {
+        for policy in SlackPolicy::ALL {
+            let plan = AppPlan::new(&app.spec(), policy);
+            for sp in plan.stages() {
+                t.row(vec![
+                    app.to_string(),
+                    format!("{policy:?}"),
+                    sp.microservice.to_string(),
+                    fmt_f64(sp.exec_time.as_millis_f64(), 2),
+                    fmt_f64(sp.slack.as_millis_f64(), 1),
+                    sp.batch_size.to_string(),
+                ]);
+            }
+        }
+    }
+    ctx.emit("batch_plans", &t);
+}

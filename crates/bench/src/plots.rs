@@ -1,0 +1,164 @@
+//! Gnuplot script generation: turns the harness's CSV artifacts into
+//! ready-to-render figure scripts (`gnuplot results/plots/<name>.gnuplot`
+//! → PNG), so the paper's plots can be reproduced visually without any
+//! plotting dependency in the workspace itself.
+
+/// A generated plot script plus the CSV artifact it consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlotScript {
+    /// File name under `plots/` (e.g. `fig6b.gnuplot`).
+    pub name: String,
+    /// The CSV (relative to the results dir) the script reads.
+    pub input_csv: String,
+    /// Script body.
+    pub body: String,
+}
+
+fn preamble(title: &str, output_png: &str) -> String {
+    format!(
+        "set terminal pngcairo size 900,540 font 'sans,11'\n\
+         set output '{output_png}'\n\
+         set title '{title}'\n\
+         set datafile separator ','\n\
+         set key outside right\n\
+         set grid ytics\n"
+    )
+}
+
+/// Line plot of the Figure 6b series: LSTM predicted vs actual load.
+pub fn fig6b() -> PlotScript {
+    let mut body = preamble(
+        "Figure 6b: LSTM prediction vs actual (WITS-like)",
+        "fig6b_lstm_accuracy.png",
+    );
+    body.push_str(
+        "set xlabel 'forecast step (5s windows)'\n\
+         set ylabel 'requests/s (window max)'\n\
+         plot '../fig6b_lstm_accuracy.csv' skip 1 using 1:2 with lines title 'actual', \\\n\
+         \x20    '../fig6b_lstm_accuracy.csv' skip 1 using 1:3 with lines title 'LSTM'\n",
+    );
+    PlotScript {
+        name: "fig6b.gnuplot".into(),
+        input_csv: "fig6b_lstm_accuracy.csv".into(),
+        body,
+    }
+}
+
+/// Line plot of the Figure 7 trace envelopes.
+pub fn fig7() -> PlotScript {
+    let mut body = preamble("Figure 7: arrival-rate envelopes", "fig7_traces.png");
+    body.push_str(
+        "set xlabel 'time (minutes)'\n\
+         set ylabel 'requests/s'\n\
+         plot '../fig7_trace_series.csv' skip 1 using 1:2 with lines title 'WITS-like', \\\n\
+         \x20    '../fig7_trace_series.csv' skip 1 using 1:3 with lines title 'Wiki-like'\n",
+    );
+    PlotScript {
+        name: "fig7.gnuplot".into(),
+        input_csv: "fig7_trace_series.csv".into(),
+        body,
+    }
+}
+
+/// Step plot of Figure 12b: cumulative containers over time per RM.
+pub fn fig12b() -> PlotScript {
+    let mut body = preamble(
+        "Figure 12b: cumulative containers spawned",
+        "fig12b_cumulative.png",
+    );
+    body.push_str(
+        "set xlabel 'interval (10s)'\n\
+         set ylabel 'containers spawned'\n\
+         plot for [rm in 'Bline SBatch RScale BPred Fifer'] \\\n\
+         \x20    '< grep ^'.rm.', ../fig12b_cumulative_containers.csv' \\\n\
+         \x20    using 2:3 with steps title rm\n",
+    );
+    PlotScript {
+        name: "fig12b.gnuplot".into(),
+        input_csv: "fig12b_cumulative_containers.csv".into(),
+        body,
+    }
+}
+
+/// CDF plot of Figure 10a: response latency up to P95 per RM.
+pub fn fig10a() -> PlotScript {
+    let mut body = preamble("Figure 10a: latency CDF (P95)", "fig10a_cdf.png");
+    body.push_str(
+        "set xlabel 'response latency (ms)'\n\
+         set ylabel 'CDF'\n\
+         set yrange [0:1]\n\
+         plot for [rm in 'Bline SBatch RScale BPred Fifer'] \\\n\
+         \x20    '< grep ^'.rm.', ../fig10a_latency_cdf.csv' \\\n\
+         \x20    using 2:3 with lines title rm\n",
+    );
+    PlotScript {
+        name: "fig10a.gnuplot".into(),
+        input_csv: "fig10a_latency_cdf.csv".into(),
+        body,
+    }
+}
+
+/// Grouped-bar plot of Figure 8's container columns (normalized to Bline).
+pub fn fig8() -> PlotScript {
+    let mut body = preamble(
+        "Figure 8b: avg containers normalized to Bline",
+        "fig8b_containers.png",
+    );
+    body.push_str(
+        "set style data histogram\n\
+         set style histogram cluster gap 1\n\
+         set style fill solid 0.8 border -1\n\
+         set ylabel 'containers / Bline'\n\
+         # rows are workload,rm,...; column 7 is containers_norm_bline\n\
+         plot for [rm in 'SBatch RScale BPred Fifer'] \\\n\
+         \x20    '< grep ,'.rm.', ../fig8_slo_containers.csv' \\\n\
+         \x20    using 7:xtic(1) title rm\n",
+    );
+    PlotScript {
+        name: "fig8b.gnuplot".into(),
+        input_csv: "fig8_slo_containers.csv".into(),
+        body,
+    }
+}
+
+/// All generated scripts.
+pub fn all() -> Vec<PlotScript> {
+    vec![fig6b(), fig7(), fig8(), fig10a(), fig12b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_script_names_its_csv() {
+        for s in all() {
+            assert!(
+                s.body.contains(s.input_csv.as_str()),
+                "{} must reference {}",
+                s.name,
+                s.input_csv
+            );
+            assert!(s.body.contains("set output"));
+            assert!(s.name.ends_with(".gnuplot"));
+        }
+    }
+
+    #[test]
+    fn scripts_set_csv_separator() {
+        for s in all() {
+            assert!(
+                s.body.contains("set datafile separator ','"),
+                "{} must parse CSV",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn five_figures_are_covered() {
+        let names: Vec<String> = all().into_iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 5);
+        assert!(names.contains(&"fig8b.gnuplot".to_string()));
+    }
+}

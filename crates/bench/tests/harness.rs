@@ -1,0 +1,116 @@
+//! Smoke tests for the experiment harness: every cheap driver runs end to
+//! end and leaves its CSV artifact behind.
+
+use fifer_bench::figures;
+use fifer_bench::runner::Ctx;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_ctx(tag: &str) -> (Ctx, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("fifer_harness_test_{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    (Ctx::new(&dir, true), dir)
+}
+
+fn csv_names(dir: &PathBuf) -> Vec<String> {
+    fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn table_drivers_emit_their_csvs() {
+    let (ctx, dir) = temp_ctx("tables");
+    for id in ["tab1", "tab3", "tab4", "tab5", "tab6", "batch-plans"] {
+        let e = figures::find(id).unwrap_or_else(|| panic!("missing {id}"));
+        (e.run)(&ctx);
+    }
+    let names = csv_names(&dir);
+    for expected in [
+        "tab1_config.csv",
+        "tab3_microservices.csv",
+        "tab4_chains.csv",
+        "tab5_mixes.csv",
+        "tab6_features.csv",
+        "batch_plans.csv",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "{expected} missing from {names:?}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn motivation_drivers_emit_their_csvs() {
+    let (ctx, dir) = temp_ctx("motivation");
+    for id in ["fig2", "fig3", "fig7"] {
+        (figures::find(id).expect("driver").run)(&ctx);
+    }
+    let names = csv_names(&dir);
+    for expected in [
+        "fig2_cold_warm.csv",
+        "fig3a_stage_breakdown.csv",
+        "fig3b_exec_variation.csv",
+        "fig7_trace_stats.csv",
+        "fig7_trace_series.csv",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "{expected} missing");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tab3_csv_contains_the_catalog() {
+    let (ctx, dir) = temp_ctx("tab3_content");
+    (figures::find("tab3").expect("driver").run)(&ctx);
+    let csv = fs::read_to_string(dir.join("tab3_microservices.csv")).expect("artifact");
+    for ms in ["ASR", "IMC", "HS", "AP", "FACED", "FACER", "QA"] {
+        assert!(csv.contains(ms), "{ms} missing from tab3 CSV");
+    }
+    assert!(csv.contains("151.200"), "HS exec time missing");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiment_registry_is_complete() {
+    // every ablation in DESIGN.md's index has a driver
+    for id in [
+        "abl-slack",
+        "abl-sched",
+        "abl-share",
+        "abl-pred",
+        "abl-slo",
+        "abl-greedy",
+        "abl-warmpool",
+        "batch-plans",
+        "ovh",
+    ] {
+        assert!(figures::find(id).is_some(), "missing driver {id}");
+    }
+}
+
+#[test]
+fn fig4_driver_shows_batching_consolidation() {
+    let (ctx, dir) = temp_ctx("fig4");
+    (figures::find("fig4").expect("driver").run)(&ctx);
+    let csv = fs::read_to_string(dir.join("fig4_worked_example.csv")).expect("artifact");
+    let mut lines = csv.lines().skip(1);
+    let bline: u64 = lines
+        .next()
+        .and_then(|l| l.split(',').nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("bline row");
+    let rscale: u64 = lines
+        .next()
+        .and_then(|l| l.split(',').nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("rscale row");
+    assert!(
+        rscale * 2 < bline,
+        "batching ({rscale}) must consolidate far below baseline ({bline})"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,290 @@
+//! The five resource-manager configurations evaluated in the paper (§3,
+//! §5.3): Bline, SBatch, RScale, BPred and Fifer.
+//!
+//! A resource manager is fully described by six orthogonal choices —
+//! batching mode, scaling mode, predictor, task scheduling, container
+//! selection and node placement. [`RmConfig`] encodes those choices;
+//! [`RmKind`] provides the paper's named configurations. The simulator
+//! consumes an `RmConfig`, so ablations are just custom configs.
+
+use crate::scheduling::{ContainerSelection, SchedulingPolicy};
+use crate::slack::SlackPolicy;
+use fifer_predict::PredictorKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How requests map onto containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchingMode {
+    /// One request per container at a time (AWS-style, §2.2).
+    None,
+    /// Batch size fixed offline from equal-slack division (SBatch).
+    StaticEqualSlack,
+    /// Batch size from slack division at the configured policy — Fifer and
+    /// RScale use proportional division (§4.1).
+    Dynamic(SlackPolicy),
+}
+
+impl BatchingMode {
+    /// The slack-division policy implied by this mode. Non-batching RMs
+    /// still need per-stage response budgets for their scalers; those
+    /// follow the stages' execution-time shares (proportional), while
+    /// SBatch is defined by equal division (§5.3).
+    pub fn slack_policy(self) -> SlackPolicy {
+        match self {
+            BatchingMode::None => SlackPolicy::Proportional,
+            BatchingMode::StaticEqualSlack => SlackPolicy::EqualDivision,
+            BatchingMode::Dynamic(p) => p,
+        }
+    }
+
+    /// `true` when requests may queue at containers.
+    pub fn batches(self) -> bool {
+        !matches!(self, BatchingMode::None)
+    }
+}
+
+/// How container counts react to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// Spawn on demand when a request finds no free container (Bline).
+    OnDemand,
+    /// Fixed pool sized to the trace's average rate; never scales (SBatch).
+    FixedPool,
+    /// Reactive only: Algorithm 1 a/b at each monitoring interval (RScale).
+    Reactive,
+    /// Reactive plus proactive forecasting (BPred, Fifer).
+    ReactivePlusProactive,
+}
+
+/// Which load predictor drives proactive scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorChoice {
+    /// No prediction (Bline, SBatch, RScale).
+    None,
+    /// One of the eight models of Figure 6a.
+    Model(PredictorKind),
+}
+
+/// Where new containers are placed on nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodePlacement {
+    /// Fifer's modified MostRequestedPriority: lowest-numbered node with the
+    /// least available resources that still fits the pod (§4.4.2).
+    GreedyBinPack,
+    /// Kubernetes' default spreading (LeastRequestedPriority-style):
+    /// emptiest node first.
+    Spread,
+}
+
+/// A complete resource-manager configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RmConfig {
+    /// Request-to-container batching.
+    pub batching: BatchingMode,
+    /// Container-count scaling.
+    pub scaling: ScalingMode,
+    /// Load predictor for proactive scaling.
+    pub predictor: PredictorChoice,
+    /// Task selection at stage queues.
+    pub scheduling: SchedulingPolicy,
+    /// Container selection within a stage.
+    pub container_selection: ContainerSelection,
+    /// Node placement for new containers.
+    pub placement: NodePlacement,
+}
+
+impl RmConfig {
+    /// Applies a different predictor (for the predictor ablation).
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = PredictorChoice::Model(kind);
+        self
+    }
+
+    /// Applies a different slack-division policy where batching is dynamic.
+    pub fn with_slack_policy(mut self, policy: SlackPolicy) -> Self {
+        if let BatchingMode::Dynamic(_) = self.batching {
+            self.batching = BatchingMode::Dynamic(policy);
+        }
+        self
+    }
+
+    /// `true` when this RM pre-spawns containers from forecasts.
+    pub fn is_proactive(&self) -> bool {
+        matches!(self.scaling, ScalingMode::ReactivePlusProactive)
+            && !matches!(self.predictor, PredictorChoice::None)
+    }
+}
+
+/// The paper's five named resource managers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RmKind {
+    /// AWS-style baseline: no batching, spawn per request (§3).
+    Bline,
+    /// Static batching on a fixed pool (Azure-style queuing, §5.3).
+    SBatch,
+    /// Dynamic reactive scaling with batching — GrandSLAm-like (§5.3).
+    RScale,
+    /// Bline plus LSF and EWMA prediction — Archipelago-like (§5.3).
+    BPred,
+    /// The full system: batching + reactive + LSTM-proactive + greedy
+    /// selection/placement.
+    Fifer,
+}
+
+impl RmKind {
+    /// All five RMs in the paper's comparison order.
+    pub const ALL: [RmKind; 5] = [
+        RmKind::Bline,
+        RmKind::SBatch,
+        RmKind::RScale,
+        RmKind::BPred,
+        RmKind::Fifer,
+    ];
+
+    /// The four RMs normalized against Bline in Figures 8/13/15.
+    pub const VERSUS_BLINE: [RmKind; 4] =
+        [RmKind::SBatch, RmKind::RScale, RmKind::BPred, RmKind::Fifer];
+
+    /// The configuration the paper evaluates for this RM.
+    pub fn config(self) -> RmConfig {
+        match self {
+            RmKind::Bline => RmConfig {
+                batching: BatchingMode::None,
+                scaling: ScalingMode::OnDemand,
+                predictor: PredictorChoice::None,
+                scheduling: SchedulingPolicy::Fifo,
+                container_selection: ContainerSelection::FirstFit,
+                placement: NodePlacement::Spread,
+            },
+            RmKind::SBatch => RmConfig {
+                batching: BatchingMode::StaticEqualSlack,
+                scaling: ScalingMode::FixedPool,
+                predictor: PredictorChoice::None,
+                scheduling: SchedulingPolicy::Fifo,
+                container_selection: ContainerSelection::FirstFit,
+                // the fixed pool is placed once; consolidating it costs
+                // nothing and matches SBatch's near-Fifer energy in Fig 15
+                placement: NodePlacement::GreedyBinPack,
+            },
+            RmKind::RScale => RmConfig {
+                batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
+                scaling: ScalingMode::Reactive,
+                predictor: PredictorChoice::None,
+                scheduling: SchedulingPolicy::Lsf,
+                container_selection: ContainerSelection::GreedyLeastFreeSlots,
+                placement: NodePlacement::GreedyBinPack,
+            },
+            RmKind::BPred => RmConfig {
+                batching: BatchingMode::None,
+                scaling: ScalingMode::ReactivePlusProactive,
+                predictor: PredictorChoice::Model(PredictorKind::Ewma),
+                scheduling: SchedulingPolicy::Lsf,
+                container_selection: ContainerSelection::FirstFit,
+                placement: NodePlacement::Spread,
+            },
+            RmKind::Fifer => RmConfig {
+                batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
+                scaling: ScalingMode::ReactivePlusProactive,
+                predictor: PredictorChoice::Model(PredictorKind::Lstm),
+                scheduling: SchedulingPolicy::Lsf,
+                container_selection: ContainerSelection::GreedyLeastFreeSlots,
+                placement: NodePlacement::GreedyBinPack,
+            },
+        }
+    }
+}
+
+impl fmt::Display for RmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            RmKind::Bline => "Bline",
+            RmKind::SBatch => "SBatch",
+            RmKind::RScale => "RScale",
+            RmKind::BPred => "BPred",
+            RmKind::Fifer => "Fifer",
+        };
+        f.write_str(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bline_matches_paper_definition() {
+        let c = RmKind::Bline.config();
+        assert!(!c.batching.batches());
+        assert_eq!(c.scaling, ScalingMode::OnDemand);
+        assert!(!c.is_proactive());
+    }
+
+    #[test]
+    fn fifer_combines_all_mechanisms() {
+        let c = RmKind::Fifer.config();
+        assert_eq!(c.batching, BatchingMode::Dynamic(SlackPolicy::Proportional));
+        assert!(c.is_proactive());
+        assert_eq!(c.predictor, PredictorChoice::Model(PredictorKind::Lstm));
+        assert_eq!(c.scheduling, SchedulingPolicy::Lsf);
+        assert_eq!(
+            c.container_selection,
+            ContainerSelection::GreedyLeastFreeSlots
+        );
+        assert_eq!(c.placement, NodePlacement::GreedyBinPack);
+    }
+
+    #[test]
+    fn bpred_is_archipelago_like() {
+        // §5.3: BPred = Bline + LSF + EWMA prediction, no batching
+        let c = RmKind::BPred.config();
+        assert!(!c.batching.batches());
+        assert_eq!(c.predictor, PredictorChoice::Model(PredictorKind::Ewma));
+        assert_eq!(c.scheduling, SchedulingPolicy::Lsf);
+        assert!(c.is_proactive());
+    }
+
+    #[test]
+    fn sbatch_uses_equal_slack_fixed_pool() {
+        // §5.3: "In Sbatch, we set the batch size by equal-slack-division
+        // policy and fix the number of containers"
+        let c = RmKind::SBatch.config();
+        assert_eq!(c.batching, BatchingMode::StaticEqualSlack);
+        assert_eq!(c.scaling, ScalingMode::FixedPool);
+        assert_eq!(c.batching.slack_policy(), SlackPolicy::EqualDivision);
+    }
+
+    #[test]
+    fn rscale_is_fifer_without_prediction() {
+        // §5.3: Fifer-with-RScale-only is "akin to the dynamic batching
+        // policy employed in GrandSLAm"
+        let f = RmKind::Fifer.config();
+        let r = RmKind::RScale.config();
+        assert_eq!(f.batching, r.batching);
+        assert_eq!(f.scheduling, r.scheduling);
+        assert_eq!(f.container_selection, r.container_selection);
+        assert_eq!(f.placement, r.placement);
+        assert!(!r.is_proactive());
+    }
+
+    #[test]
+    fn predictor_ablation_builder() {
+        let c = RmKind::Fifer.config().with_predictor(PredictorKind::Mwa);
+        assert_eq!(c.predictor, PredictorChoice::Model(PredictorKind::Mwa));
+        assert!(c.is_proactive());
+    }
+
+    #[test]
+    fn slack_policy_builder_only_affects_dynamic() {
+        let f = RmKind::Fifer.config().with_slack_policy(SlackPolicy::EqualDivision);
+        assert_eq!(f.batching, BatchingMode::Dynamic(SlackPolicy::EqualDivision));
+        let b = RmKind::Bline.config().with_slack_policy(SlackPolicy::EqualDivision);
+        assert_eq!(b.batching, BatchingMode::None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RmKind::Fifer.to_string(), "Fifer");
+        assert_eq!(RmKind::Bline.to_string(), "Bline");
+    }
+}

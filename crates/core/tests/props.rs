@@ -1,0 +1,104 @@
+//! Property-based tests for the policy layer: selection functions return
+//! valid choices and the batch-size formula respects its bounds.
+
+use fifer_core::scheduling::{
+    select_container, select_task, ContainerCandidate, ContainerSelection, QueuedTask,
+    SchedulingPolicy,
+};
+use fifer_core::slack::batch_size;
+use fifer_metrics::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn any_task() -> impl Strategy<Value = QueuedTask> {
+    (0u64..1_000, 0u64..10_000, 0u64..20_000, 0u64..2_000).prop_map(
+        |(job_id, enq_ms, dl_ms, work_ms)| QueuedTask {
+            job_id,
+            enqueued: SimTime::from_millis(enq_ms),
+            job_deadline: SimTime::from_millis(dl_ms),
+            remaining_work: SimDuration::from_millis(work_ms),
+        },
+    )
+}
+
+proptest! {
+    /// select_task always returns a valid index into the queue, for both
+    /// policies, and FIFO picks a task with the minimal enqueue time.
+    #[test]
+    fn select_task_returns_valid_index(
+        queue in prop::collection::vec(any_task(), 1..60),
+        now_ms in 0u64..20_000,
+        lsf in any::<bool>(),
+    ) {
+        let policy = if lsf { SchedulingPolicy::Lsf } else { SchedulingPolicy::Fifo };
+        let now = SimTime::from_millis(now_ms);
+        let idx = select_task(policy, &queue, now).expect("non-empty queue");
+        prop_assert!(idx < queue.len());
+        if policy == SchedulingPolicy::Fifo {
+            let min_enq = queue.iter().map(|t| t.enqueued).min().expect("non-empty");
+            prop_assert_eq!(queue[idx].enqueued, min_enq);
+        } else {
+            let min_slack = queue
+                .iter()
+                .map(|t| t.remaining_slack(now))
+                .min()
+                .expect("non-empty");
+            prop_assert_eq!(queue[idx].remaining_slack(now), min_slack);
+        }
+    }
+
+    /// select_container never picks a full container, and the greedy
+    /// choice has the minimal free-slot count among usable candidates.
+    #[test]
+    fn select_container_respects_capacity(
+        cands in prop::collection::vec((0u64..500, 0usize..8), 0..80),
+        policy in prop_oneof![
+            Just(ContainerSelection::GreedyLeastFreeSlots),
+            Just(ContainerSelection::FirstFit),
+            Just(ContainerSelection::MostFreeSlots),
+        ],
+    ) {
+        // dedupe ids to keep the candidate set well-formed
+        let mut seen = std::collections::HashSet::new();
+        let cands: Vec<ContainerCandidate> = cands
+            .into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .map(|(id, free_slots)| ContainerCandidate { id, free_slots })
+            .collect();
+        let usable = cands.iter().filter(|c| c.free_slots > 0).count();
+        match select_container(policy, &cands) {
+            None => prop_assert_eq!(usable, 0),
+            Some(id) => {
+                let chosen = cands.iter().find(|c| c.id == id).expect("id from set");
+                prop_assert!(chosen.free_slots > 0);
+                if policy == ContainerSelection::GreedyLeastFreeSlots {
+                    let min_free = cands
+                        .iter()
+                        .filter(|c| c.free_slots > 0)
+                        .map(|c| c.free_slots)
+                        .min()
+                        .expect("usable exists");
+                    prop_assert_eq!(chosen.free_slots, min_free);
+                }
+            }
+        }
+    }
+
+    /// Batch size is always ≥ 1, never exceeds slack/exec + 1, and is
+    /// monotone in slack.
+    #[test]
+    fn batch_size_bounds(
+        slack_ms in 0u64..10_000,
+        exec_ms in 0u64..2_000,
+        extra_ms in 0u64..5_000,
+    ) {
+        let slack = SimDuration::from_millis(slack_ms);
+        let exec = SimDuration::from_millis(exec_ms);
+        let b = batch_size(slack, exec);
+        prop_assert!(b >= 1);
+        if exec_ms > 0 {
+            prop_assert!(b as u64 <= slack_ms / exec_ms + 1);
+            let bigger = batch_size(slack + SimDuration::from_millis(extra_ms), exec);
+            prop_assert!(bigger >= b, "batch size must be monotone in slack");
+        }
+    }
+}

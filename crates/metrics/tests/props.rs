@@ -1,0 +1,92 @@
+//! Property-based tests for the metrics foundations.
+
+use fifer_metrics::{percentile::Samples, SimDuration, SimTime, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentiles are monotone in `p` and bounded by min/max.
+    #[test]
+    fn percentiles_monotone_and_bounded(
+        mut values in prop::collection::vec(0.0f64..1e6, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let mut s: Samples = values.drain(..).collect();
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let vlo = s.percentile(lo);
+        let vhi = s.percentile(hi);
+        prop_assert!(vlo <= vhi + 1e-9);
+        prop_assert!(s.min() - 1e-9 <= vlo && vhi <= s.max() + 1e-9);
+    }
+
+    /// The empirical CDF is non-decreasing in both coordinates and ends at
+    /// the requested truncation fraction.
+    #[test]
+    fn cdf_is_monotone(
+        mut values in prop::collection::vec(0.0f64..1e4, 2..300),
+        up_to in 10.0f64..100.0,
+    ) {
+        let mut s: Samples = values.drain(..).collect();
+        let cdf = s.cdf(up_to);
+        for w in cdf.points().windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        if let Some(&(_, frac)) = cdf.points().last() {
+            prop_assert!(frac <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Window sums conserve mass: the sum over all windows equals the sum
+    /// of in-range observations.
+    #[test]
+    fn window_sums_conserve_mass(
+        points in prop::collection::vec((0u64..100_000u64, 0.0f64..100.0), 0..200),
+        width_ms in 1u64..5_000,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let ts: TimeSeries = sorted
+            .iter()
+            .map(|&(t, v)| (SimTime::from_millis(t), v))
+            .collect();
+        let end = SimTime::from_millis(100_000);
+        let sums = ts.window_sums(SimDuration::from_millis(width_ms), end);
+        let total: f64 = sums.iter().sum();
+        let expected: f64 = sorted
+            .iter()
+            .filter(|&&(t, _)| SimTime::from_millis(t) < end)
+            .map(|&(_, v)| v)
+            .sum();
+        prop_assert!((total - expected).abs() < 1e-6);
+    }
+
+    /// Time-weighted mean of a sample-and-hold signal lies within the
+    /// signal's range.
+    #[test]
+    fn time_weighted_mean_in_range(
+        points in prop::collection::vec((1u64..1_000u64, 0.0f64..50.0), 1..50),
+        initial in 0.0f64..50.0,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let ts: TimeSeries = sorted
+            .iter()
+            .map(|&(t, v)| (SimTime::from_secs(t), v))
+            .collect();
+        let mean = ts.time_weighted_mean(SimTime::from_secs(1_000), initial);
+        let lo = sorted.iter().map(|&(_, v)| v).fold(initial, f64::min);
+        let hi = sorted.iter().map(|&(_, v)| v).fold(initial, f64::max);
+        prop_assert!(lo - 1e-9 <= mean && mean <= hi + 1e-9);
+    }
+
+    /// SimTime arithmetic is consistent: `(t + d) - t == d`.
+    #[test]
+    fn time_arithmetic_round_trips(t_us in 0u64..1u64 << 40, d_us in 0u64..1u64 << 40) {
+        let t = SimTime::from_micros(t_us);
+        let d = SimDuration::from_micros(d_us);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+}

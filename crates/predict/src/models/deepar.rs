@@ -1,0 +1,179 @@
+//! DeepAR-style probabilistic forecaster: an autoregressive LSTM whose head
+//! emits a Gaussian `(μ, log σ)` trained by negative log-likelihood —
+//! the family GluonTS's `DeepAREstimator` represents in Figure 6a.
+
+use crate::models::LagWindow;
+use crate::nn::{Dense, LstmCell, LstmState};
+use crate::predictor::LoadPredictor;
+use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Single-layer LSTM with a 2-output Gaussian head.
+#[derive(Debug, Clone)]
+pub struct DeepArPredictor {
+    cfg: TrainConfig,
+    cell: LstmCell,
+    head: Dense,
+    scaler: Scaler,
+    window: LagWindow,
+    trained: bool,
+    /// Global Adam step, persisted across pretrain calls so optimizer
+    /// moments and bias correction stay consistent on retraining.
+    train_step: u64,
+    /// Forecast quantile expressed in standard deviations above μ; 0 means
+    /// the mean forecast. Proactive provisioning can bias high.
+    sigma_bias: f64,
+}
+
+impl DeepArPredictor {
+    /// Creates the model with `hidden` LSTM units.
+    pub fn new(cfg: TrainConfig, hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DeepArPredictor {
+            cell: LstmCell::new(1, hidden, cfg.lr, &mut rng),
+            head: Dense::new(hidden, 2, cfg.lr, &mut rng),
+            scaler: Scaler::fit(&[]),
+            window: LagWindow::new(cfg.lags),
+            cfg,
+            trained: false,
+            train_step: 0,
+            sigma_bias: 0.0,
+        }
+    }
+
+    /// Paper-scale configuration: 32 hidden units.
+    pub fn paper_default(seed: u64) -> Self {
+        DeepArPredictor::new(TrainConfig::default(), 32, seed)
+    }
+
+    /// Sets the forecast quantile in σ above the mean (e.g. 1.0 ≈ P84).
+    pub fn with_sigma_bias(mut self, sigmas: f64) -> Self {
+        assert!(sigmas.is_finite(), "sigma bias must be finite");
+        self.sigma_bias = sigmas;
+        self
+    }
+
+    /// Runs the LSTM over a window and returns `(μ, σ)` in normalized
+    /// space, plus the final hidden vector when training.
+    fn run(&mut self, x: &[f64], for_training: bool) -> (f64, f64, Vec<f64>) {
+        let mut state = LstmState::zeros(self.cell.hidden());
+        for &v in x {
+            state = self.cell.forward_step(&[v], &state);
+        }
+        let out = self.head.forward(&state.h);
+        let mu = out[0];
+        let sigma = out[1].clamp(-6.0, 3.0).exp();
+        let h = state.h;
+        if !for_training {
+            self.cell.clear_cache();
+        }
+        (mu, sigma, h)
+    }
+}
+
+impl LoadPredictor for DeepArPredictor {
+    fn observe(&mut self, rate: f64) {
+        self.window.push(rate);
+    }
+
+    fn forecast(&mut self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let raw = self.window.padded();
+        if !self.trained {
+            return *raw.last().expect("window is non-empty");
+        }
+        let x = self.scaler.transform_series(&raw);
+        let (mu, sigma, _) = self.run(&x, false);
+        self.scaler.inverse(mu + self.sigma_bias * sigma).max(0.0)
+    }
+
+    fn pretrain(&mut self, series: &[f64]) {
+        self.scaler = Scaler::fit(series);
+        let norm = self.scaler.transform_series(series);
+        let pairs = windowed_pairs(&norm, self.cfg.lags);
+        if pairs.is_empty() {
+            return;
+        }
+        for _ in 0..self.cfg.epochs {
+            for (x, target) in &pairs {
+                let (mu, sigma, h) = self.run(x, true);
+                // Gaussian NLL: 0.5·((y−μ)/σ)² + ln σ
+                let z = (target - mu) / sigma;
+                let dmu = -z / sigma;
+                let dlog_sigma = 1.0 - z * z;
+                let dh = self.head.backward(&h, &[dmu, dlog_sigma]);
+                let mut dh_seq = vec![vec![0.0; self.cell.hidden()]; x.len()];
+                dh_seq[x.len() - 1] = dh;
+                self.cell.backward(&dh_seq);
+                self.train_step += 1;
+                let t = self.train_step;
+                self.cell.apply_grads(t);
+                self.head.apply_grads(t);
+            }
+        }
+        self.trained = true;
+    }
+
+    fn name(&self) -> &'static str {
+        "DeepAREst"
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.cell.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_forecasts_last_observation() {
+        let mut p = DeepArPredictor::new(TrainConfig::fast(), 4, 1);
+        p.observe(12.0);
+        assert_eq!(p.forecast(), 12.0);
+    }
+
+    #[test]
+    fn sigma_bias_raises_forecast() {
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 10;
+        let series: Vec<f64> = (0..120)
+            .map(|i| 50.0 + 20.0 * (i as f64 * 0.4).sin())
+            .collect();
+        let mut mean_model = DeepArPredictor::new(cfg, 8, 2);
+        mean_model.pretrain(&series);
+        let mut high_model = mean_model.clone().with_sigma_bias(2.0);
+        for &v in &series[series.len() - 10..] {
+            mean_model.observe(v);
+            high_model.observe(v);
+        }
+        assert!(high_model.forecast() > mean_model.forecast());
+    }
+
+    #[test]
+    fn learns_constant_series() {
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 15;
+        let mut p = DeepArPredictor::new(cfg, 8, 3);
+        p.pretrain(&vec![40.0; 80]);
+        for _ in 0..10 {
+            p.observe(40.0);
+        }
+        let f = p.forecast();
+        assert!((f - 40.0).abs() < 10.0, "constant forecast {f}");
+    }
+
+    #[test]
+    fn sigma_stays_positive_and_finite() {
+        let mut p = DeepArPredictor::new(TrainConfig::fast(), 4, 4);
+        p.pretrain(&(0..60).map(|i| (i % 7) as f64 * 30.0).collect::<Vec<_>>());
+        let x = vec![0.5; 8];
+        let (_, sigma, _) = p.run(&x, false);
+        assert!(sigma > 0.0 && sigma.is_finite());
+    }
+}

@@ -1,0 +1,332 @@
+//! The LSTM predictor Fifer adopts (§4.5, §5.1): 2 layers × 32 units,
+//! trained for 100 epochs at batch size 1 with time-step prediction.
+
+use crate::models::LagWindow;
+use crate::nn::{Dense, LstmCell, LstmState};
+use crate::predictor::LoadPredictor;
+use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stacked-LSTM forecaster with a dense head.
+///
+/// Supports the paper's §8 extension: "the LSTM model parameters can be
+/// constantly updated by retraining in the background with new arrival
+/// rates". Enable it with [`LstmPredictor::with_online_retraining`]; the
+/// model then keeps a bounded history of observations and runs a few
+/// fine-tuning epochs over the recent window every `retrain_every`
+/// observations.
+#[derive(Debug, Clone)]
+pub struct LstmPredictor {
+    cfg: TrainConfig,
+    layers: Vec<LstmCell>,
+    head: Dense,
+    scaler: Scaler,
+    window: LagWindow,
+    trained: bool,
+    /// Online-retraining period in observations (0 = disabled).
+    retrain_every: usize,
+    /// Fine-tuning epochs per retraining round.
+    retrain_epochs: usize,
+    /// Bounded history of raw observations for retraining.
+    history: Vec<f64>,
+    observations: usize,
+    /// Global Adam step across pretraining and retraining rounds.
+    train_step: u64,
+}
+
+impl LstmPredictor {
+    /// Creates a stacked LSTM with `num_layers` layers of `hidden` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers` is zero.
+    pub fn new(cfg: TrainConfig, hidden: usize, seed: u64, num_layers: usize) -> Self {
+        assert!(num_layers > 0, "need at least one LSTM layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let input = if l == 0 { 1 } else { hidden };
+            layers.push(LstmCell::new(input, hidden, cfg.lr, &mut rng));
+        }
+        LstmPredictor {
+            head: Dense::new(hidden, 1, cfg.lr, &mut rng),
+            layers,
+            scaler: Scaler::fit(&[]),
+            window: LagWindow::new(cfg.lags),
+            cfg,
+            trained: false,
+            retrain_every: 0,
+            retrain_epochs: 2,
+            history: Vec::new(),
+            observations: 0,
+            train_step: 0,
+        }
+    }
+
+    /// The paper's configuration: 2 layers, 32 neurons, 100 epochs. The
+    /// learning rate is tuned to 2e-3, where this implementation reaches
+    /// its best validation RMSE on the WITS-like trace.
+    pub fn paper_default(seed: u64) -> Self {
+        let cfg = TrainConfig {
+            lr: 2e-3,
+            ..TrainConfig::default()
+        };
+        LstmPredictor::new(cfg, 32, seed, 2)
+    }
+
+    /// Enables background retraining (§8): every `every` observations the
+    /// model fine-tunes for `epochs` passes over the recent history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` or `epochs` is zero.
+    pub fn with_online_retraining(mut self, every: usize, epochs: usize) -> Self {
+        assert!(every > 0, "retraining period must be positive");
+        assert!(epochs > 0, "need at least one fine-tuning epoch");
+        self.retrain_every = every;
+        self.retrain_epochs = epochs;
+        self
+    }
+
+    /// Runs `epochs` passes over `series` (normalized with the current
+    /// scaler), continuing the global Adam schedule.
+    fn train_epochs(&mut self, series: &[f64], epochs: usize) {
+        let norm = self.scaler.transform_series(series);
+        let pairs = windowed_pairs(&norm, self.cfg.lags);
+        if pairs.is_empty() {
+            return;
+        }
+        for _ in 0..epochs {
+            for (x, target) in &pairs {
+                let (per_layer_h, y) = self.run_stack(x, true);
+                let derr = 2.0 * (y - target);
+                let steps = x.len();
+                let top = self.layers.len() - 1;
+                let dh_last = self.head.backward(&per_layer_h[top][steps - 1], &[derr]);
+                let mut dh_seq = vec![vec![0.0; self.layers[top].hidden()]; steps];
+                dh_seq[steps - 1] = dh_last;
+                for l in (0..self.layers.len()).rev() {
+                    let dx_seq = self.layers[l].backward(&dh_seq);
+                    if l > 0 {
+                        dh_seq = dx_seq;
+                    }
+                }
+                self.train_step += 1;
+                let t = self.train_step;
+                for cell in self.layers.iter_mut() {
+                    cell.apply_grads(t);
+                }
+                self.head.apply_grads(t);
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Runs the stack over a normalized window; caches activations when
+    /// `for_training`, otherwise clears them. Returns per-layer hidden
+    /// sequences (needed for BPTT) and the final prediction.
+    fn run_stack(&mut self, x: &[f64], for_training: bool) -> (Vec<Vec<Vec<f64>>>, f64) {
+        let mut inputs: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let mut per_layer_h = Vec::with_capacity(self.layers.len());
+        for cell in self.layers.iter_mut() {
+            let mut state = LstmState::zeros(cell.hidden());
+            let mut hs = Vec::with_capacity(inputs.len());
+            for step in &inputs {
+                state = cell.forward_step(step, &state);
+                hs.push(state.h.clone());
+            }
+            inputs = hs.clone();
+            per_layer_h.push(hs);
+        }
+        let last_h = per_layer_h
+            .last()
+            .and_then(|hs| hs.last())
+            .cloned()
+            .unwrap_or_default();
+        let y = self.head.forward(&last_h)[0];
+        if !for_training {
+            for cell in self.layers.iter_mut() {
+                cell.clear_cache();
+            }
+        }
+        (per_layer_h, y)
+    }
+}
+
+impl LoadPredictor for LstmPredictor {
+    fn observe(&mut self, rate: f64) {
+        self.window.push(rate);
+        if self.retrain_every > 0 && rate.is_finite() {
+            self.observations += 1;
+            self.history.push(rate.max(0.0));
+            // bound the retraining history to ~8 retraining rounds
+            let cap = self.retrain_every * 8 + self.cfg.lags;
+            if self.history.len() > cap {
+                let drop = self.history.len() - cap;
+                self.history.drain(..drop);
+            }
+            if self.observations % self.retrain_every == 0 {
+                // refit the scaler when untrained, or when the live range
+                // has drifted outside what the fitted scaler can express —
+                // a regime shift would otherwise saturate at the transform
+                // clamp and freeze the forecast at the old ceiling. The
+                // clamp is the only lossy path, so drift = a value that no
+                // longer round-trips through the scaler.
+                let drifted = self.history.iter().any(|&v| {
+                    let rt = self.scaler.inverse(self.scaler.transform(v));
+                    (rt - v).abs() > 0.01 * v.abs().max(1.0)
+                });
+                if !self.trained || drifted {
+                    self.scaler = Scaler::fit(&self.history);
+                }
+                let history = std::mem::take(&mut self.history);
+                self.train_epochs(&history, self.retrain_epochs);
+                self.history = history;
+            }
+        }
+    }
+
+    fn forecast(&mut self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let raw = self.window.padded();
+        if !self.trained {
+            return *raw.last().expect("window is non-empty");
+        }
+        let x = self.scaler.transform_series(&raw);
+        let (_, y) = self.run_stack(&x, false);
+        self.scaler.inverse(y).max(0.0)
+    }
+
+    fn pretrain(&mut self, series: &[f64]) {
+        self.scaler = Scaler::fit(series);
+        self.train_epochs(series, self.cfg.epochs);
+    }
+
+    fn name(&self) -> &'static str {
+        "LSTM"
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.history.clear();
+        self.observations = 0;
+        for cell in self.layers.iter_mut() {
+            cell.clear_cache();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_forecasts_last_observation() {
+        let mut p = LstmPredictor::new(TrainConfig::fast(), 4, 1, 2);
+        p.observe(25.0);
+        assert_eq!(p.forecast(), 25.0);
+    }
+
+    #[test]
+    fn paper_default_has_two_layers_of_32() {
+        let p = LstmPredictor::paper_default(1);
+        assert_eq!(p.layers.len(), 2);
+        assert_eq!(p.layers[0].hidden(), 32);
+        assert_eq!(p.layers[1].input(), 32);
+        assert_eq!(p.cfg.epochs, 100);
+    }
+
+    #[test]
+    fn learns_constant_series() {
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 15;
+        let mut p = LstmPredictor::new(cfg, 8, 2, 1);
+        p.pretrain(&vec![60.0; 80]);
+        for _ in 0..10 {
+            p.observe(60.0);
+        }
+        let f = p.forecast();
+        assert!((f - 60.0).abs() < 12.0, "constant forecast {f}");
+    }
+
+    #[test]
+    fn inference_leaves_no_cached_steps() {
+        let mut p = LstmPredictor::new(TrainConfig::fast(), 4, 3, 2);
+        p.pretrain(&(0..40).map(|i| i as f64).collect::<Vec<_>>());
+        p.observe(10.0);
+        let _ = p.forecast();
+        for cell in &p.layers {
+            assert_eq!(cell.cached_steps(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one LSTM layer")]
+    fn zero_layers_rejected() {
+        let _ = LstmPredictor::new(TrainConfig::fast(), 4, 1, 0);
+    }
+
+    #[test]
+    fn online_retraining_trains_without_pretrain() {
+        // §8 extension: the model becomes useful from observations alone
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 5;
+        let mut p = LstmPredictor::new(cfg, 8, 4, 1).with_online_retraining(40, 6);
+        for i in 0..200 {
+            p.observe(60.0 + 30.0 * (i as f64 * 0.3).sin());
+        }
+        assert!(p.trained, "retraining rounds must mark the model trained");
+        let f = p.forecast();
+        assert!(f.is_finite() && f >= 0.0);
+        // forecast should sit inside the signal's range, not at the naive
+        // last-value fallback semantics
+        assert!((10.0..=120.0).contains(&f), "forecast {f}");
+    }
+
+    #[test]
+    fn online_retraining_adapts_to_level_shift() {
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 8;
+        let series: Vec<f64> = vec![20.0; 120];
+        let mut fixed = LstmPredictor::new(cfg, 8, 5, 1);
+        fixed.pretrain(&series);
+        let mut online = fixed.clone().with_online_retraining(30, 6);
+        // regime change: load quadruples
+        for _ in 0..120 {
+            fixed.observe(80.0);
+            online.observe(80.0);
+        }
+        let err_fixed = (fixed.forecast() - 80.0).abs();
+        let err_online = (online.forecast() - 80.0).abs();
+        // the fixed model saturates at its old scaler ceiling (~20-ish
+        // inverse of the clamp); the refitted online model must land much
+        // closer to the new 80 req/s regime
+        assert!(
+            err_online < err_fixed * 0.5,
+            "online ({err_online:.1}) must adapt far better than fixed ({err_fixed:.1})"
+        );
+    }
+
+    #[test]
+    fn retraining_history_is_bounded() {
+        let p = LstmPredictor::new(TrainConfig::fast(), 4, 6, 1);
+        let mut p = p.with_online_retraining(10, 1);
+        for i in 0..1_000 {
+            p.observe(i as f64);
+        }
+        assert!(
+            p.history.len() <= 10 * 8 + p.cfg.lags,
+            "history {} must stay bounded",
+            p.history.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_retrain_period_rejected() {
+        let _ = LstmPredictor::new(TrainConfig::fast(), 4, 1, 1).with_online_retraining(0, 1);
+    }
+}

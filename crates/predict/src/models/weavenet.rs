@@ -1,0 +1,208 @@
+//! WeaveNet-style predictor: a stack of dilated causal convolutions with
+//! ReLU activations and a dense head over the final timestep — the
+//! WaveNet-family baseline in Figure 6a.
+
+use crate::models::LagWindow;
+use crate::nn::{CausalConv1d, Dense};
+use crate::predictor::LoadPredictor;
+use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Negative-branch slope of the leaky ReLU between conv layers. A plain
+/// ReLU dies under per-sample Adam updates on this small network (every
+/// unit's pre-activation can go negative at the only timestep that
+/// receives gradient), collapsing the model to a constant.
+const LEAK: f64 = 0.1;
+
+fn leaky_relu(v: f64) -> f64 {
+    if v >= 0.0 {
+        v
+    } else {
+        LEAK * v
+    }
+}
+
+/// Dilated-conv stack (`dilations` 1, 2, 4, …) over the lag window.
+#[derive(Debug, Clone)]
+pub struct WeaveNetPredictor {
+    cfg: TrainConfig,
+    convs: Vec<CausalConv1d>,
+    head: Dense,
+    scaler: Scaler,
+    window: LagWindow,
+    trained: bool,
+    /// Global Adam step, persisted across pretrain calls so optimizer
+    /// moments and bias correction stay consistent on retraining.
+    train_step: u64,
+}
+
+impl WeaveNetPredictor {
+    /// Creates the model with `channels` per conv layer. Dilations double
+    /// per layer until the receptive field covers the lag window.
+    pub fn new(cfg: TrainConfig, channels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut convs = Vec::new();
+        let mut dilation = 1;
+        let mut in_ch = 1;
+        while crate::nn::conv::receptive_field(
+            &convs.iter().map(CausalConv1d::dilation).collect::<Vec<_>>(),
+        ) < cfg.lags
+        {
+            convs.push(CausalConv1d::new(in_ch, channels, dilation, cfg.lr, &mut rng));
+            in_ch = channels;
+            dilation *= 2;
+        }
+        if convs.is_empty() {
+            convs.push(CausalConv1d::new(1, channels, 1, cfg.lr, &mut rng));
+        }
+        WeaveNetPredictor {
+            head: Dense::new(channels, 1, cfg.lr, &mut rng),
+            convs,
+            scaler: Scaler::fit(&[]),
+            window: LagWindow::new(cfg.lags),
+            cfg,
+            trained: false,
+            train_step: 0,
+        }
+    }
+
+    /// Paper-scale configuration: 16 channels.
+    pub fn paper_default(seed: u64) -> Self {
+        WeaveNetPredictor::new(TrainConfig::default(), 16, seed)
+    }
+
+    /// Number of conv layers in the stack.
+    pub fn depth(&self) -> usize {
+        self.convs.len()
+    }
+
+    /// Forward pass. Returns per-layer post-ReLU activations (for backward)
+    /// and the prediction.
+    fn run(&mut self, x: &[f64]) -> (Vec<Vec<Vec<f64>>>, f64) {
+        let mut feat: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let mut activations = Vec::with_capacity(self.convs.len());
+        for conv in self.convs.iter_mut() {
+            let pre = conv.forward(&feat);
+            feat = pre
+                .iter()
+                .map(|t| t.iter().map(|&v| leaky_relu(v)).collect())
+                .collect();
+            activations.push(feat.clone());
+        }
+        let last = feat.last().cloned().unwrap_or_default();
+        let y = self.head.forward(&last)[0];
+        (activations, y)
+    }
+}
+
+impl LoadPredictor for WeaveNetPredictor {
+    fn observe(&mut self, rate: f64) {
+        self.window.push(rate);
+    }
+
+    fn forecast(&mut self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let raw = self.window.padded();
+        if !self.trained {
+            return *raw.last().expect("window is non-empty");
+        }
+        let x = self.scaler.transform_series(&raw);
+        let (_, y) = self.run(&x);
+        self.scaler.inverse(y).max(0.0)
+    }
+
+    fn pretrain(&mut self, series: &[f64]) {
+        self.scaler = Scaler::fit(series);
+        let norm = self.scaler.transform_series(series);
+        let pairs = windowed_pairs(&norm, self.cfg.lags);
+        if pairs.is_empty() {
+            return;
+        }
+        for _ in 0..self.cfg.epochs {
+            for (x, target) in &pairs {
+                let (activations, y) = self.run(x);
+                let derr = 2.0 * (y - target);
+                let steps = x.len();
+                let top_act = activations.last().expect("at least one conv layer");
+                let dlast = self.head.backward(&top_act[steps - 1], &[derr]);
+                // seed gradient only at the final timestep of the top layer
+                let top_ch = self.convs.last().expect("non-empty stack").out_ch();
+                let mut dy: Vec<Vec<f64>> = vec![vec![0.0; top_ch]; steps];
+                dy[steps - 1] = dlast;
+                for l in (0..self.convs.len()).rev() {
+                    // leaky-ReLU gate: damp gradient on the negative branch
+                    for (dt, at) in dy.iter_mut().zip(&activations[l]) {
+                        for (dv, &av) in dt.iter_mut().zip(at) {
+                            if av < 0.0 {
+                                *dv *= LEAK;
+                            }
+                        }
+                    }
+                    dy = self.convs[l].backward(&dy);
+                }
+                self.train_step += 1;
+                let t = self.train_step;
+                for conv in self.convs.iter_mut() {
+                    conv.apply_grads(t);
+                }
+                self.head.apply_grads(t);
+            }
+        }
+        self.trained = true;
+    }
+
+    fn name(&self) -> &'static str {
+        "WeaveNet"
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_covers_lag_window() {
+        let p = WeaveNetPredictor::new(TrainConfig::default(), 8, 1);
+        // lags = 20 → dilations 1,2,4,8,16 give receptive field 32
+        let dilations: Vec<usize> = p.convs.iter().map(CausalConv1d::dilation).collect();
+        assert!(crate::nn::conv::receptive_field(&dilations) >= 20);
+        assert_eq!(dilations, vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn untrained_forecasts_last_observation() {
+        let mut p = WeaveNetPredictor::new(TrainConfig::fast(), 4, 2);
+        p.observe(9.0);
+        assert_eq!(p.forecast(), 9.0);
+    }
+
+    #[test]
+    fn learns_constant_series() {
+        let mut p = WeaveNetPredictor::new(TrainConfig::fast(), 8, 3);
+        p.pretrain(&vec![70.0; 90]);
+        for _ in 0..10 {
+            p.observe(70.0);
+        }
+        let f = p.forecast();
+        assert!((f - 70.0).abs() < 14.0, "constant forecast {f}");
+    }
+
+    #[test]
+    fn forecast_is_finite_on_noisy_input() {
+        let mut p = WeaveNetPredictor::new(TrainConfig::fast(), 4, 4);
+        let series: Vec<f64> = (0..100).map(|i| ((i * 37) % 97) as f64).collect();
+        p.pretrain(&series);
+        for &v in &series[90..] {
+            p.observe(v);
+        }
+        let f = p.forecast();
+        assert!(f.is_finite() && f >= 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The Adam optimizer (Kingma & Ba) for flat parameter buffers.
+
+/// Per-parameter-buffer Adam state with bias correction.
+///
+/// # Example
+///
+/// ```
+/// use fifer_predict::nn::Adam;
+///
+/// let mut params = vec![1.0_f64];
+/// let mut opt = Adam::new(1, 0.1);
+/// for step in 1..=100 {
+///     // gradient of f(p) = p² is 2p; Adam should drive p toward 0
+///     let grad = vec![2.0 * params[0]];
+///     opt.step(&mut params, &grad, step);
+/// }
+/// assert!(params[0].abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam state for a buffer of `n` parameters with learning
+    /// rate `lr` and the standard β₁ = 0.9, β₂ = 0.999.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(n: usize, lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Applies one update. `t` is the 1-based global step for bias
+    /// correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree or `t == 0`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64], t: u64) {
+        assert_eq!(params.len(), self.m.len(), "parameter buffer length changed");
+        assert_eq!(grads.len(), self.m.len(), "gradient buffer length mismatch");
+        assert!(t > 0, "Adam step count is 1-based");
+        let bc1 = 1.0 - self.beta1.powi(t as i32);
+        let bc2 = 1.0 - self.beta2.powi(t as i32);
+        for i in 0..params.len() {
+            let g = if grads[i].is_finite() { grads[i] } else { 0.0 };
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut p = vec![5.0, -3.0];
+        let mut opt = Adam::new(2, 0.05);
+        for t in 1..=2000 {
+            let g: Vec<f64> = p.iter().map(|&x| 2.0 * x).collect();
+            opt.step(&mut p, &g, t);
+        }
+        assert!(p[0].abs() < 1e-2 && p[1].abs() < 1e-2, "{p:?}");
+    }
+
+    #[test]
+    fn first_step_is_about_lr() {
+        // with bias correction, the first step magnitude ≈ lr regardless of
+        // gradient scale
+        let mut p = vec![0.0];
+        let mut opt = Adam::new(1, 0.01);
+        opt.step(&mut p, &[1000.0], 1);
+        assert!((p[0].abs() - 0.01).abs() < 1e-6, "{}", p[0]);
+    }
+
+    #[test]
+    fn non_finite_gradients_are_skipped() {
+        let mut p = vec![1.0];
+        let mut opt = Adam::new(1, 0.1);
+        opt.step(&mut p, &[f64::NAN], 1);
+        assert!(p[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_step_rejected() {
+        let mut p = vec![0.0];
+        Adam::new(1, 0.1).step(&mut p, &[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_grads_rejected() {
+        let mut p = vec![0.0];
+        Adam::new(1, 0.1).step(&mut p, &[1.0, 2.0], 1);
+    }
+}

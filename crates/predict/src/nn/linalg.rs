@@ -1,0 +1,133 @@
+//! Vector and (flat row-major) matrix primitives for batch-size-1 training.
+
+use rand::Rng;
+
+/// y = W·x where `w` is `rows × cols` row-major and `x` has `cols` entries.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(x.len(), cols, "input length mismatch");
+    let mut y = vec![0.0; rows];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0;
+        for (wv, xv) in row.iter().zip(x) {
+            acc += wv * xv;
+        }
+        *yr = acc;
+    }
+    y
+}
+
+/// y = Wᵀ·g where `w` is `rows × cols` row-major and `g` has `rows`
+/// entries; used to propagate gradients back through a linear map.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn matvec_transposed(w: &[f64], rows: usize, cols: usize, g: &[f64]) -> Vec<f64> {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(g.len(), rows, "gradient length mismatch");
+    let mut y = vec![0.0; cols];
+    for (r, &gr) in g.iter().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        for (yc, wv) in y.iter_mut().zip(row) {
+            *yc += wv * gr;
+        }
+    }
+    y
+}
+
+/// dW += g ⊗ x (outer product accumulate) for a `rows × cols` gradient
+/// buffer.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn outer_accumulate(dw: &mut [f64], g: &[f64], x: &[f64]) {
+    assert_eq!(dw.len(), g.len() * x.len(), "gradient shape mismatch");
+    for (r, &gr) in g.iter().enumerate() {
+        let row = &mut dw[r * x.len()..(r + 1) * x.len()];
+        for (d, &xv) in row.iter_mut().zip(x) {
+            *d += gr * xv;
+        }
+    }
+}
+
+/// Element-wise a += b.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (av, bv) in a.iter_mut().zip(b) {
+        *av += bv;
+    }
+}
+
+/// Xavier/Glorot uniform initialization for a `rows × cols` weight matrix.
+pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Vec<f64> {
+    let bound = (6.0 / (rows + cols) as f64).sqrt();
+    (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_known_result() {
+        // [[1,2],[3,4]] · [5,6] = [17, 39]
+        let w = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(matvec(&w, 2, 2, &[5.0, 6.0]), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn transpose_consistency() {
+        // (Wᵀg)·x == g·(Wx) for all g, x
+        let w = [0.5, -1.0, 2.0, 0.25, 1.5, -0.75];
+        let x = [1.0, 2.0, 3.0];
+        let g = [0.3, -0.6];
+        let wx = matvec(&w, 2, 3, &x);
+        let wtg = matvec_transposed(&w, 2, 3, &g);
+        let lhs: f64 = wtg.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let rhs: f64 = g.iter().zip(&wx).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_accumulate_adds() {
+        let mut dw = vec![1.0; 4];
+        outer_accumulate(&mut dw, &[2.0, 3.0], &[10.0, 20.0]);
+        assert_eq!(dw, vec![21.0, 41.0, 31.0, 61.0]);
+    }
+
+    #[test]
+    fn add_assign_elementwise() {
+        let mut a = vec![1.0, 2.0];
+        add_assign(&mut a, &[3.0, 4.0]);
+        assert_eq!(a, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn xavier_respects_bound_and_seed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = xavier(8, 8, &mut rng);
+        let bound = (6.0 / 16.0_f64).sqrt();
+        assert!(w.iter().all(|v| v.abs() < bound));
+        let mut rng2 = StdRng::seed_from_u64(9);
+        assert_eq!(w, xavier(8, 8, &mut rng2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matvec_rejects_bad_shape() {
+        let _ = matvec(&[1.0, 2.0], 2, 2, &[1.0, 1.0]);
+    }
+}

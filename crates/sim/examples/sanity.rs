@@ -1,0 +1,34 @@
+use fifer_core::rm::RmKind;
+use fifer_metrics::SimDuration;
+use fifer_sim::driver::{window_max_series, Simulation};
+use fifer_sim::SimConfig;
+use fifer_workloads::{JobStream, PoissonTrace, TraceGenerator, WorkloadMix};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rate: f64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(50.0);
+    let secs: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(60);
+    let dur = SimDuration::from_secs(secs);
+    let trace = PoissonTrace::new(rate);
+    let stream = JobStream::generate(&trace, WorkloadMix::Heavy, dur, 42);
+    let hist = trace.generate(SimDuration::from_secs(secs * 6 / 10), 4242);
+    let series = window_max_series(&hist, 5);
+    println!("jobs={} pretrain_windows={}", stream.len(), series.len());
+    for kind in RmKind::ALL {
+        let t0 = Instant::now();
+        let mut cfg = SimConfig::prototype(kind.config(), rate);
+        cfg.warmup = SimDuration::from_secs(900.min(secs / 4));
+        if cfg.rm.is_proactive() {
+            cfg.pretrain_series = series.clone();
+        }
+        let r = Simulation::new(cfg, &stream).run();
+        let h = r.headline();
+        println!(
+            "{kind:>7}: slo={:.3} avgC={:.1} spawns={} med={:.0}ms p99={:.0}ms energy={:.1}kJ blockCS={} failed={} wall={:.1}s",
+            h.slo_violations, h.avg_containers, h.cold_starts, h.median_ms, h.p99_ms,
+            h.energy_joules / 1000.0, r.blocking_cold_starts, r.failed_spawns,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

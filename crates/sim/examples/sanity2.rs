@@ -1,0 +1,24 @@
+use fifer_core::rm::RmKind;
+use fifer_metrics::SimDuration;
+use fifer_sim::driver::{window_max_series, Simulation};
+use fifer_sim::SimConfig;
+use fifer_workloads::{JobStream, PoissonTrace, TraceGenerator, WorkloadMix};
+
+fn main() {
+    let rate = 50.0;
+    let dur = SimDuration::from_secs(3600);
+    let trace = PoissonTrace::new(rate);
+    let stream = JobStream::generate(&trace, WorkloadMix::Heavy, dur, 42);
+    let hist = trace.generate(SimDuration::from_secs(2160), 4242);
+    let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), rate);
+    cfg.warmup = SimDuration::from_secs(900);
+    cfg.pretrain_series = window_max_series(&hist, 5);
+    let r = Simulation::new(cfg, &stream).run();
+    // live containers over time
+    for t in (0..3600).step_by(300) {
+        let live = r.live_containers.value_at(fifer_metrics::SimTime::from_secs(t), 0.0);
+        let nodes = r.active_nodes.value_at(fifer_metrics::SimTime::from_secs(t), 0.0);
+        println!("t={t}s live={live} nodes={nodes}");
+    }
+    println!("energy={:.0}kJ spawns={}", r.energy_joules/1000.0, r.total_spawns);
+}

@@ -1,0 +1,274 @@
+//! Nodes, resource accounting and node selection (paper §4.4.2, §5.1).
+//!
+//! Fifer modifies Kubernetes' `MostRequestedPriority` so a new pod lands on
+//! the lowest-numbered node with the *least* available cores that still
+//! satisfies the pod's CPU/memory request, consolidating work onto few
+//! nodes so the rest can power off. The spread baseline places pods on the
+//! emptiest node, Kubernetes-default style.
+
+use fifer_core::rm::NodePlacement;
+use fifer_metrics::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One worker node's live resource state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Schedulable CPU cores.
+    pub cores: f64,
+    /// Memory in GB.
+    pub mem_gb: f64,
+    /// CPU currently allocated to pods.
+    pub alloc_cpu: f64,
+    /// Memory currently allocated to pods.
+    pub alloc_mem_gb: f64,
+    /// Pods (containers) resident on this node.
+    pub pods: usize,
+    /// Pods currently executing a request (for the power model).
+    pub executing: usize,
+    /// When the node last became empty (for power-off accounting).
+    pub empty_since: Option<SimTime>,
+}
+
+impl Node {
+    fn new(cores: f64, mem_gb: f64) -> Self {
+        Node {
+            cores,
+            mem_gb,
+            alloc_cpu: 0.0,
+            alloc_mem_gb: 0.0,
+            pods: 0,
+            executing: 0,
+            empty_since: Some(SimTime::ZERO),
+        }
+    }
+
+    /// Unallocated CPU cores.
+    pub fn available_cpu(&self) -> f64 {
+        self.cores - self.alloc_cpu
+    }
+
+    /// `true` if a pod of the given size fits.
+    pub fn fits(&self, cpu: f64, mem_gb: f64) -> bool {
+        self.available_cpu() + 1e-9 >= cpu && self.mem_gb - self.alloc_mem_gb + 1e-9 >= mem_gb
+    }
+
+    /// `true` when the node hosts no pods.
+    pub fn is_empty(&self) -> bool {
+        self.pods == 0
+    }
+}
+
+/// The cluster: an indexed set of nodes with placement and accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    container_cpu: f64,
+    container_mem_gb: f64,
+}
+
+impl Cluster {
+    /// Builds a homogeneous cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or resources are non-positive.
+    pub fn new(n: usize, cores_per_node: f64, mem_per_node_gb: f64, container_cpu: f64, container_mem_gb: f64) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(cores_per_node > 0.0 && mem_per_node_gb > 0.0, "node resources must be positive");
+        assert!(container_cpu > 0.0 && container_mem_gb > 0.0, "pod resources must be positive");
+        Cluster {
+            nodes: (0..n).map(|_| Node::new(cores_per_node, mem_per_node_gb)).collect(),
+            container_cpu,
+            container_mem_gb,
+        }
+    }
+
+    /// The nodes, indexed 1..=n in paper terms (we use 0-based indices).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Picks a node for a new container under `placement`, or `None` when
+    /// no node fits. Does not allocate; call [`Cluster::place`] with the
+    /// returned index.
+    pub fn select_node(&self, placement: NodePlacement) -> Option<usize> {
+        let fits = |n: &&(usize, &Node)| n.1.fits(self.container_cpu, self.container_mem_gb);
+        let indexed: Vec<(usize, &Node)> = self.nodes.iter().enumerate().collect();
+        match placement {
+            NodePlacement::GreedyBinPack => indexed
+                .iter()
+                .filter(fits)
+                .min_by(|a, b| {
+                    a.1.available_cpu()
+                        .partial_cmp(&b.1.available_cpu())
+                        .expect("finite cpu")
+                        .then(a.0.cmp(&b.0))
+                })
+                .map(|(i, _)| *i),
+            NodePlacement::Spread => indexed
+                .iter()
+                .filter(fits)
+                .max_by(|a, b| {
+                    a.1.available_cpu()
+                        .partial_cmp(&b.1.available_cpu())
+                        .expect("finite cpu")
+                        .then(b.0.cmp(&a.0))
+                })
+                .map(|(i, _)| *i),
+        }
+    }
+
+    /// Allocates one container on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pod does not fit (callers must use
+    /// [`Cluster::select_node`] first).
+    pub fn place(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        assert!(n.fits(self.container_cpu, self.container_mem_gb), "pod does not fit on node {node}");
+        n.alloc_cpu += self.container_cpu;
+        n.alloc_mem_gb += self.container_mem_gb;
+        n.pods += 1;
+        n.empty_since = None;
+    }
+
+    /// Releases one container from `node` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node hosts no pods.
+    pub fn release(&mut self, node: usize, now: SimTime) {
+        let n = &mut self.nodes[node];
+        assert!(n.pods > 0, "release on empty node {node}");
+        n.alloc_cpu -= self.container_cpu;
+        n.alloc_mem_gb -= self.container_mem_gb;
+        n.pods -= 1;
+        if n.pods == 0 {
+            n.alloc_cpu = 0.0; // clear float drift
+            n.alloc_mem_gb = 0.0;
+            n.empty_since = Some(now);
+        }
+    }
+
+    /// Marks a pod on `node` as starting/stopping execution (power model).
+    pub fn set_executing(&mut self, node: usize, delta: i64) {
+        let n = &mut self.nodes[node];
+        n.executing = (n.executing as i64 + delta).max(0) as usize;
+    }
+
+    /// Number of nodes currently hosting at least one pod.
+    pub fn active_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_empty()).count()
+    }
+
+    /// Total pods across the cluster.
+    pub fn total_pods(&self) -> usize {
+        self.nodes.iter().map(|n| n.pods).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(3, 4.0, 16.0, 0.5, 1.0)
+    }
+
+    #[test]
+    fn greedy_packs_lowest_then_fullest() {
+        let mut c = cluster();
+        // empty cluster: all equal → lowest index
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), Some(0));
+        c.place(0);
+        // node 0 now least-available → still chosen
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), Some(0));
+    }
+
+    #[test]
+    fn spread_prefers_emptiest() {
+        let mut c = cluster();
+        c.place(0);
+        c.place(0);
+        c.place(1);
+        // node 2 is emptiest
+        assert_eq!(c.select_node(NodePlacement::Spread), Some(2));
+    }
+
+    #[test]
+    fn greedy_fills_one_node_before_the_next() {
+        let mut c = cluster();
+        for _ in 0..8 {
+            let n = c.select_node(NodePlacement::GreedyBinPack).unwrap();
+            assert_eq!(n, 0, "greedy must fill node 0 first");
+            c.place(n);
+        }
+        // node 0 full (8 × 0.5 = 4.0 cores) → next goes to node 1
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), Some(1));
+        assert_eq!(c.active_nodes(), 1);
+    }
+
+    #[test]
+    fn selection_returns_none_when_full() {
+        let mut c = Cluster::new(1, 1.0, 16.0, 0.5, 1.0);
+        c.place(0);
+        c.place(0);
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), None);
+        assert_eq!(c.select_node(NodePlacement::Spread), None);
+    }
+
+    #[test]
+    fn memory_can_be_the_binding_resource() {
+        let mut c = Cluster::new(1, 16.0, 2.0, 0.5, 1.0);
+        c.place(0);
+        c.place(0);
+        // CPU would fit 32 pods but memory only 2
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), None);
+    }
+
+    #[test]
+    fn release_restores_capacity_and_marks_empty() {
+        let mut c = cluster();
+        c.place(1);
+        assert_eq!(c.active_nodes(), 1);
+        c.release(1, SimTime::from_secs(9));
+        assert_eq!(c.active_nodes(), 0);
+        assert_eq!(c.nodes()[1].empty_since, Some(SimTime::from_secs(9)));
+        assert_eq!(c.nodes()[1].alloc_cpu, 0.0);
+    }
+
+    #[test]
+    fn executing_counter_saturates() {
+        let mut c = cluster();
+        c.set_executing(0, -5);
+        assert_eq!(c.nodes()[0].executing, 0);
+        c.set_executing(0, 3);
+        assert_eq!(c.nodes()[0].executing, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn place_on_full_node_panics() {
+        let mut c = Cluster::new(1, 0.5, 16.0, 0.5, 1.0);
+        c.place(0);
+        c.place(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on empty node")]
+    fn release_on_empty_panics() {
+        let mut c = cluster();
+        c.release(0, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,192 @@
+//! The discrete-event engine: a time-ordered event queue with a
+//! deterministic tie-break sequence number.
+
+use fifer_metrics::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events the simulator processes. Variants carry indices into the
+/// driver's tables rather than references, keeping the queue `'static`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Job `job` (index into the stream) arrives at the front door.
+    JobArrival { job: usize },
+    /// Job `job` enters the global queue of its current stage (after the
+    /// chain transition overhead).
+    StageEnqueue { job: usize },
+    /// The task executing on `container` completes.
+    TaskFinish { container: u64 },
+    /// `container` finishes its cold start and becomes warm.
+    ContainerWarm { container: u64 },
+    /// Fast reactive-scaling check (Algorithm 1 a/b).
+    ReactiveTick,
+    /// Slow monitoring tick: proactive scaling, idle scale-down, energy
+    /// sampling (the paper's T = 10 s interval, §4.5).
+    MonitorTick,
+}
+
+/// An event scheduled at a time, ordered by `(time, seq)` so simultaneous
+/// events process in insertion order — deterministic across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want earliest first
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue plus simulation clock.
+///
+/// # Example
+///
+/// ```
+/// use fifer_sim::engine::{Event, EventQueue};
+/// use fifer_metrics::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), Event::ReactiveTick);
+/// q.schedule(SimTime::from_secs(1), Event::MonitorTick);
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_secs(1));
+/// assert_eq!(e, Event::MonitorTick);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — the simulator only
+    /// moves forward.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| {
+            debug_assert!(s.at >= self.now, "heap yielded an out-of-order event");
+            self.now = s.at;
+            (s.at, s.event)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(secs(3), Event::ReactiveTick);
+        q.schedule(secs(1), Event::MonitorTick);
+        q.schedule(secs(2), Event::JobArrival { job: 0 });
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![secs(1), secs(2), secs(3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(secs(1), Event::JobArrival { job: 1 });
+        q.schedule(secs(1), Event::JobArrival { job: 2 });
+        q.schedule(secs(1), Event::JobArrival { job: 3 });
+        let jobs: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::JobArrival { job } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(jobs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(secs(5), Event::MonitorTick);
+        q.pop();
+        assert_eq!(q.now(), secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(secs(5), Event::MonitorTick);
+        q.pop();
+        q.schedule(secs(1), Event::MonitorTick);
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(secs(2), Event::MonitorTick);
+        q.pop();
+        q.schedule(secs(2), Event::ReactiveTick);
+        assert_eq!(q.pop().unwrap().0, secs(2));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(secs(1), Event::MonitorTick);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

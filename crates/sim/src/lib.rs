@@ -1,0 +1,53 @@
+//! Discrete-event serverless cluster simulator.
+//!
+//! The paper evaluates Fifer both on a real Kubernetes/Brigade cluster and
+//! on "a high-fidelity event-driven simulator" calibrated with the real
+//! system's cold-start, image-load and transition latencies (§5.2). This
+//! crate is that simulator, rebuilt from scratch:
+//!
+//! * [`engine`] — the event queue and simulation clock,
+//! * [`config`] — simulation parameters (Tables 1–2 defaults),
+//! * [`cluster`] — nodes, CPU/memory accounting and the greedy
+//!   bin-packing node selection (§4.4.2),
+//! * [`container`] — container lifecycle: cold starts, batch slots,
+//!   sequential batch execution, idle timeout (§2.2.1, §4.4.1),
+//! * [`stage`] — per-microservice stage runtime: global queue and load
+//!   monitor (§4.2),
+//! * [`energy`] — the linear node power model and power-off accounting
+//!   (§6.1.4),
+//! * [`stats_store`] — the MongoDB stand-in with §6.1.5 access-latency
+//!   accounting,
+//! * [`driver`] — the main loop wiring an [`fifer_core::RmConfig`]'s
+//!   policies to events,
+//! * [`results`] — everything the experiment harness needs to regenerate
+//!   the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use fifer_sim::{config::SimConfig, driver::Simulation};
+//! use fifer_core::rm::RmKind;
+//! use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+//! use fifer_metrics::SimDuration;
+//!
+//! let trace = PoissonTrace::new(10.0);
+//! let stream = JobStream::generate(&trace, WorkloadMix::Light,
+//!                                  SimDuration::from_secs(30), 42);
+//! let cfg = SimConfig::prototype(RmKind::Fifer.config(), 10.0);
+//! let result = Simulation::new(cfg, &stream).run();
+//! assert_eq!(result.records.len(), stream.len());
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod container;
+pub mod driver;
+pub mod energy;
+pub mod engine;
+pub mod results;
+pub mod stage;
+pub mod stats_store;
+
+pub use config::{ClusterConfig, SimConfig};
+pub use driver::Simulation;
+pub use results::SimResult;

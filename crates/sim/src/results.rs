@@ -1,0 +1,326 @@
+//! Everything the experiment harness needs from one simulation run.
+
+use fifer_metrics::breakdown::BreakdownSummary;
+use fifer_metrics::{RequestRecord, SimTime, SloAccountant, TimeSeries};
+use fifer_workloads::Microservice;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Per-stage aggregate counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct StageStats {
+    /// Containers ever spawned for the stage.
+    pub containers_spawned: u64,
+    /// Tasks executed at the stage.
+    pub tasks_executed: u64,
+    /// Arrivals into the stage's queue.
+    pub arrivals: u64,
+}
+
+impl StageStats {
+    /// Requests executed per container (RPC, §6.1.3); 0 when no container
+    /// was ever spawned.
+    pub fn requests_per_container(&self) -> f64 {
+        if self.containers_spawned == 0 {
+            0.0
+        } else {
+            self.tasks_executed as f64 / self.containers_spawned as f64
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimResult {
+    /// One record per completed job, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// SLO accounting over jobs submitted after the warmup boundary.
+    pub slo: SloAccountant,
+    /// SLO accounting over the whole run, cold-start transient included —
+    /// the paper's Figure 8a/13 measurement window.
+    pub slo_whole_run: SloAccountant,
+    /// Live-container count over time (sampled at every change).
+    pub live_containers: TimeSeries,
+    /// Cumulative containers spawned over time.
+    pub cumulative_spawns: TimeSeries,
+    /// Per-stage statistics keyed by microservice.
+    pub stages: BTreeMap<Microservice, StageStats>,
+    /// Total containers spawned (= cold starts incurred; every spawn cold
+    /// starts in a serverless platform, §2.2.1).
+    pub total_spawns: u64,
+    /// Spawns whose cold start delayed at least one request (reactive
+    /// spawns on the critical path). Proactive spawns that warmed before
+    /// any request arrived do not count.
+    pub blocking_cold_starts: u64,
+    /// Spawn attempts rejected because the cluster was full.
+    pub failed_spawns: u64,
+    /// Total cluster energy over the run, in joules.
+    pub energy_joules: f64,
+    /// Nodes hosting at least one pod, sampled at monitor ticks.
+    pub active_nodes: TimeSeries,
+    /// Total pending (unscheduled) tasks across stage queues, sampled at
+    /// monitor ticks — the congestion signal behind queuing-delay spikes.
+    pub queue_depth: TimeSeries,
+    /// Simulated duration (last event time).
+    pub horizon: SimTime,
+    /// Warmup boundary: metrics exclude jobs submitted before this.
+    pub warmup: SimTime,
+    /// Modeled stats-store counters.
+    pub store_reads: u64,
+    /// Modeled stats-store writes.
+    pub store_writes: u64,
+}
+
+impl SimResult {
+    /// Fraction of jobs violating the SLO.
+    pub fn slo_violation_fraction(&self) -> f64 {
+        self.slo.violation_fraction()
+    }
+
+    /// Time-weighted average number of live containers over the measured
+    /// window (warmup..horizon) — the paper's "average number of
+    /// containers spawned" (Figure 8b).
+    pub fn avg_live_containers(&self) -> f64 {
+        if self.warmup >= self.horizon {
+            return self.live_containers.time_weighted_mean(self.horizon, 0.0);
+        }
+        self.live_containers
+            .time_weighted_mean_between(self.warmup, self.horizon, 0.0)
+    }
+
+    /// Containers spawned within the measured window (warmup..horizon) —
+    /// the cold-start count of Figure 16.
+    pub fn spawns_in_window(&self) -> u64 {
+        let at_end = self.cumulative_spawns.value_at(self.horizon, 0.0);
+        let at_warmup = self.cumulative_spawns.value_at(self.warmup, 0.0);
+        (at_end - at_warmup).max(0.0) as u64
+    }
+
+    /// Builds the latency-breakdown summary over all records.
+    pub fn breakdown_summary(&self) -> BreakdownSummary {
+        let mut s = BreakdownSummary::new();
+        for r in &self.records {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Median end-to-end latency in ms.
+    pub fn median_latency_ms(&self) -> f64 {
+        self.breakdown_summary().total_percentile_ms(50.0)
+    }
+
+    /// P99 end-to-end latency in ms.
+    pub fn p99_latency_ms(&self) -> f64 {
+        self.breakdown_summary().total_percentile_ms(99.0)
+    }
+
+    /// Mean requests-per-container across stages (weighted by containers).
+    pub fn overall_rpc(&self) -> f64 {
+        let spawned: u64 = self.stages.values().map(|s| s.containers_spawned).sum();
+        let tasks: u64 = self.stages.values().map(|s| s.tasks_executed).sum();
+        if spawned == 0 {
+            0.0
+        } else {
+            tasks as f64 / spawned as f64
+        }
+    }
+
+    /// Per-stage share of containers for an application's chain, in chain
+    /// order — Figure 11's distribution. Values sum to 1 when any
+    /// containers were spawned.
+    pub fn stage_container_shares(&self, chain: &[Microservice]) -> Vec<f64> {
+        let total: u64 = chain
+            .iter()
+            .filter_map(|m| self.stages.get(m))
+            .map(|s| s.containers_spawned)
+            .sum();
+        chain
+            .iter()
+            .map(|m| {
+                let n = self.stages.get(m).map_or(0, |s| s.containers_spawned);
+                if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Queuing-time samples in ms across all jobs (Figure 10b).
+    pub fn queuing_times_ms(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.breakdown.queuing.as_millis_f64())
+            .collect()
+    }
+
+    /// Per-application latency percentile in ms over the measured window
+    /// (0 when the app has no records) — used to compare how LSF shields
+    /// tight-slack applications at shared stages (§4.3).
+    pub fn app_latency_percentile_ms(&self, app: &str, p: f64) -> f64 {
+        let mut samples = fifer_metrics::percentile::Samples::new();
+        for r in self.records.iter().filter(|r| r.app == app) {
+            samples.push(r.response_latency().as_millis_f64());
+        }
+        samples.percentile(p)
+    }
+
+    /// Mean job throughput over the horizon in jobs/second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.records.len() as f64 / secs
+        }
+    }
+}
+
+/// Shorthand used by tests and the harness: per-run scalar summary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Headline {
+    /// SLO violation fraction.
+    pub slo_violations: f64,
+    /// Time-weighted average live containers.
+    pub avg_containers: f64,
+    /// Median latency in ms.
+    pub median_ms: f64,
+    /// P99 latency in ms.
+    pub p99_ms: f64,
+    /// Total spawns (cold starts).
+    pub cold_starts: u64,
+    /// Energy in joules.
+    pub energy_joules: f64,
+}
+
+impl SimResult {
+    /// Computes the headline scalar summary.
+    pub fn headline(&self) -> Headline {
+        Headline {
+            slo_violations: self.slo_violation_fraction(),
+            avg_containers: self.avg_live_containers(),
+            median_ms: self.median_latency_ms(),
+            p99_ms: self.p99_latency_ms(),
+            cold_starts: self.total_spawns,
+            energy_joules: self.energy_joules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifer_metrics::breakdown::LatencyBreakdown;
+    use fifer_metrics::SimDuration;
+
+    fn mk_result() -> SimResult {
+        let mut slo = SloAccountant::new(SimDuration::from_millis(1000));
+        let breakdown = LatencyBreakdown {
+            exec: SimDuration::from_millis(100),
+            cold_start: SimDuration::ZERO,
+            queuing: SimDuration::from_millis(50),
+        };
+        let rec = RequestRecord {
+            job_id: 0,
+            app: "IPA".into(),
+            submitted: SimTime::ZERO,
+            completed: SimTime::ZERO + breakdown.total(),
+            breakdown,
+            slo_violated: false,
+        };
+        slo.observe_record(&rec);
+        let mut live = TimeSeries::new();
+        live.push(SimTime::ZERO, 1.0);
+        let mut spawns = TimeSeries::new();
+        spawns.push(SimTime::ZERO, 1.0);
+        let mut stages = BTreeMap::new();
+        stages.insert(
+            Microservice::Asr,
+            StageStats {
+                containers_spawned: 2,
+                tasks_executed: 10,
+                arrivals: 10,
+            },
+        );
+        stages.insert(
+            Microservice::Qa,
+            StageStats {
+                containers_spawned: 1,
+                tasks_executed: 10,
+                arrivals: 10,
+            },
+        );
+        SimResult {
+            records: vec![rec],
+            slo_whole_run: slo.clone(),
+            slo,
+            live_containers: live,
+            cumulative_spawns: spawns,
+            stages,
+            total_spawns: 3,
+            blocking_cold_starts: 1,
+            failed_spawns: 0,
+            energy_joules: 1234.0,
+            active_nodes: TimeSeries::new(),
+            queue_depth: TimeSeries::new(),
+            horizon: SimTime::from_secs(10),
+            warmup: SimTime::ZERO,
+            store_reads: 5,
+            store_writes: 7,
+        }
+    }
+
+    #[test]
+    fn rpc_divides_tasks_by_containers() {
+        let r = mk_result();
+        let asr = &r.stages[&Microservice::Asr];
+        assert_eq!(asr.requests_per_container(), 5.0);
+        assert!((r.overall_rpc() - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rpc_zero_when_no_containers() {
+        let s = StageStats::default();
+        assert_eq!(s.requests_per_container(), 0.0);
+    }
+
+    #[test]
+    fn stage_shares_sum_to_one() {
+        let r = mk_result();
+        let shares = r.stage_container_shares(&[Microservice::Asr, Microservice::Qa]);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_shares_handle_unknown_stage() {
+        let r = mk_result();
+        let shares = r.stage_container_shares(&[Microservice::Hs]);
+        assert_eq!(shares, vec![0.0]);
+    }
+
+    #[test]
+    fn headline_summarizes() {
+        let r = mk_result();
+        let h = r.headline();
+        assert_eq!(h.slo_violations, 0.0);
+        assert_eq!(h.cold_starts, 3);
+        assert_eq!(h.median_ms, 150.0);
+        assert!(h.avg_containers > 0.0);
+    }
+
+    #[test]
+    fn throughput_over_horizon() {
+        let r = mk_result();
+        assert!((r.throughput() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn app_latency_percentile_filters_by_app() {
+        let r = mk_result();
+        assert_eq!(r.app_latency_percentile_ms("IPA", 50.0), 150.0);
+        assert_eq!(r.app_latency_percentile_ms("IMG", 50.0), 0.0);
+    }
+}

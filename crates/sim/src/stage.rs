@@ -1,0 +1,351 @@
+//! Per-stage runtime state: the global request queue and the load monitor
+//! (paper §4.2, §5.1).
+//!
+//! Fifer keeps "a global request queue for every stage within the job which
+//! holds all the incoming tasks before being scheduled to a container in
+//! that stage". The load monitor tracks queuing delays of recently
+//! scheduled requests and per-stage arrivals, feeding the reactive and
+//! proactive scalers.
+
+use fifer_metrics::{SimDuration, SimTime};
+use fifer_workloads::Microservice;
+use std::collections::VecDeque;
+
+/// A task waiting in a stage's global queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTask {
+    /// Job (stream index).
+    pub job: usize,
+    /// When the task entered this queue.
+    pub enqueued: SimTime,
+    /// Absolute SLO deadline of the owning job.
+    pub job_deadline: SimTime,
+    /// Estimated work remaining for the job (this stage onward) — used by
+    /// Least-Slack-First.
+    pub remaining_work: SimDuration,
+}
+
+/// A (queuing delay, when scheduled) observation for the load monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DelayObs {
+    at: SimTime,
+    delay: SimDuration,
+}
+
+/// Runtime state for one stage.
+#[derive(Debug, Clone)]
+pub struct StageRuntime {
+    /// The microservice this stage runs.
+    pub microservice: Microservice,
+    /// Static plan values shared by all containers of this stage.
+    pub batch_size: usize,
+    /// Per-stage response budget `S_r = slack + exec`.
+    pub response_latency: SimDuration,
+    /// Allocated slack (reactive trigger threshold).
+    pub slack: SimDuration,
+    /// Mean execution time (for LSF remaining-work estimates).
+    pub mean_exec: SimDuration,
+    /// Expected cold-start latency for this stage's image.
+    pub cold_start: SimDuration,
+    /// Global queue of pending tasks.
+    pub queue: Vec<StageTask>,
+    /// Containers (ids) currently serving this stage, dead ones pruned.
+    pub containers: Vec<u64>,
+    /// Free-slot index: `free_buckets[f]` holds the ids of this stage's
+    /// containers with exactly `f` free slots (1 ≤ f ≤ batch_size). Kept
+    /// in sync by the driver so container selection is O(log C) instead of
+    /// a full scan per dispatched task.
+    free_buckets: Vec<std::collections::BTreeSet<u64>>,
+    /// Queuing-delay observations of recently scheduled tasks.
+    recent_delays: VecDeque<DelayObs>,
+    /// Tasks currently executing in this stage's containers (driver-
+    /// maintained; lets the load monitor report waiting-task counts that
+    /// include container-local queues).
+    pub executing: usize,
+    /// Arrivals into this stage (for share estimation), cumulative.
+    pub arrivals: u64,
+    /// Tasks executed at this stage, cumulative.
+    pub tasks_executed: u64,
+    /// Containers ever spawned for this stage, cumulative.
+    pub containers_spawned: u64,
+}
+
+impl StageRuntime {
+    /// Creates an empty stage runtime.
+    pub fn new(
+        microservice: Microservice,
+        batch_size: usize,
+        response_latency: SimDuration,
+        slack: SimDuration,
+        mean_exec: SimDuration,
+        cold_start: SimDuration,
+    ) -> Self {
+        assert!(batch_size >= 1, "batch size is floored at 1");
+        StageRuntime {
+            microservice,
+            batch_size,
+            response_latency,
+            slack,
+            mean_exec,
+            cold_start,
+            queue: Vec::new(),
+            containers: Vec::new(),
+            free_buckets: vec![std::collections::BTreeSet::new(); batch_size + 1],
+            executing: 0,
+            recent_delays: VecDeque::new(),
+            arrivals: 0,
+            tasks_executed: 0,
+            containers_spawned: 0,
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn enqueue(&mut self, task: StageTask) {
+        self.arrivals += 1;
+        self.queue.push(task);
+    }
+
+    /// Records that a task waited `delay` before being scheduled at `at`.
+    pub fn record_scheduled(&mut self, at: SimTime, delay: SimDuration) {
+        self.recent_delays.push_back(DelayObs { at, delay });
+    }
+
+    /// The observed delay signal for Algorithm 1 a at time `now`: the worst
+    /// of (a) queuing delays of tasks scheduled in the last `window`, and
+    /// (b) the age of the oldest still-pending task (so a fully stuck
+    /// queue — e.g. zero containers — still triggers scaling).
+    pub fn observed_delay(&mut self, now: SimTime, window: SimDuration) -> SimDuration {
+        let horizon = if now.as_micros() > window.as_micros() {
+            now - window
+        } else {
+            SimTime::ZERO
+        };
+        while matches!(self.recent_delays.front(), Some(obs) if obs.at < horizon) {
+            self.recent_delays.pop_front();
+        }
+        let scheduled_max = self
+            .recent_delays
+            .iter()
+            .map(|o| o.delay)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let pending_max = self
+            .queue
+            .iter()
+            .map(|t| now.saturating_since(t.enqueued))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        scheduled_max.max(pending_max)
+    }
+
+    /// Pending queue length (unscheduled tasks in the global queue).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tasks waiting anywhere in the stage — the paper's PQ_len. The
+    /// prototype's global queue holds every request until a container slot
+    /// frees; our simulator binds requests eagerly into container-local
+    /// queues, so the paper's quantity is the global backlog plus all
+    /// bound-but-not-executing tasks.
+    pub fn waiting_total(&self) -> usize {
+        let capacity = self.containers.len() * self.batch_size;
+        let used = capacity.saturating_sub(self.total_free_slots());
+        self.queue.len() + used.saturating_sub(self.executing)
+    }
+
+    // ---- free-slot index -------------------------------------------------
+
+    /// Records that container `id` now has `free` free slots (0 removes it
+    /// from the index). `prev_free` must be its previously recorded count.
+    pub fn update_free(&mut self, id: u64, prev_free: usize, free: usize) {
+        if prev_free > 0 {
+            self.free_buckets[prev_free].remove(&id);
+        }
+        if free > 0 {
+            self.free_buckets[free].insert(id);
+        }
+    }
+
+    /// Removes container `id` from the index entirely (kill/evict).
+    pub fn remove_free(&mut self, id: u64, prev_free: usize) {
+        if prev_free > 0 {
+            self.free_buckets[prev_free].remove(&id);
+        }
+    }
+
+    /// Picks a container per the selection policy, or `None` when every
+    /// container is full.
+    ///
+    /// This is the O(log C) bucket-indexed counterpart of
+    /// [`fifer_core::scheduling::select_container`] (which stays the
+    /// reference implementation over explicit candidate lists); the driver
+    /// layers a node-packing tie-break on top for the greedy policy. The
+    /// three sites are deliberately separate: the core function defines
+    /// the policy, this index makes it cheap, the driver adds placement
+    /// awareness the core cannot see.
+    ///
+    /// * Greedy least-free-slots: lowest non-empty bucket, lowest id.
+    /// * First-fit: lowest id across all buckets.
+    /// * Most-free-slots: highest non-empty bucket, lowest id.
+    pub fn pick_container(
+        &self,
+        policy: fifer_core::scheduling::ContainerSelection,
+    ) -> Option<u64> {
+        use fifer_core::scheduling::ContainerSelection::*;
+        match policy {
+            GreedyLeastFreeSlots => self
+                .free_buckets
+                .iter()
+                .find_map(|b| b.first().copied()),
+            MostFreeSlots => self
+                .free_buckets
+                .iter()
+                .rev()
+                .find_map(|b| b.first().copied()),
+            FirstFit => self
+                .free_buckets
+                .iter()
+                .filter_map(|b| b.first().copied())
+                .min(),
+        }
+    }
+
+    /// The non-empty bucket with the fewest free slots, for callers that
+    /// apply their own tie-break among equally loaded containers.
+    pub fn least_free_bucket(&self) -> Option<&std::collections::BTreeSet<u64>> {
+        self.free_buckets.iter().find(|b| !b.is_empty())
+    }
+
+    /// Total free slots across the stage's containers (index-derived).
+    pub fn total_free_slots(&self) -> usize {
+        self.free_buckets
+            .iter()
+            .enumerate()
+            .map(|(f, b)| f * b.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn stage() -> StageRuntime {
+        StageRuntime::new(
+            Microservice::Asr,
+            4,
+            ms(400),
+            ms(350),
+            ms(46),
+            SimDuration::from_secs(5),
+        )
+    }
+
+    fn stage_task(job: usize, enq_s: u64) -> StageTask {
+        StageTask {
+            job,
+            enqueued: SimTime::from_secs(enq_s),
+            job_deadline: SimTime::from_secs(enq_s + 1),
+            remaining_work: ms(100),
+        }
+    }
+
+    #[test]
+    fn enqueue_counts_arrivals() {
+        let mut s = stage();
+        s.enqueue(stage_task(1, 0));
+        s.enqueue(stage_task(2, 0));
+        assert_eq!(s.arrivals, 2);
+        assert_eq!(s.pending(), 2);
+    }
+
+    #[test]
+    fn observed_delay_empty_is_zero() {
+        let mut s = stage();
+        assert_eq!(
+            s.observed_delay(SimTime::from_secs(100), SimDuration::from_secs(10)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn observed_delay_tracks_scheduled_max() {
+        let mut s = stage();
+        s.record_scheduled(SimTime::from_secs(5), ms(120));
+        s.record_scheduled(SimTime::from_secs(6), ms(300));
+        let d = s.observed_delay(SimTime::from_secs(7), SimDuration::from_secs(10));
+        assert_eq!(d, ms(300));
+    }
+
+    #[test]
+    fn observed_delay_evicts_old_observations() {
+        let mut s = stage();
+        s.record_scheduled(SimTime::from_secs(1), ms(900));
+        s.record_scheduled(SimTime::from_secs(20), ms(50));
+        let d = s.observed_delay(SimTime::from_secs(25), SimDuration::from_secs(10));
+        assert_eq!(d, ms(50), "the 900ms observation is out of window");
+    }
+
+    #[test]
+    fn observed_delay_sees_stuck_queue() {
+        let mut s = stage();
+        s.enqueue(stage_task(1, 10));
+        // nothing scheduled at all, but the pending task is 5s old
+        let d = s.observed_delay(SimTime::from_secs(15), SimDuration::from_secs(10));
+        assert_eq!(d, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn observed_delay_window_at_time_zero() {
+        let mut s = stage();
+        s.record_scheduled(SimTime::from_secs(1), ms(10));
+        let d = s.observed_delay(SimTime::from_secs(2), SimDuration::from_secs(10));
+        assert_eq!(d, ms(10));
+    }
+
+    #[test]
+    fn free_index_tracks_transitions() {
+        use fifer_core::scheduling::ContainerSelection::*;
+        let mut s = stage(); // batch 4
+        s.update_free(10, 0, 4); // fresh container, 4 free
+        s.update_free(11, 0, 2);
+        assert_eq!(s.pick_container(GreedyLeastFreeSlots), Some(11));
+        assert_eq!(s.pick_container(MostFreeSlots), Some(10));
+        assert_eq!(s.pick_container(FirstFit), Some(10));
+        assert_eq!(s.total_free_slots(), 6);
+        // 11 fills up
+        s.update_free(11, 2, 0);
+        assert_eq!(s.pick_container(GreedyLeastFreeSlots), Some(10));
+        // 10 dies
+        s.remove_free(10, 4);
+        assert_eq!(s.pick_container(GreedyLeastFreeSlots), None);
+        assert_eq!(s.total_free_slots(), 0);
+    }
+
+    #[test]
+    fn free_index_greedy_tie_breaks_by_id() {
+        use fifer_core::scheduling::ContainerSelection::GreedyLeastFreeSlots;
+        let mut s = stage();
+        s.update_free(7, 0, 2);
+        s.update_free(3, 0, 2);
+        assert_eq!(s.pick_container(GreedyLeastFreeSlots), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "floored at 1")]
+    fn zero_batch_rejected() {
+        let _ = StageRuntime::new(
+            Microservice::Qa,
+            0,
+            ms(100),
+            ms(50),
+            ms(56),
+            SimDuration::from_secs(4),
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Centralized stats-store stand-in (paper §5.1, §6.1.5).
+//!
+//! The prototype keeps job and container statistics in MongoDB on the head
+//! node; §6.1.5 measures its average read/write latency at ≈1.25 ms and
+//! flags the centralized store as a potential scalability bottleneck (§8).
+//! The simulator keeps its bookkeeping in process, but this module
+//! preserves the *accounting*: every operation the real system would issue
+//! against the store is tallied with its modeled latency, so the overheads
+//! table (§6.1.5) and the scalability discussion can be reproduced.
+
+use fifer_metrics::SimDuration;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which store operation an access represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreOp {
+    /// Pod-selection query ("pick the pod with the least free slots").
+    PodQuery,
+    /// Free-slot update after scheduling a task.
+    SlotUpdate,
+    /// Job statistics insert/update (creation, completion, schedule time).
+    JobStats,
+    /// Container metrics update (lastUsedTime, batch size, …).
+    ContainerStats,
+    /// Arrival-history read by the load predictor.
+    ArrivalQuery,
+}
+
+/// Cumulative access counters for the modeled store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreCounters {
+    /// Total read operations.
+    pub reads: u64,
+    /// Total write operations.
+    pub writes: u64,
+}
+
+/// A shared handle to the store model. Cloning shares the counters
+/// (the prototype's single head-node database).
+#[derive(Debug, Clone)]
+pub struct StatsStore {
+    mean_latency: SimDuration,
+    counters: Arc<Mutex<StoreCounters>>,
+}
+
+impl StatsStore {
+    /// Creates a store with the paper's measured ≈1.25 ms mean access
+    /// latency.
+    pub fn paper_default() -> Self {
+        StatsStore::with_latency(SimDuration::from_micros(1250))
+    }
+
+    /// Creates a store with a custom mean access latency.
+    pub fn with_latency(mean_latency: SimDuration) -> Self {
+        StatsStore {
+            mean_latency,
+            counters: Arc::new(Mutex::new(StoreCounters::default())),
+        }
+    }
+
+    /// Records one access and returns its modeled latency, which callers on
+    /// the scheduling path add to their decision time.
+    pub fn access(&self, op: StoreOp) -> SimDuration {
+        let mut c = self.counters.lock();
+        match op {
+            StoreOp::PodQuery | StoreOp::ArrivalQuery => c.reads += 1,
+            StoreOp::SlotUpdate | StoreOp::JobStats | StoreOp::ContainerStats => c.writes += 1,
+        }
+        self.mean_latency
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> StoreCounters {
+        *self.counters.lock()
+    }
+
+    /// Total modeled time spent in store accesses.
+    pub fn total_time(&self) -> SimDuration {
+        let c = self.counters();
+        self.mean_latency * (c.reads + c.writes)
+    }
+
+    /// The modeled mean access latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        self.mean_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latency_matches_paper() {
+        let s = StatsStore::paper_default();
+        assert_eq!(s.mean_latency().as_millis_f64(), 1.25);
+    }
+
+    #[test]
+    fn reads_and_writes_are_classified() {
+        let s = StatsStore::paper_default();
+        s.access(StoreOp::PodQuery);
+        s.access(StoreOp::ArrivalQuery);
+        s.access(StoreOp::SlotUpdate);
+        s.access(StoreOp::JobStats);
+        s.access(StoreOp::ContainerStats);
+        let c = s.counters();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 3);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = StatsStore::paper_default();
+        let t = s.clone();
+        s.access(StoreOp::JobStats);
+        t.access(StoreOp::JobStats);
+        assert_eq!(s.counters().writes, 2);
+    }
+
+    #[test]
+    fn total_time_accumulates() {
+        let s = StatsStore::with_latency(SimDuration::from_millis(2));
+        for _ in 0..5 {
+            s.access(StoreOp::PodQuery);
+        }
+        assert_eq!(s.total_time(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn access_returns_latency() {
+        let s = StatsStore::with_latency(SimDuration::from_millis(3));
+        assert_eq!(s.access(StoreOp::SlotUpdate), SimDuration::from_millis(3));
+    }
+}

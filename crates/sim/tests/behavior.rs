@@ -1,0 +1,146 @@
+//! Behavioral integration tests for simulator mechanisms that only show up
+//! across events: consolidation, eviction under pressure, fixed pools and
+//! image caching.
+
+use fifer_core::rm::RmKind;
+use fifer_metrics::{SimDuration, SimTime};
+use fifer_sim::{SimConfig, Simulation};
+use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+
+fn stream(rate: f64, secs: u64, seed: u64) -> JobStream {
+    JobStream::generate(
+        &PoissonTrace::new(rate),
+        WorkloadMix::Heavy,
+        SimDuration::from_secs(secs),
+        seed,
+    )
+}
+
+#[test]
+fn fifer_consolidates_onto_few_nodes() {
+    let s = stream(20.0, 900, 1);
+    let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), 20.0);
+    cfg.idle_timeout = SimDuration::from_secs(120);
+    let r = Simulation::new(cfg, &s).run();
+    // after the cold transient drains, the greedy node-packing tie-break
+    // must pull traffic onto at most 2 of the 5 nodes
+    let late = r.active_nodes.value_at(SimTime::from_secs(880), 5.0);
+    assert!(late <= 2.0, "steady active nodes {late} should be <= 2");
+}
+
+#[test]
+fn spread_placement_keeps_nodes_awake() {
+    let s = stream(20.0, 900, 1);
+    let mut greedy_cfg = SimConfig::prototype(RmKind::Fifer.config(), 20.0);
+    greedy_cfg.idle_timeout = SimDuration::from_secs(120);
+    let mut spread_cfg = greedy_cfg.clone();
+    spread_cfg.rm.placement = fifer_core::rm::NodePlacement::Spread;
+    let greedy = Simulation::new(greedy_cfg, &s).run();
+    let spread = Simulation::new(spread_cfg, &s).run();
+    assert!(
+        spread.energy_joules > greedy.energy_joules,
+        "spread ({:.0}J) must cost more than bin-packing ({:.0}J)",
+        spread.energy_joules,
+        greedy.energy_joules
+    );
+}
+
+#[test]
+fn eviction_keeps_starved_stages_alive_on_a_full_cluster() {
+    // one node = 32 containers; Bline's per-request spawning would pin the
+    // cluster with stage-1 containers without LRU eviction
+    let s = stream(30.0, 120, 2);
+    let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 30.0);
+    cfg.cluster.nodes = 1;
+    let r = Simulation::new(cfg, &s).run();
+    assert_eq!(r.records.len(), s.len(), "no job may starve");
+    // all seven Heavy-mix stages must have executed work
+    assert!(r.stages.values().all(|st| st.tasks_executed > 0));
+    // eviction means far more spawns than the 32-slot capacity
+    assert!(r.total_spawns > 32, "pressure must force eviction churn");
+}
+
+#[test]
+fn fixed_pool_is_immutable_after_startup() {
+    let s = stream(10.0, 300, 3);
+    let cfg = SimConfig::prototype(RmKind::SBatch.config(), 10.0);
+    let r = Simulation::new(cfg, &s).run();
+    let spawn_times: Vec<SimTime> =
+        r.cumulative_spawns.points().iter().map(|&(t, _)| t).collect();
+    assert!(spawn_times.iter().all(|&t| t == SimTime::ZERO));
+    // live container count never drops: the pool is exempt from idle
+    // reclamation
+    let live = r.live_containers.points();
+    let max = live.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    let last = live.last().map(|&(_, v)| v).unwrap_or(0.0);
+    assert_eq!(max, last, "SBatch pool must not shrink");
+}
+
+#[test]
+fn image_cache_shortens_later_cold_starts() {
+    // force repeated spawn churn on one node with a short idle timeout;
+    // blocking cold-start delays after the first pull must be bounded by
+    // the runtime-init floor (~1.65s with jitter), not the full pull time
+    let s = stream(2.0, 400, 4);
+    let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 2.0);
+    cfg.cluster.nodes = 1;
+    cfg.idle_timeout = SimDuration::from_secs(20); // aggressive churn
+    let r = Simulation::new(cfg, &s).run();
+    let mut colds: Vec<f64> = r
+        .records
+        .iter()
+        .map(|rec| rec.breakdown.cold_start.as_millis_f64())
+        .filter(|&c| c > 0.0)
+        .collect();
+    colds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    assert!(colds.len() > 10, "churn must produce many cold waits");
+    // the most common cold wait is a cached spawn: ~1.5s ± 10% jitter
+    let median = colds[colds.len() / 2];
+    assert!(
+        (1_000.0..2_000.0).contains(&median),
+        "median cold wait {median}ms should be the cached runtime-init cost"
+    );
+    // the maximum reflects the initial full image pull (seconds)
+    let max = *colds.last().expect("non-empty");
+    assert!(max > 2_500.0, "first pull {max}ms should exceed cached spawns");
+}
+
+#[test]
+fn energy_scales_with_cluster_size() {
+    let s = stream(10.0, 300, 5);
+    let small = {
+        let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 10.0);
+        cfg.cluster.nodes = 2;
+        Simulation::new(cfg, &s).run()
+    };
+    let big = {
+        let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 10.0);
+        cfg.cluster.nodes = 10;
+        Simulation::new(cfg, &s).run()
+    };
+    assert!(
+        big.energy_joules > small.energy_joules,
+        "more powered-on nodes must cost more energy"
+    );
+    assert_eq!(big.records.len(), small.records.len());
+}
+
+#[test]
+fn proactive_fifer_prewarms_before_demand() {
+    // give Fifer a pretraining signal so the predictor is useful from t=0
+    let s = stream(15.0, 600, 6);
+    let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), 15.0);
+    let arrivals: Vec<SimTime> = s.iter().map(|j| j.arrival).collect();
+    cfg.pretrain_series = fifer_sim::driver::window_max_series(&arrivals, 5);
+    let fifer = Simulation::new(cfg, &s).run();
+    let rscale = {
+        let cfg = SimConfig::prototype(RmKind::RScale.config(), 15.0);
+        Simulation::new(cfg, &s).run()
+    };
+    assert!(
+        fifer.blocking_cold_starts <= rscale.blocking_cold_starts,
+        "prediction must not increase blocking cold starts (fifer {} vs rscale {})",
+        fifer.blocking_cold_starts,
+        rscale.blocking_cold_starts
+    );
+}

@@ -1,0 +1,282 @@
+//! Workload persistence: save and load [`JobStream`]s as CSV so real
+//! arrival traces (or expensive generated ones) can be replayed across
+//! runs and shared between tools.
+//!
+//! The format is one header plus one line per job:
+//!
+//! ```csv
+//! id,app,arrival_us,input_scale
+//! 0,IPA,12345,1.02
+//! ```
+
+use crate::apps::{Application, WorkloadMix};
+use crate::request::{JobRequest, JobStream};
+use fifer_metrics::SimTime;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+
+/// Errors from parsing a workload file.
+#[derive(Debug)]
+pub enum ParseWorkloadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number and reason).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseWorkloadError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseWorkloadError::Malformed { line, reason } => {
+                write!(f, "malformed workload at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseWorkloadError::Io(e) => Some(e),
+            ParseWorkloadError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseWorkloadError {
+    fn from(e: io::Error) -> Self {
+        ParseWorkloadError::Io(e)
+    }
+}
+
+impl FromStr for Application {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "FaceSecurity" => Ok(Application::FaceSecurity),
+            "IMG" => Ok(Application::Img),
+            "IPA" => Ok(Application::Ipa),
+            "DetectFatigue" => Ok(Application::DetectFatigue),
+            other => Err(format!("unknown application {other:?}")),
+        }
+    }
+}
+
+/// Serializes a stream to the CSV format.
+pub fn stream_to_csv(stream: &JobStream) -> String {
+    let mut out = String::from("id,app,arrival_us,input_scale\n");
+    for j in stream {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            j.id,
+            j.app,
+            j.arrival.as_micros(),
+            j.input_scale
+        ));
+    }
+    out
+}
+
+/// Writes a stream to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn save_stream<P: AsRef<Path>>(stream: &JobStream, path: P) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, stream_to_csv(stream))
+}
+
+/// Parses a stream from CSV text. The mix is recomputed as the pair of
+/// applications present (falling back to `default_mix` when ambiguous).
+///
+/// # Errors
+///
+/// Returns [`ParseWorkloadError::Malformed`] on any bad line; jobs must be
+/// in non-decreasing arrival order.
+pub fn stream_from_csv(
+    text: &str,
+    default_mix: WorkloadMix,
+) -> Result<JobStream, ParseWorkloadError> {
+    let mut jobs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 {
+            if line.trim() != "id,app,arrival_us,input_scale" {
+                return Err(ParseWorkloadError::Malformed {
+                    line: 1,
+                    reason: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(ParseWorkloadError::Malformed {
+                line: i + 1,
+                reason: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let bad = |reason: String| ParseWorkloadError::Malformed { line: i + 1, reason };
+        let id: u64 = fields[0].parse().map_err(|e| bad(format!("id: {e}")))?;
+        let app: Application = fields[1].parse().map_err(bad)?;
+        let arrival_us: u64 = fields[2]
+            .parse()
+            .map_err(|e| bad(format!("arrival_us: {e}")))?;
+        let input_scale: f64 = fields[3]
+            .parse()
+            .map_err(|e| bad(format!("input_scale: {e}")))?;
+        if !(input_scale.is_finite() && input_scale > 0.0) {
+            return Err(bad(format!("input_scale {input_scale} must be positive")));
+        }
+        jobs.push(JobRequest {
+            id,
+            app,
+            arrival: SimTime::from_micros(arrival_us),
+            input_scale,
+        });
+    }
+    if let Some(w) = jobs.windows(2).find(|w| w[0].arrival > w[1].arrival) {
+        return Err(ParseWorkloadError::Malformed {
+            line: 0,
+            reason: format!(
+                "jobs {} and {} out of arrival order",
+                w[0].id, w[1].id
+            ),
+        });
+    }
+    // infer the mix if the file's applications match a known pair
+    let mix = WorkloadMix::ALL
+        .into_iter()
+        .find(|m| {
+            let apps = m.applications();
+            jobs.iter().all(|j| apps.contains(&j.app))
+        })
+        .unwrap_or(default_mix);
+    Ok(JobStream::from_jobs(jobs, mix))
+}
+
+/// Loads a stream from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed content.
+pub fn load_stream<P: AsRef<Path>>(
+    path: P,
+    default_mix: WorkloadMix,
+) -> Result<JobStream, ParseWorkloadError> {
+    let text = fs::read_to_string(path)?;
+    stream_from_csv(&text, default_mix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::PoissonTrace;
+    use fifer_metrics::SimDuration;
+
+    fn sample_stream() -> JobStream {
+        JobStream::generate(
+            &PoissonTrace::new(20.0),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(10),
+            3,
+        )
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let original = sample_stream();
+        let csv = stream_to_csv(&original);
+        let parsed = stream_from_csv(&csv, WorkloadMix::Medium).expect("parse");
+        assert_eq!(parsed.len(), original.len());
+        assert_eq!(parsed.mix(), original.mix());
+        for (a, b) in original.iter().zip(parsed.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.arrival, b.arrival);
+            assert!((a.input_scale - b.input_scale).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("fifer_workloads_io_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/stream.csv");
+        let original = sample_stream();
+        save_stream(&original, &path).expect("save");
+        let loaded = load_stream(&path, WorkloadMix::Medium).expect("load");
+        assert_eq!(loaded.len(), original.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mix_is_inferred_from_applications() {
+        let csv = "id,app,arrival_us,input_scale\n0,IMG,100,1.0\n1,FaceSecurity,200,1.0\n";
+        let s = stream_from_csv(csv, WorkloadMix::Heavy).expect("parse");
+        assert_eq!(s.mix(), WorkloadMix::Light);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = stream_from_csv("nope\n", WorkloadMix::Light).unwrap_err();
+        assert!(matches!(err, ParseWorkloadError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_field_counts_rejected() {
+        let csv = "id,app,arrival_us,input_scale\n0,IPA,100\n";
+        let err = stream_from_csv(csv, WorkloadMix::Heavy).unwrap_err();
+        assert!(err.to_string().contains("expected 4 fields"));
+    }
+
+    #[test]
+    fn unknown_application_rejected() {
+        let csv = "id,app,arrival_us,input_scale\n0,Nonsense,100,1.0\n";
+        let err = stream_from_csv(csv, WorkloadMix::Heavy).unwrap_err();
+        assert!(err.to_string().contains("unknown application"));
+    }
+
+    #[test]
+    fn non_positive_scale_rejected() {
+        let csv = "id,app,arrival_us,input_scale\n0,IPA,100,0.0\n";
+        assert!(stream_from_csv(csv, WorkloadMix::Heavy).is_err());
+    }
+
+    #[test]
+    fn out_of_order_arrivals_rejected() {
+        let csv = "id,app,arrival_us,input_scale\n0,IPA,200,1.0\n1,IPA,100,1.0\n";
+        let err = stream_from_csv(csv, WorkloadMix::Heavy).unwrap_err();
+        assert!(err.to_string().contains("out of arrival order"));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let csv = "id,app,arrival_us,input_scale\n0,IPA,100,1.0\n\n";
+        let s = stream_from_csv(csv, WorkloadMix::Heavy).expect("parse");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn application_from_str_round_trips() {
+        for app in Application::ALL {
+            let parsed: Application = app.to_string().parse().expect("round trip");
+            assert_eq!(parsed, app);
+        }
+        assert!("garbage".parse::<Application>().is_err());
+    }
+}

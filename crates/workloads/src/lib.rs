@@ -1,0 +1,42 @@
+//! Workloads for the Fifer reproduction: microservices, function chains,
+//! workload mixes, and request-arrival traces.
+//!
+//! The paper evaluates Fifer on four ML microservice chains built from the
+//! Djinn&Tonic benchmark suite (Tables 3–5) driven by three arrival traces
+//! (Poisson, Wikipedia-like and WITS-like; Figure 7). This crate models all
+//! of them:
+//!
+//! * [`catalog`] — the microservice catalog with per-function mean execution
+//!   times, input-size scaling and bounded jitter (paper Table 3, §2.2.2),
+//! * [`apps`] — the four applications/chains and the Heavy/Medium/Light
+//!   workload mixes (Tables 4–5),
+//! * [`traces`] — arrival-trace generators with the rate envelopes of
+//!   Figure 7, plus a plain Poisson generator (§5.3),
+//! * [`lambda`] — the AWS Lambda cold/warm-start characterization model used
+//!   to regenerate Figure 2,
+//! * [`request`] — job requests and the stream builder that merges a trace
+//!   with a workload mix.
+//!
+//! # Example
+//!
+//! ```
+//! use fifer_workloads::apps::{Application, WorkloadMix};
+//! use fifer_workloads::catalog::Microservice;
+//!
+//! let ipa = Application::Ipa.spec();
+//! assert_eq!(ipa.stages()[0].microservice, Microservice::Asr);
+//! assert_eq!(WorkloadMix::Heavy.applications(),
+//!            [Application::Ipa, Application::DetectFatigue]);
+//! ```
+
+pub mod apps;
+pub mod catalog;
+pub mod io;
+pub mod lambda;
+pub mod request;
+pub mod traces;
+
+pub use apps::{AppSpec, Application, StageSpec, WorkloadMix};
+pub use catalog::{Microservice, MicroserviceSpec};
+pub use request::{JobRequest, JobStream};
+pub use traces::{PoissonTrace, TraceGenerator, WikiLikeTrace, WitsLikeTrace};

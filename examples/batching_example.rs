@@ -1,0 +1,61 @@
+//! The paper's Figure 4 worked example: a burst of simultaneous requests
+//! served by the baseline (one container per request) versus the
+//! request-batching resource manager (slack-sized batches).
+//!
+//! ```text
+//! cargo run --release --example batching_example
+//! ```
+
+use fifer::prelude::*;
+use fifer::workloads::JobRequest;
+
+fn run_burst(kind: RmKind, stream: &JobStream) -> fifer::sim::SimResult {
+    let cfg = SimConfig::prototype(kind.config(), 1.0);
+    Simulation::new(cfg, stream).run()
+}
+
+fn main() {
+    // 8 IMG requests arrive at once (the burst in Figure 4)
+    let burst = 8;
+    let jobs: Vec<JobRequest> = (0..burst)
+        .map(|i| JobRequest {
+            id: i,
+            app: Application::Img,
+            arrival: SimTime::from_millis(1),
+            input_scale: 1.0,
+        })
+        .collect();
+    let stream = JobStream::from_jobs(jobs, WorkloadMix::Light);
+
+    println!("burst of {burst} simultaneous IMG requests (chain IMC -> NLP -> QA)\n");
+    let plan = AppPlan::new(&Application::Img.spec(), SlackPolicy::Proportional);
+    println!("IMG batch sizes under proportional slack division:");
+    for st in plan.stages() {
+        println!("  {:>4}: batch size {}", st.microservice.to_string(), st.batch_size);
+    }
+    println!();
+
+    for kind in [RmKind::Bline, RmKind::RScale] {
+        let r = run_burst(kind, &stream);
+        let per_stage: Vec<String> = Application::Img
+            .chain()
+            .iter()
+            .map(|m| {
+                format!(
+                    "{m}={}",
+                    r.stages.get(m).map_or(0, |s| s.containers_spawned)
+                )
+            })
+            .collect();
+        println!(
+            "{kind:>7}: {} containers total ({}) — the paper's example spawns {} for the baseline",
+            r.total_spawns,
+            per_stage.join(", "),
+            if kind == RmKind::Bline { "24" } else { "10" },
+        );
+    }
+    println!(
+        "\nbatching consolidates the burst into far fewer containers by\n\
+         queuing requests within each stage's slack (paper §3, Figure 4)"
+    );
+}

@@ -1,0 +1,78 @@
+//! Deep-dive on one chain: the Intelligent Personal Assistant pipeline
+//! (ASR → NLP → QA) under Fifer, showing per-stage batching, container
+//! distribution and latency attribution — the view behind Figures 10–12.
+//!
+//! ```text
+//! cargo run --release --example ipa_pipeline
+//! ```
+
+use fifer::prelude::*;
+
+fn main() {
+    let app = Application::Ipa;
+    let spec = app.spec();
+    println!("IPA chain: {:?}", app.chain());
+    println!(
+        "total exec {:.1} ms, chain overhead {:.1} ms, slack {:.0} ms at the {} SLO\n",
+        spec.total_exec().as_millis_f64(),
+        spec.total_overhead().as_millis_f64(),
+        spec.total_slack().as_millis_f64(),
+        spec.slo()
+    );
+
+    // compare both slack-division policies side by side (§4.1)
+    for policy in [SlackPolicy::Proportional, SlackPolicy::EqualDivision] {
+        let plan = AppPlan::new(&spec, policy);
+        println!("{policy:?} slack division:");
+        for (i, st) in plan.stages().iter().enumerate() {
+            println!(
+                "  stage {} {:>4}: slack {:>9}, batch {}",
+                i + 1,
+                st.microservice.to_string(),
+                st.slack.to_string(),
+                st.batch_size
+            );
+        }
+    }
+
+    // run a Heavy-mix workload (IPA + DetectFatigue) and dissect IPA's view
+    let trace = PoissonTrace::new(30.0);
+    let horizon = SimDuration::from_secs(300);
+    let stream = JobStream::generate(&trace, WorkloadMix::Heavy, horizon, 3);
+    let cfg = SimConfig::prototype(RmKind::Fifer.config(), 30.0);
+    let result = Simulation::new(cfg, &stream).run();
+
+    println!("\nper-stage runtime statistics under Fifer:");
+    for (i, m) in app.chain().iter().enumerate() {
+        if let Some(s) = result.stages.get(m) {
+            println!(
+                "  stage {} {:>4}: {} tasks, {} containers spawned, {:.1} jobs/container",
+                i + 1,
+                m.to_string(),
+                s.tasks_executed,
+                s.containers_spawned,
+                s.requests_per_container()
+            );
+        }
+    }
+    let shares = result.stage_container_shares(app.chain());
+    println!(
+        "\ncontainer distribution across IPA stages: {}",
+        shares
+            .iter()
+            .zip(app.chain())
+            .map(|(s, m)| format!("{m} {:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut summary = result.breakdown_summary();
+    let (exec, cold, queue) = summary.mean_components_ms();
+    println!(
+        "\nmean latency attribution across the mix: exec {exec:.0} ms, cold-start {cold:.0} ms, queuing {queue:.0} ms"
+    );
+    println!(
+        "IPA SLO compliance: {:.2}% violations",
+        result.slo.app_violation_fraction("IPA") * 100.0
+    );
+}

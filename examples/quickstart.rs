@@ -1,0 +1,61 @@
+//! Quickstart: run one workload under the Fifer resource manager and print
+//! the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fifer::prelude::*;
+
+fn main() {
+    // 1. Build a workload: Poisson arrivals at 25 req/s for 2 minutes over
+    //    the Medium mix (IPA + IMG chains).
+    let trace = PoissonTrace::new(25.0);
+    let duration = SimDuration::from_secs(120);
+    let stream = JobStream::generate(&trace, WorkloadMix::Medium, duration, 42);
+    println!(
+        "workload: {} jobs over {duration} ({} mix)",
+        stream.len(),
+        stream.mix()
+    );
+
+    // 2. Inspect the slack plan Fifer computes offline for one application.
+    let plan = AppPlan::new(&Application::Ipa.spec(), SlackPolicy::Proportional);
+    println!("\nIPA per-stage plan (SLO {}):", plan.slo());
+    for (i, st) in plan.stages().iter().enumerate() {
+        println!(
+            "  stage {} {:>5}: exec {:>9}, slack {:>10}, batch size {}",
+            i + 1,
+            st.microservice.to_string(),
+            st.exec_time.to_string(),
+            st.slack.to_string(),
+            st.batch_size
+        );
+    }
+
+    // 3. Run the simulation on the paper's 80-core prototype cluster.
+    let cfg = SimConfig::prototype(RmKind::Fifer.config(), 25.0);
+    let result = Simulation::new(cfg, &stream).run();
+
+    // 4. Report.
+    println!("\nresults under Fifer:");
+    println!("  jobs completed        : {}", result.records.len());
+    println!(
+        "  SLO violations        : {:.2}%",
+        result.slo_violation_fraction() * 100.0
+    );
+    println!(
+        "  median latency        : {:.0} ms",
+        result.median_latency_ms()
+    );
+    println!("  p99 latency           : {:.0} ms", result.p99_latency_ms());
+    println!(
+        "  avg live containers   : {:.1}",
+        result.avg_live_containers()
+    );
+    println!("  containers spawned    : {}", result.total_spawns);
+    println!(
+        "  cluster energy        : {:.1} kJ",
+        result.energy_joules / 1e3
+    );
+}

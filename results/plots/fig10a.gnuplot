@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig10a_cdf.png'
+set title 'Figure 10a: latency CDF (P95)'
+set datafile separator ','
+set key outside right
+set grid ytics
+set xlabel 'response latency (ms)'
+set ylabel 'CDF'
+set yrange [0:1]
+plot for [rm in 'Bline SBatch RScale BPred Fifer'] \
+     '< grep ^'.rm.', ../fig10a_latency_cdf.csv' \
+     using 2:3 with lines title rm

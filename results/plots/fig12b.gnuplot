@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig12b_cumulative.png'
+set title 'Figure 12b: cumulative containers spawned'
+set datafile separator ','
+set key outside right
+set grid ytics
+set xlabel 'interval (10s)'
+set ylabel 'containers spawned'
+plot for [rm in 'Bline SBatch RScale BPred Fifer'] \
+     '< grep ^'.rm.', ../fig12b_cumulative_containers.csv' \
+     using 2:3 with steps title rm

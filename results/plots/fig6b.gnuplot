@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig6b_lstm_accuracy.png'
+set title 'Figure 6b: LSTM prediction vs actual (WITS-like)'
+set datafile separator ','
+set key outside right
+set grid ytics
+set xlabel 'forecast step (5s windows)'
+set ylabel 'requests/s (window max)'
+plot '../fig6b_lstm_accuracy.csv' skip 1 using 1:2 with lines title 'actual', \
+     '../fig6b_lstm_accuracy.csv' skip 1 using 1:3 with lines title 'LSTM'

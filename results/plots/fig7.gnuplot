@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig7_traces.png'
+set title 'Figure 7: arrival-rate envelopes'
+set datafile separator ','
+set key outside right
+set grid ytics
+set xlabel 'time (minutes)'
+set ylabel 'requests/s'
+plot '../fig7_trace_series.csv' skip 1 using 1:2 with lines title 'WITS-like', \
+     '../fig7_trace_series.csv' skip 1 using 1:3 with lines title 'Wiki-like'

@@ -1,0 +1,14 @@
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig8b_containers.png'
+set title 'Figure 8b: avg containers normalized to Bline'
+set datafile separator ','
+set key outside right
+set grid ytics
+set style data histogram
+set style histogram cluster gap 1
+set style fill solid 0.8 border -1
+set ylabel 'containers / Bline'
+# rows are workload,rm,...; column 7 is containers_norm_bline
+plot for [rm in 'SBatch RScale BPred Fifer'] \
+     '< grep ,'.rm.', ../fig8_slo_containers.csv' \
+     using 7:xtic(1) title rm

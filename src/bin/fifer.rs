@@ -1,0 +1,259 @@
+//! `fifer` — run one simulation from the command line.
+//!
+//! ```text
+//! fifer --rm fifer --trace wits --mix heavy --secs 1200 --seed 7
+//! fifer --rm bline --trace poisson --rate 30 --out run.csv
+//! fifer --replay workload.csv --rm fifer
+//! fifer --compare --trace wiki --secs 1800       # all five RMs side by side
+//! ```
+
+use fifer::prelude::*;
+use fifer::sim::driver::window_max_series;
+use fifer::workloads::io as wio;
+use std::process::exit;
+
+#[derive(Debug, Clone)]
+struct Args {
+    rm: Vec<RmKind>,
+    trace: String,
+    mix: WorkloadMix,
+    secs: u64,
+    rate: f64,
+    seed: u64,
+    warmup: Option<u64>,
+    replay: Option<String>,
+    save_workload: Option<String>,
+    out: Option<String>,
+    json: Option<String>,
+    large: bool,
+    early_exit: f64,
+    tenants: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fifer [options]\n\
+         \n\
+         --rm <bline|sbatch|rscale|bpred|fifer>   resource manager (default fifer)\n\
+         --compare                                 run all five RMs\n\
+         --trace <poisson|wiki|wits>               arrival trace (default poisson)\n\
+         --mix <heavy|medium|light>                workload mix (default heavy)\n\
+         --rate <req/s>                            poisson rate / trace scale basis (default 50)\n\
+         --secs <n>                                duration in seconds (default 600)\n\
+         --warmup <n>                              warmup excluded from metrics (default secs/6)\n\
+         --seed <n>                                RNG seed (default 42)\n\
+         --large                                   use the large-scale cluster (16 nodes)\n\
+         --early-exit <p>                          dynamic-chain early-exit probability\n\
+         --tenants <n>                             isolated tenants sharing the cluster (default 1)\n\
+         --replay <file.csv>                       replay a saved workload instead of a trace\n\
+         --save-workload <file.csv>                save the generated workload\n\
+         --out <file.csv>                          write the summary row(s) as CSV\n\
+         --json <file.json>                        dump the full SimResult of the last RM as JSON"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rm: vec![RmKind::Fifer],
+        trace: "poisson".into(),
+        mix: WorkloadMix::Heavy,
+        secs: 600,
+        rate: 50.0,
+        seed: 42,
+        warmup: None,
+        replay: None,
+        save_workload: None,
+        out: None,
+        json: None,
+        large: false,
+        early_exit: 0.0,
+        tenants: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rm" => {
+                args.rm = vec![match value(&mut i).to_lowercase().as_str() {
+                    "bline" => RmKind::Bline,
+                    "sbatch" => RmKind::SBatch,
+                    "rscale" => RmKind::RScale,
+                    "bpred" => RmKind::BPred,
+                    "fifer" => RmKind::Fifer,
+                    other => {
+                        eprintln!("error: unknown rm {other:?}");
+                        usage()
+                    }
+                }]
+            }
+            "--compare" => args.rm = RmKind::ALL.to_vec(),
+            "--trace" => args.trace = value(&mut i).to_lowercase(),
+            "--mix" => {
+                args.mix = match value(&mut i).to_lowercase().as_str() {
+                    "heavy" => WorkloadMix::Heavy,
+                    "medium" => WorkloadMix::Medium,
+                    "light" => WorkloadMix::Light,
+                    other => {
+                        eprintln!("error: unknown mix {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--secs" => args.secs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => args.rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => args.warmup = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--large" => args.large = true,
+            "--tenants" => args.tenants = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--early-exit" => {
+                args.early_exit = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--replay" => args.replay = Some(value(&mut i)),
+            "--save-workload" => args.save_workload = Some(value(&mut i)),
+            "--out" => args.out = Some(value(&mut i)),
+            "--json" => args.json = Some(value(&mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if !(0.0..=1.0).contains(&args.early_exit) {
+        eprintln!("error: --early-exit must be in [0, 1]");
+        usage()
+    }
+    args
+}
+
+fn build_stream(args: &Args) -> JobStream {
+    if let Some(path) = &args.replay {
+        return wio::load_stream(path, args.mix).unwrap_or_else(|e| {
+            eprintln!("error: cannot replay {path}: {e}");
+            exit(1)
+        });
+    }
+    let horizon = SimDuration::from_secs(args.secs);
+    let trace: Box<dyn TraceGenerator> = match args.trace.as_str() {
+        "poisson" => Box::new(PoissonTrace::new(args.rate)),
+        // scale factor expressed against the traces' paper-scale averages
+        "wiki" => Box::new(WikiLikeTrace::scaled(args.rate / 1500.0)),
+        "wits" => Box::new(WitsLikeTrace::scaled(args.rate / 240.0, horizon, args.seed)),
+        other => {
+            eprintln!("error: unknown trace {other:?}");
+            usage()
+        }
+    };
+    JobStream::generate(trace.as_ref(), args.mix, horizon, args.seed)
+}
+
+fn main() {
+    let args = parse_args();
+    let stream = build_stream(&args);
+    if stream.is_empty() {
+        eprintln!("error: workload is empty (rate or duration too small)");
+        exit(1);
+    }
+    if let Some(path) = &args.save_workload {
+        if let Err(e) = wio::save_stream(&stream, path) {
+            eprintln!("error: cannot save workload to {path}: {e}");
+            exit(1);
+        }
+        println!("saved {} jobs to {path}", stream.len());
+    }
+    let secs = args
+        .replay
+        .as_ref()
+        .map(|_| {
+            stream
+                .jobs()
+                .last()
+                .map(|j| j.arrival.as_secs_f64().ceil() as u64 + 1)
+                .unwrap_or(1)
+        })
+        .unwrap_or(args.secs);
+    let avg_rate = stream.len() as f64 / secs as f64;
+    let warmup = args.warmup.unwrap_or(secs / 6);
+
+    println!(
+        "workload: {} jobs over {secs}s (avg {avg_rate:.1} req/s), mix {}, seed {}\n",
+        stream.len(),
+        stream.mix(),
+        args.seed
+    );
+    println!(
+        "{:>7}  {:>10}  {:>8}  {:>10}  {:>9}  {:>8}  {:>7}  {:>9}",
+        "rm", "slo_viol%", "steady%", "containers", "median_ms", "p99_ms", "spawns", "energy_kJ"
+    );
+    let mut csv = String::from(
+        "rm,slo_violations_whole,slo_violations_steady,avg_containers,median_ms,p99_ms,spawns,energy_kj\n",
+    );
+    for kind in &args.rm {
+        let mut cfg = if args.large {
+            SimConfig::large_scale(kind.config(), avg_rate)
+        } else {
+            SimConfig::prototype(kind.config(), avg_rate)
+        };
+        cfg.seed = args.seed;
+        cfg.warmup = SimDuration::from_secs(warmup);
+        cfg.idle_timeout = SimDuration::from_secs((secs / 6).clamp(60, 600));
+        cfg.early_exit_prob = args.early_exit;
+        cfg.tenants = args.tenants.max(1);
+        if cfg.rm.is_proactive() {
+            let cut = (stream.len() * 6 / 10).max(1);
+            let arrivals: Vec<SimTime> = stream.iter().take(cut).map(|j| j.arrival).collect();
+            cfg.pretrain_series = window_max_series(&arrivals, 5);
+        }
+        let r = Simulation::new(cfg, &stream).run();
+        if let Some(path) = &args.json {
+            // the last RM listed wins when --compare is combined with --json
+            match serde_json::to_string_pretty(&r) {
+                Ok(body) => {
+                    if let Err(e) = fifer::metrics::report::write_file(path, &body) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot serialize result: {e}");
+                    exit(1);
+                }
+            }
+        }
+        println!(
+            "{:>7}  {:>10.2}  {:>8.2}  {:>10.1}  {:>9.0}  {:>8.0}  {:>7}  {:>9.1}",
+            kind.to_string(),
+            r.slo_whole_run.violation_fraction() * 100.0,
+            r.slo_violation_fraction() * 100.0,
+            r.avg_live_containers(),
+            r.median_latency_ms(),
+            r.p99_latency_ms(),
+            r.total_spawns,
+            r.energy_joules / 1e3,
+        );
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.2},{:.1},{:.1},{},{:.1}\n",
+            kind,
+            r.slo_whole_run.violation_fraction(),
+            r.slo_violation_fraction(),
+            r.avg_live_containers(),
+            r.median_latency_ms(),
+            r.p99_latency_ms(),
+            r.total_spawns,
+            r.energy_joules / 1e3,
+        ));
+    }
+    if let Some(path) = &args.out {
+        if let Err(e) = fifer::metrics::report::write_file(path, &csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("\nsummary written to {path}");
+    }
+}

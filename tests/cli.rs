@@ -1,0 +1,120 @@
+//! End-to-end tests of the `fifer` CLI binary: argument handling, a real
+//! run, and the save/replay round trip.
+
+use std::process::Command;
+
+fn fifer() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fifer"))
+}
+
+#[test]
+fn help_exits_with_usage() {
+    let out = fifer().arg("--help").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--rm"), "usage must document --rm: {err}");
+    assert!(err.contains("--replay"));
+}
+
+#[test]
+fn unknown_rm_is_a_named_error() {
+    let out = fifer().args(["--rm", "nonsense"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown rm"), "{err}");
+}
+
+#[test]
+fn invalid_early_exit_rejected() {
+    let out = fifer().args(["--early-exit", "1.5"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--early-exit"));
+}
+
+#[test]
+fn small_run_prints_summary_row() {
+    let out = fifer()
+        .args(["--rm", "bline", "--rate", "5", "--secs", "30", "--seed", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Bline"), "{stdout}");
+    assert!(stdout.contains("jobs over 30s"));
+}
+
+#[test]
+fn save_and_replay_round_trip() {
+    let dir = std::env::temp_dir().join("fifer_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let wl = dir.join("wl.csv");
+    let summary = dir.join("sum.csv");
+
+    let save = fifer()
+        .args(["--rm", "bline", "--rate", "5", "--secs", "20", "--seed", "4"])
+        .arg("--save-workload")
+        .arg(&wl)
+        .arg("--out")
+        .arg(&summary)
+        .output()
+        .expect("spawn");
+    assert!(save.status.success(), "{}", String::from_utf8_lossy(&save.stderr));
+    assert!(wl.exists() && summary.exists());
+
+    let replay = fifer()
+        .args(["--rm", "bline", "--seed", "4"])
+        .arg("--replay")
+        .arg(&wl)
+        .output()
+        .expect("spawn");
+    assert!(replay.status.success());
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    // the replayed workload carries the same job count as the saved one
+    let saved_jobs = std::fs::read_to_string(&wl).expect("read").lines().count() - 1;
+    assert!(
+        stdout.contains(&format!("workload: {saved_jobs} jobs")),
+        "replay should re-run the {saved_jobs} saved jobs: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_export_round_trips() {
+    let dir = std::env::temp_dir().join("fifer_cli_json_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json = dir.join("r.json");
+    let out = fifer()
+        .args(["--rm", "bline", "--rate", "5", "--secs", "20", "--seed", "6"])
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&json).expect("json written");
+    assert!(body.contains("\"records\""));
+    assert!(body.contains("\"total_spawns\""));
+    assert!(body.contains("\"energy_joules\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenants_flag_is_accepted() {
+    let out = fifer()
+        .args(["--rm", "fifer", "--rate", "4", "--secs", "15", "--tenants", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Fifer"));
+}
+
+#[test]
+fn replay_of_missing_file_fails_cleanly() {
+    let out = fifer()
+        .args(["--replay", "/nonexistent/wl.csv"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot replay"));
+}

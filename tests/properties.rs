@@ -1,0 +1,197 @@
+//! Property-based tests over cross-crate invariants: arbitrary workloads
+//! and configurations must never break the simulator's accounting.
+
+use fifer::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_mix() -> impl Strategy<Value = WorkloadMix> {
+    prop_oneof![
+        Just(WorkloadMix::Heavy),
+        Just(WorkloadMix::Medium),
+        Just(WorkloadMix::Light),
+    ]
+}
+
+fn arbitrary_rm() -> impl Strategy<Value = RmKind> {
+    prop_oneof![
+        Just(RmKind::Bline),
+        Just(RmKind::SBatch),
+        Just(RmKind::RScale),
+        Just(RmKind::BPred),
+        Just(RmKind::Fifer),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the seed, rate, mix and RM: every job completes, the
+    /// latency breakdown accounts for the full response latency, and no
+    /// metric goes negative or non-finite.
+    #[test]
+    fn simulation_invariants(
+        seed in 0u64..1_000,
+        rate in 1.0f64..15.0,
+        secs in 10u64..40,
+        mix in arbitrary_mix(),
+        rm in arbitrary_rm(),
+    ) {
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            mix,
+            SimDuration::from_secs(secs),
+            seed,
+        );
+        let mut cfg = SimConfig::prototype(rm.config(), rate);
+        cfg.seed = seed;
+        let r = Simulation::new(cfg, &stream).run();
+
+        prop_assert_eq!(r.records.len(), stream.len());
+        for rec in &r.records {
+            prop_assert_eq!(rec.breakdown.total(), rec.response_latency());
+            prop_assert!(rec.completed >= rec.submitted);
+        }
+        prop_assert!(r.energy_joules >= 0.0 && r.energy_joules.is_finite());
+        prop_assert!(r.avg_live_containers() >= 0.0);
+        prop_assert!(r.slo_violation_fraction() <= 1.0);
+        // cumulative spawn series is monotone
+        let pts = r.cumulative_spawns.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "spawn series must be monotone");
+        }
+        // stage task accounting matches the workload's chain lengths
+        let expected: u64 = stream.iter().map(|j| j.app.chain().len() as u64).sum();
+        let tasks: u64 = r.stages.values().map(|s| s.tasks_executed).sum();
+        prop_assert_eq!(tasks, expected);
+    }
+
+    /// Extension axes (tenants, early exit, warm pools) never break the
+    /// completion and accounting invariants.
+    #[test]
+    fn extension_axes_preserve_invariants(
+        seed in 0u64..200,
+        tenants in 1usize..5,
+        early_exit in 0.0f64..1.0,
+        warm_pool in 0usize..4,
+    ) {
+        let stream = JobStream::generate(
+            &PoissonTrace::new(6.0),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), 6.0);
+        cfg.seed = seed;
+        cfg.tenants = tenants;
+        cfg.early_exit_prob = early_exit;
+        cfg.min_warm_pool = warm_pool;
+        let r = Simulation::new(cfg, &stream).run();
+        prop_assert_eq!(r.records.len(), stream.len());
+        for rec in &r.records {
+            prop_assert_eq!(rec.breakdown.total(), rec.response_latency());
+        }
+        // early exits can only reduce total stage work, never increase it
+        let max_tasks: u64 = stream.iter().map(|j| j.app.chain().len() as u64).sum();
+        let tasks: u64 = r.stages.values().map(|s| s.tasks_executed).sum();
+        prop_assert!(tasks <= max_tasks);
+        prop_assert!(tasks >= stream.len() as u64, "stage 1 always runs");
+    }
+
+    /// Slack plans: allocated slack never exceeds the app's slack; batch
+    /// sizes are positive; proportional stage slack orders by exec time.
+    #[test]
+    fn slack_plan_invariants(slo_ms in 200u64..5_000) {
+        use fifer::core::slack::{AppPlan, SlackPolicy};
+        let slo = SimDuration::from_millis(slo_ms);
+        for app in Application::ALL {
+            let spec = app.spec_with_slo(slo);
+            for policy in SlackPolicy::ALL {
+                let plan = AppPlan::new(&spec, policy);
+                prop_assert!(plan.allocated_slack() <= spec.total_slack());
+                for st in plan.stages() {
+                    prop_assert!(st.batch_size >= 1);
+                    prop_assert_eq!(
+                        st.response_latency,
+                        st.slack + st.exec_time
+                    );
+                }
+                if policy == SlackPolicy::Proportional {
+                    // longer stages receive no less slack
+                    for a in plan.stages() {
+                        for b in plan.stages() {
+                            if a.exec_time > b.exec_time {
+                                prop_assert!(a.slack >= b.slack);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Trace generators: arrivals sorted, inside the horizon, and
+    /// deterministic per seed.
+    #[test]
+    fn trace_invariants(seed in 0u64..500, scale in 0.02f64..0.3) {
+        let horizon = SimDuration::from_secs(120);
+        let traces: Vec<Box<dyn TraceGenerator>> = vec![
+            Box::new(PoissonTrace::new(50.0 * scale)),
+            Box::new(WikiLikeTrace::scaled(scale)),
+            Box::new(WitsLikeTrace::scaled(scale, horizon, seed)),
+        ];
+        for t in traces {
+            let a = t.generate(horizon, seed);
+            let b = t.generate(horizon, seed);
+            prop_assert_eq!(&a, &b, "{} must be deterministic", t.name());
+            for w in a.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            if let Some(last) = a.last() {
+                prop_assert!(*last < SimTime::ZERO + horizon);
+            }
+            // envelope sanity at random instants
+            for s in [0u64, 13, 59, 119] {
+                let r = t.rate_at(SimTime::from_secs(s));
+                prop_assert!(r.is_finite() && r >= 0.0);
+                prop_assert!(r <= t.peak_rate() + 1e-9);
+            }
+        }
+    }
+
+    /// Scaling decisions never panic and never return absurd counts for
+    /// arbitrary inputs.
+    #[test]
+    fn scaling_decision_bounds(
+        pending in 0usize..10_000,
+        containers in 0usize..1_000,
+        batch in 1usize..64,
+        slack_ms in 0u64..2_000,
+        exec_ms in 1u64..500,
+        delay_ms in 0u64..5_000,
+    ) {
+        use fifer::core::scaling::{
+            proactive_containers_needed, reactive_containers_needed,
+            ProactiveInputs, ReactiveInputs,
+        };
+        let inp = ReactiveInputs {
+            pending_queue_len: pending,
+            num_containers: containers,
+            batch_size: batch,
+            stage_response_latency: SimDuration::from_millis(slack_ms + exec_ms),
+            cold_start: SimDuration::from_millis(3000),
+            observed_delay: SimDuration::from_millis(delay_ms),
+            stage_slack: SimDuration::from_millis(slack_ms),
+        };
+        let n = reactive_containers_needed(&inp);
+        // never spawn more than one container per pending request
+        prop_assert!(n <= pending);
+        let p = ProactiveInputs {
+            forecast_rate: pending as f64,
+            num_containers: containers,
+            batch_size: batch,
+            stage_response_latency: SimDuration::from_millis(slack_ms + exec_ms),
+        };
+        let m = proactive_containers_needed(&p);
+        prop_assert!(m < 1_000_000, "proactive count {m} must stay bounded");
+    }
+}
