@@ -54,12 +54,7 @@ fn bench_container_selection(c: &mut Criterion) {
     for &n in &[10u64, 100, 1000] {
         let cands = candidates(n);
         g.bench_with_input(BenchmarkId::new("greedy", n), &cands, |b, cands| {
-            b.iter(|| {
-                select_container(
-                    ContainerSelection::GreedyLeastFreeSlots,
-                    black_box(cands),
-                )
-            })
+            b.iter(|| select_container(ContainerSelection::GreedyLeastFreeSlots, black_box(cands)))
         });
     }
     g.finish();

@@ -20,8 +20,10 @@ fn bench_inference(c: &mut Criterion) {
         let mut p = if kind.is_neural() {
             // a briefly trained model (inference cost does not depend on
             // training quality)
-            let mut cfg = TrainConfig::default();
-            cfg.epochs = 2;
+            let cfg = TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            };
             build_with(kind, cfg)
         } else {
             kind.build(1)
@@ -30,9 +32,7 @@ fn bench_inference(c: &mut Criterion) {
         for &v in &hist[120..] {
             p.observe(v);
         }
-        g.bench_function(kind.to_string(), |b| {
-            b.iter(|| black_box(p.forecast()))
-        });
+        g.bench_function(kind.to_string(), |b| b.iter(|| black_box(p.forecast())));
     }
     g.finish();
 }
@@ -56,8 +56,10 @@ fn bench_training_epoch(c: &mut Criterion) {
     for kind in PredictorKind::ALL.into_iter().filter(|k| k.is_neural()) {
         g.bench_function(kind.to_string(), |b| {
             b.iter(|| {
-                let mut cfg = TrainConfig::default();
-                cfg.epochs = 1;
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                };
                 let mut p = build_with(kind, cfg);
                 p.pretrain(black_box(&hist));
             })

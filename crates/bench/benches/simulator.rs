@@ -2,12 +2,29 @@
 //! throughput per resource manager and the event-queue hot path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fifer_bench::perf::{deep_queue_tasks, drain_indexed, drain_linear};
 use fifer_core::rm::RmKind;
+use fifer_core::scheduling::SchedulingPolicy;
 use fifer_metrics::{SimDuration, SimTime};
 use fifer_sim::engine::{Event, EventQueue};
 use fifer_sim::{SimConfig, Simulation};
 use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
 use std::hint::black_box;
+
+fn bench_deep_queue_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deep_queue_dispatch");
+    g.sample_size(10);
+    let tasks = deep_queue_tasks(10_000);
+    for policy in [SchedulingPolicy::Lsf, SchedulingPolicy::Edf] {
+        g.bench_function(format!("indexed_{policy:?}_10k").to_lowercase(), |b| {
+            b.iter(|| black_box(drain_indexed(&tasks, policy)))
+        });
+        g.bench_function(format!("linear_{policy:?}_10k").to_lowercase(), |b| {
+            b.iter(|| black_box(drain_linear(&tasks, policy)))
+        });
+    }
+    g.finish();
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_1k", |b| {
@@ -49,5 +66,10 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_simulation);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_deep_queue_dispatch,
+    bench_simulation
+);
 criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! `bench` — perf-trajectory harness for the simulator hot path.
+//!
+//! Produces `BENCH_simulator.json` with two sections:
+//!
+//! 1. **dispatch** — drains a synthetic deep stage queue (default depth
+//!    10 000) through the indexed priority queue and through the
+//!    pre-overhaul linear scan, for LSF and EDF, and reports the speedup.
+//! 2. **replay** — replays a Table-4-scale trace-driven run (wiki-like
+//!    diurnal arrivals over the full application catalog) once per
+//!    resource manager and reports wall-clock, events/sec and peak queue
+//!    depth per RM.
+//!
+//! ```text
+//! bench                        # full run, writes BENCH_simulator.json
+//! bench --quick                # 1/6 horizon (CI smoke run)
+//! bench --depth 50000 --out /tmp/b.json
+//! ```
+
+use fifer_bench::perf::{deep_queue_tasks, drain_indexed, drain_linear, time_median};
+use fifer_bench::runner::{RunSpec, TraceKind};
+use fifer_core::rm::RmKind;
+use fifer_core::scheduling::SchedulingPolicy;
+use fifer_metrics::report::write_file;
+use fifer_workloads::WorkloadMix;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct DispatchRow {
+    policy: &'static str,
+    indexed_ns: u128,
+    linear_ns: u128,
+}
+
+struct ReplayRow {
+    rm: String,
+    wall_s: f64,
+    events: u64,
+    peak_queue_depth: u64,
+    jobs: usize,
+    slo_violation_fraction: f64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_simulator.json".to_string();
+    let mut depth = 10_000usize;
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--depth" => {
+                depth = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--depth needs a positive integer"))
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive integer"))
+            }
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if depth == 0 || reps == 0 {
+        usage("--depth and --reps must be positive");
+    }
+
+    println!("## dispatch microbench: depth {depth}, {reps} reps (median)");
+    let tasks = deep_queue_tasks(depth);
+    let mut dispatch = Vec::new();
+    for (policy, name) in [
+        (SchedulingPolicy::Lsf, "lsf"),
+        (SchedulingPolicy::Edf, "edf"),
+    ] {
+        let indexed = time_median(reps, || {
+            black_box(drain_indexed(&tasks, policy));
+        });
+        let linear = time_median(reps, || {
+            black_box(drain_linear(&tasks, policy));
+        });
+        println!(
+            "{name}: indexed {:.3} ms, linear {:.3} ms, speedup {:.1}x",
+            indexed.as_secs_f64() * 1e3,
+            linear.as_secs_f64() * 1e3,
+            linear.as_secs_f64() / indexed.as_secs_f64(),
+        );
+        dispatch.push(DispatchRow {
+            policy: name,
+            indexed_ns: indexed.as_nanos(),
+            linear_ns: linear.as_nanos(),
+        });
+    }
+
+    println!(
+        "\n## trace replay: wiki trace, heavy mix, all RMs{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let mut replay = Vec::new();
+    let mut horizon_s = 0.0;
+    for kind in RmKind::ALL {
+        let mut spec = RunSpec::large_scale(
+            kind.to_string(),
+            kind.config(),
+            WorkloadMix::Heavy,
+            TraceKind::Wiki,
+        );
+        if quick {
+            spec = spec.quick();
+        }
+        horizon_s = spec.horizon.as_secs_f64();
+        let t0 = Instant::now();
+        let r = spec.execute();
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "{kind}: {:.2} s wall, {} events ({:.0} events/s), peak queue {}, {} jobs",
+            wall,
+            r.events_processed,
+            r.events_processed as f64 / wall,
+            r.peak_queue_depth,
+            r.records.len(),
+        );
+        replay.push(ReplayRow {
+            rm: kind.to_string(),
+            wall_s: wall,
+            events: r.events_processed,
+            peak_queue_depth: r.peak_queue_depth,
+            jobs: r.records.len(),
+            slo_violation_fraction: r.slo_violation_fraction(),
+        });
+    }
+
+    let json = render_json(quick, depth, reps, &dispatch, horizon_s, &replay);
+    if let Err(e) = write_file(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwritten to {out}");
+}
+
+fn render_json(
+    quick: bool,
+    depth: usize,
+    reps: usize,
+    dispatch: &[DispatchRow],
+    horizon_s: f64,
+    replay: &[ReplayRow],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"simulator\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"dispatch\": {{\n    \"depth\": {depth},\n    \"reps\": {reps},\n    \"policies\": {{\n"
+    ));
+    for (i, d) in dispatch.iter().enumerate() {
+        let speedup = d.linear_ns as f64 / d.indexed_ns as f64;
+        s.push_str(&format!(
+            "      \"{}\": {{ \"indexed_ns\": {}, \"linear_ns\": {}, \"speedup\": {:.2} }}{}\n",
+            d.policy,
+            d.indexed_ns,
+            d.linear_ns,
+            speedup,
+            if i + 1 < dispatch.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    }\n  },\n");
+    s.push_str(&format!(
+        "  \"replay\": {{\n    \"trace\": \"wiki\",\n    \"mix\": \"heavy\",\n    \"horizon_s\": {horizon_s},\n    \"rms\": {{\n"
+    ));
+    for (i, r) in replay.iter().enumerate() {
+        s.push_str(&format!(
+            "      \"{}\": {{ \"wall_clock_s\": {:.3}, \"events_processed\": {}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}, \"jobs\": {}, \"slo_violation_fraction\": {:.6} }}{}\n",
+            r.rm,
+            r.wall_s,
+            r.events,
+            r.events as f64 / r.wall_s,
+            r.peak_queue_depth,
+            r.jobs,
+            r.slo_violation_fraction,
+            if i + 1 < replay.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    }\n  }\n}\n");
+    s
+}
+
+fn usage(msg: &str) -> ! {
+    if msg != "help" {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: bench [--quick] [--depth N] [--reps N] [--out FILE]");
+    std::process::exit(2);
+}

@@ -52,9 +52,8 @@ fn main() {
     } else {
         ids.iter()
             .map(|id| {
-                figures::find(id).unwrap_or_else(|| {
-                    usage_and_exit(&format!("unknown experiment id: {id}"))
-                })
+                figures::find(id)
+                    .unwrap_or_else(|| usage_and_exit(&format!("unknown experiment id: {id}")))
             })
             .collect()
     };

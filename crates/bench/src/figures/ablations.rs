@@ -21,11 +21,7 @@ pub fn slack(ctx: &Ctx) {
         "overall_rpc",
     ]);
     let specs = vec![
-        RunSpec::prototype(
-            "proportional",
-            RmKind::Fifer.config(),
-            WorkloadMix::Heavy,
-        ),
+        RunSpec::prototype("proportional", RmKind::Fifer.config(), WorkloadMix::Heavy),
         RunSpec::prototype(
             "equal-division",
             RmKind::Fifer
@@ -201,11 +197,8 @@ pub fn tenancy(ctx: &Ctx) {
     let specs: Vec<RunSpec> = [1usize, 2, 4, 8]
         .into_iter()
         .map(|n| {
-            let mut spec = RunSpec::prototype(
-                format!("{n}"),
-                RmKind::Fifer.config(),
-                WorkloadMix::Heavy,
-            );
+            let mut spec =
+                RunSpec::prototype(format!("{n}"), RmKind::Fifer.config(), WorkloadMix::Heavy);
             spec.tenants = n;
             spec
         })

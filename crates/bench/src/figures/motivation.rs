@@ -6,8 +6,8 @@ use fifer_metrics::report::{fmt_f64, Table};
 use fifer_metrics::{SimDuration, SimTime};
 use fifer_workloads::lambda::{LambdaModel, MxnetModel};
 use fifer_workloads::{
-    Application, JobRequest, JobStream, Microservice, TraceGenerator, WikiLikeTrace,
-    WitsLikeTrace, WorkloadMix,
+    Application, JobRequest, JobStream, Microservice, TraceGenerator, WikiLikeTrace, WitsLikeTrace,
+    WorkloadMix,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,10 +33,7 @@ pub fn fig2(ctx: &Ctx) {
             fmt_f64(cold.rtt.as_millis_f64(), 0),
             fmt_f64(warm.exec_time.as_millis_f64(), 0),
             fmt_f64(warm.rtt.as_millis_f64(), 0),
-            fmt_f64(
-                cold.rtt.as_millis_f64() - cold.exec_time.as_millis_f64(),
-                0,
-            ),
+            fmt_f64(cold.rtt.as_millis_f64() - cold.exec_time.as_millis_f64(), 0),
         ]);
     }
     ctx.emit("fig2_cold_warm", &t);
@@ -45,7 +42,13 @@ pub fn fig2(ctx: &Ctx) {
 /// Figure 3a: per-stage breakdown of application execution times;
 /// Figure 3b: mean/std-dev of each microservice over 100 runs.
 pub fn fig3(ctx: &Ctx) {
-    let mut a = Table::new(vec!["application", "stage", "microservice", "exec_ms", "share"]);
+    let mut a = Table::new(vec![
+        "application",
+        "stage",
+        "microservice",
+        "exec_ms",
+        "share",
+    ]);
     for app in Application::ALL {
         let spec = app.spec();
         let total = spec.total_exec().as_millis_f64();

@@ -61,8 +61,10 @@ fn evaluate(
 
 fn build_quick(kind: PredictorKind) -> Box<dyn LoadPredictor + Send> {
     use fifer_predict::train::TrainConfig;
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 10;
+    let cfg = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    };
     match kind {
         PredictorKind::SimpleFeedForward => {
             Box::new(fifer_predict::SimpleFfPredictor::new(cfg, 32, 6))

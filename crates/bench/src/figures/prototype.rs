@@ -191,10 +191,7 @@ pub fn fig12(ctx: &Ctx) {
     let runs = rm_runs(ctx, WorkloadMix::Heavy);
     for (kind, r) in &runs {
         for (i, m) in chain.iter().enumerate() {
-            let rpc = r
-                .stages
-                .get(m)
-                .map_or(0.0, |s| s.requests_per_container());
+            let rpc = r.stages.get(m).map_or(0.0, |s| s.requests_per_container());
             a.row(vec![
                 kind.to_string(),
                 format!("stage{}", i + 1),
@@ -237,10 +234,7 @@ pub fn fig15(ctx: &Ctx) {
             kind.to_string(),
             fmt_f64(r.energy_joules / 1e3, 1),
             normalized(r.energy_joules, bline),
-            fmt_f64(
-                r.active_nodes.time_weighted_mean(r.horizon, 0.0),
-                2,
-            ),
+            fmt_f64(r.active_nodes.time_weighted_mean(r.horizon, 0.0), 2),
         ]);
     }
     ctx.emit("fig15_energy", &t);
@@ -285,10 +279,14 @@ pub fn overheads(ctx: &Ctx) {
 
     // LSTM inference
     let mut lstm = fifer_predict::LstmPredictor::paper_default(1);
-    let series: Vec<f64> = (0..200).map(|i| 50.0 + (i as f64 * 0.3).sin() * 20.0).collect();
+    let series: Vec<f64> = (0..200)
+        .map(|i| 50.0 + (i as f64 * 0.3).sin() * 20.0)
+        .collect();
     use fifer_predict::LoadPredictor;
-    let mut quick_cfg = fifer_predict::train::TrainConfig::default();
-    quick_cfg.epochs = if ctx.quick { 3 } else { 20 };
+    let quick_cfg = fifer_predict::train::TrainConfig {
+        epochs: if ctx.quick { 3 } else { 20 },
+        ..Default::default()
+    };
     let mut lstm_q = fifer_predict::LstmPredictor::new(quick_cfg, 32, 1, 2);
     lstm_q.pretrain(&series);
     for &v in &series[180..] {

@@ -14,12 +14,22 @@ pub fn tab1(ctx: &Ctx) {
     let large = ClusterConfig::large_scale();
     t.row(vec![
         "prototype cluster".into(),
-        format!("{} nodes x {} cores = {} cores", proto.nodes, proto.cores_per_node, proto.total_cores()),
+        format!(
+            "{} nodes x {} cores = {} cores",
+            proto.nodes,
+            proto.cores_per_node,
+            proto.total_cores()
+        ),
         "§5.3: 80 compute-core cluster".into(),
     ]);
     t.row(vec![
         "large-scale cluster".into(),
-        format!("{} nodes x {} cores = {} cores", large.nodes, large.cores_per_node, large.total_cores()),
+        format!(
+            "{} nodes x {} cores = {} cores",
+            large.nodes,
+            large.cores_per_node,
+            large.total_cores()
+        ),
         "§5.3: 2500-core simulation".into(),
     ]);
     t.row(vec![
@@ -47,11 +57,7 @@ pub fn tab1(ctx: &Ctx) {
         "10 min".into(),
         "§4.4.1".into(),
     ]);
-    t.row(vec![
-        "SLO".into(),
-        "1000 ms".into(),
-        "§4.1".into(),
-    ]);
+    t.row(vec!["SLO".into(), "1000 ms".into(), "§4.1".into()]);
     t.row(vec![
         "cold start range".into(),
         "2-9 s by image size".into(),

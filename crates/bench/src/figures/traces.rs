@@ -67,13 +67,7 @@ pub fn fig13(ctx: &Ctx) {
 
 /// Figure 14: median and P99 latency for Wiki and WITS, all mixes.
 pub fn fig14(ctx: &Ctx) {
-    let mut t = Table::new(vec![
-        "trace",
-        "workload",
-        "rm",
-        "median_ms",
-        "p99_ms",
-    ]);
+    let mut t = Table::new(vec!["trace", "workload", "rm", "median_ms", "p99_ms"]);
     for trace in [TraceKind::Wiki, TraceKind::Wits] {
         for mix in WorkloadMix::ALL {
             for (kind, r) in trace_runs(ctx, trace, mix) {

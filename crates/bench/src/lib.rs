@@ -8,7 +8,9 @@
 //! `results/`.
 
 pub mod figures;
+pub mod perf;
 pub mod plots;
+pub mod pool;
 pub mod runner;
 
 pub use runner::{Ctx, RunSpec, TraceKind};

@@ -9,10 +9,9 @@ use fifer_sim::{ClusterConfig, SimConfig, SimResult};
 use fifer_workloads::{
     JobStream, PoissonTrace, TraceGenerator, WikiLikeTrace, WitsLikeTrace, WorkloadMix,
 };
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which arrival trace drives a run (paper §5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,9 +38,9 @@ impl TraceKind {
     pub fn build(self, scale: f64, horizon: SimDuration, seed: u64) -> Box<dyn TraceGenerator> {
         match self {
             TraceKind::Poisson => Box::new(PoissonTrace::new(50.0 * scale)),
-            TraceKind::Wiki => Box::new(
-                WikiLikeTrace::scaled(scale).with_period(SimDuration::from_secs(3600)),
-            ),
+            TraceKind::Wiki => {
+                Box::new(WikiLikeTrace::scaled(scale).with_period(SimDuration::from_secs(3600)))
+            }
             TraceKind::Wits => Box::new(WitsLikeTrace::scaled(scale, horizon, seed ^ 0x5157)),
         }
     }
@@ -191,8 +190,7 @@ impl RunSpec {
         if cfg.rm.is_proactive() {
             // the paper pre-trains on 60% of the trace (§4.5.1)
             let cut = (stream.len() * 6 / 10).max(1);
-            let arrivals: Vec<SimTime> =
-                stream.iter().take(cut).map(|j| j.arrival).collect();
+            let arrivals: Vec<SimTime> = stream.iter().take(cut).map(|j| j.arrival).collect();
             cfg.pretrain_series = window_max_series(&arrivals, 5);
         }
         Simulation::new(cfg, &stream).run()
@@ -219,6 +217,10 @@ impl Ctx {
         }
     }
 
+    fn cache_lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<SimResult>>> {
+        self.cache.lock().expect("result cache poisoned")
+    }
+
     /// Applies quick-mode shrinking to a spec.
     pub fn tune(&self, spec: RunSpec) -> RunSpec {
         if self.quick {
@@ -232,13 +234,11 @@ impl Ctx {
     pub fn run(&self, spec: RunSpec) -> Arc<SimResult> {
         let spec = self.tune(spec);
         let key = spec.cache_key();
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = self.cache_lock().get(&key) {
             return Arc::clone(hit);
         }
         let result = Arc::new(spec.execute());
-        self.cache
-            .lock()
-            .insert(key, Arc::clone(&result));
+        self.cache_lock().insert(key, Arc::clone(&result));
         result
     }
 
@@ -252,7 +252,7 @@ impl Ctx {
         let mut pending: Vec<(usize, RunSpec)> = Vec::new();
         let mut claimed: std::collections::HashSet<String> = std::collections::HashSet::new();
         {
-            let cache = self.cache.lock();
+            let cache = self.cache_lock();
             for (i, s) in specs.iter().enumerate() {
                 let key = s.cache_key();
                 match cache.get(&key) {
@@ -265,29 +265,21 @@ impl Ctx {
                 }
             }
         }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        let work: Mutex<std::vec::IntoIter<(usize, RunSpec)>> =
-            Mutex::new(pending.into_iter());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let next = work.lock().next();
-                    match next {
-                        Some((_, spec)) => {
-                            let r = Arc::new(spec.execute());
-                            self.cache.lock().insert(spec.cache_key(), r);
-                        }
-                        None => break,
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        // every executed spec is now in the cache; fill all remaining
-        // slots (claimed and duplicate alike) from there
-        let cache = self.cache.lock();
+        let executed = crate::pool::execute(
+            pending,
+            crate::pool::default_workers(),
+            |(i, spec): (usize, RunSpec)| {
+                let r = Arc::new(spec.execute());
+                self.cache_lock().insert(spec.cache_key(), Arc::clone(&r));
+                (i, r)
+            },
+        );
+        for (i, r) in executed {
+            out[i] = Some(r);
+        }
+        // duplicate specs deferred to the claimed execution resolve from
+        // the now-populated cache
+        let cache = self.cache_lock();
         for (i, slot) in out.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = cache.get(&specs[i].cache_key()).map(Arc::clone);
@@ -394,7 +386,10 @@ impl Ctx {
         let seeds: Vec<u64> = (0..n as u64).map(|i| spec.seed + i).collect();
         let specs: Vec<RunSpec> = seeds
             .iter()
-            .map(|&seed| RunSpec { seed, ..spec.clone() })
+            .map(|&seed| RunSpec {
+                seed,
+                ..spec.clone()
+            })
             .collect();
         let results = self.run_all(specs);
         let pull = |f: &dyn Fn(&SimResult) -> f64| -> SeedStat {

@@ -38,7 +38,10 @@ fn table_drivers_emit_their_csvs() {
         "tab6_features.csv",
         "batch_plans.csv",
     ] {
-        assert!(names.iter().any(|n| n == expected), "{expected} missing from {names:?}");
+        assert!(
+            names.iter().any(|n| n == expected),
+            "{expected} missing from {names:?}"
+        );
     }
     let _ = fs::remove_dir_all(&dir);
 }

@@ -107,12 +107,18 @@ impl ComparedSystem {
         use Feature::*;
         match feature {
             ServerConsolidation => {
-                matches!(self, GrandSlam | PowerChief | TimeTrader | MArk | Swayam | Fifer)
+                matches!(
+                    self,
+                    GrandSlam | PowerChief | TimeTrader | MArk | Swayam | Fifer
+                )
             }
             SloGuarantees => !matches!(self, PowerChief),
             FunctionChains => matches!(self, GrandSlam | PowerChief | Archipelago | Fifer),
             SlackBasedScheduling => {
-                matches!(self, GrandSlam | PowerChief | TimeTrader | Parties | Archipelago | Fifer)
+                matches!(
+                    self,
+                    GrandSlam | PowerChief | TimeTrader | Parties | Archipelago | Fifer
+                )
             }
             SlackAwareBatching => matches!(self, GrandSlam | Fifer),
             EnergyEfficient => matches!(self, PowerChief | TimeTrader | Swayam | Fifer),

@@ -42,7 +42,11 @@ impl MetModel {
         assert!(sxx > 0.0, "input sizes must vary to fit a slope");
         let slope = sxy / sxx;
         let intercept = ym - slope * xm;
-        let r_squared = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+        let r_squared = if syy > 0.0 {
+            (sxy * sxy) / (sxx * syy)
+        } else {
+            1.0
+        };
         MetModel {
             intercept_ms: intercept,
             slope_ms: slope,
@@ -76,9 +80,7 @@ where
     let samples: Vec<(f64, SimDuration)> = input_sizes
         .iter()
         .map(|&size| {
-            let total: f64 = (0..runs_per_size)
-                .map(|_| run(size).as_millis_f64())
-                .sum();
+            let total: f64 = (0..runs_per_size).map(|_| run(size).as_millis_f64()).sum();
             (
                 size,
                 SimDuration::from_millis_f64(total / runs_per_size as f64),

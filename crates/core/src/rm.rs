@@ -276,9 +276,16 @@ mod tests {
 
     #[test]
     fn slack_policy_builder_only_affects_dynamic() {
-        let f = RmKind::Fifer.config().with_slack_policy(SlackPolicy::EqualDivision);
-        assert_eq!(f.batching, BatchingMode::Dynamic(SlackPolicy::EqualDivision));
-        let b = RmKind::Bline.config().with_slack_policy(SlackPolicy::EqualDivision);
+        let f = RmKind::Fifer
+            .config()
+            .with_slack_policy(SlackPolicy::EqualDivision);
+        assert_eq!(
+            f.batching,
+            BatchingMode::Dynamic(SlackPolicy::EqualDivision)
+        );
+        let b = RmKind::Bline
+            .config()
+            .with_slack_policy(SlackPolicy::EqualDivision);
         assert_eq!(b.batching, BatchingMode::None);
     }
 

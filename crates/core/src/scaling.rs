@@ -48,7 +48,9 @@ pub fn reactive_containers_needed(inp: &ReactiveInputs) -> usize {
         return 0;
     }
     if inp.num_containers > 0 {
-        let total_delay = inp.stage_response_latency.mul_f64(inp.pending_queue_len as f64);
+        let total_delay = inp
+            .stage_response_latency
+            .mul_f64(inp.pending_queue_len as f64);
         let delay_factor = total_delay.mul_f64(1.0 / capacity as f64);
         if delay_factor < inp.cold_start {
             // queuing a little longer is cheaper than a cold start
@@ -104,7 +106,10 @@ pub fn static_pool_size(
     batch_size: usize,
     stage_response_latency: SimDuration,
 ) -> usize {
-    assert!(avg_rate.is_finite() && avg_rate >= 0.0, "rate must be non-negative");
+    assert!(
+        avg_rate.is_finite() && avg_rate >= 0.0,
+        "rate must be non-negative"
+    );
     let batch = batch_size.max(1);
     let in_flight = avg_rate * stage_response_latency.as_secs_f64();
     (in_flight.ceil() as usize).div_ceil(batch).max(1)

@@ -20,6 +20,21 @@ pub enum SchedulingPolicy {
     /// Least-Slack-First: the task with the smallest remaining slack runs
     /// next (§4.3, Algorithm 1 c).
     Lsf,
+    /// Earliest-Deadline-First: the task whose *job* deadline comes first
+    /// runs next — the classic real-time baseline LSF is usually compared
+    /// against. Unlike LSF it ignores how much work the job still has
+    /// ahead, so it cannot tell a deadline that is close-but-cheap from
+    /// one that is close-and-doomed.
+    Edf,
+}
+
+impl SchedulingPolicy {
+    /// All policies, for ablations and differential tests.
+    pub const ALL: [SchedulingPolicy; 3] = [
+        SchedulingPolicy::Fifo,
+        SchedulingPolicy::Lsf,
+        SchedulingPolicy::Edf,
+    ];
 }
 
 /// A queued task as seen by the scheduler.
@@ -54,6 +69,35 @@ impl QueuedTask {
         let deadline_us = self.job_deadline.as_micros();
         SimTime::from_micros(deadline_us.saturating_sub(self.remaining_work.as_micros()))
     }
+
+    /// The total dispatch-order key for this task under `policy`,
+    /// lexicographic, smallest-first.
+    ///
+    /// Every component is knowable at enqueue time — none depends on the
+    /// current clock (LSF ranks by *latest start*, which moves with neither
+    /// `now` nor the rest of the queue) — so an indexed queue can compute
+    /// the key once on insert and pop the minimum in O(log n). The trailing
+    /// components make the key unique per task, which pins the ordering of
+    /// ties to (arrival, job id) regardless of container structure.
+    ///
+    /// [`select_task_iter`] deliberately does *not* call this function: it
+    /// ranks tasks with its own comparisons and serves as the independent
+    /// reference the indexed queue is differentially tested against.
+    pub fn priority_key(&self, policy: SchedulingPolicy) -> [u64; 3] {
+        match policy {
+            SchedulingPolicy::Fifo => [self.enqueued.as_micros(), self.job_id, 0],
+            SchedulingPolicy::Lsf => [
+                self.latest_start().as_micros(),
+                self.enqueued.as_micros(),
+                self.job_id,
+            ],
+            SchedulingPolicy::Edf => [
+                self.job_deadline.as_micros(),
+                self.enqueued.as_micros(),
+                self.job_id,
+            ],
+        }
+    }
 }
 
 /// Selects the index of the next task to run from `queue`, or `None` when
@@ -81,6 +125,9 @@ pub fn select_task_iter(
         // most-late first) where a saturating slack would collapse them
         SchedulingPolicy::Lsf => queue
             .min_by_key(|(_, t)| (t.latest_start(), t.enqueued, t.job_id))
+            .map(|(i, _)| i),
+        SchedulingPolicy::Edf => queue
+            .min_by_key(|(_, t)| (t.job_deadline, t.enqueued, t.job_id))
             .map(|(i, _)| i),
     }
 }
@@ -124,9 +171,9 @@ pub fn select_container(
 ) -> Option<u64> {
     let usable = candidates.iter().filter(|c| c.free_slots > 0);
     match policy {
-        ContainerSelection::GreedyLeastFreeSlots => usable
-            .min_by_key(|c| (c.free_slots, c.id))
-            .map(|c| c.id),
+        ContainerSelection::GreedyLeastFreeSlots => {
+            usable.min_by_key(|c| (c.free_slots, c.id)).map(|c| c.id)
+        }
         ContainerSelection::FirstFit => usable.min_by_key(|c| c.id).map(|c| c.id),
         ContainerSelection::MostFreeSlots => usable
             .min_by_key(|c| (usize::MAX - c.free_slots, c.id))
@@ -169,8 +216,15 @@ mod tests {
 
     #[test]
     fn fifo_picks_earliest_arrival() {
-        let q = vec![task(1, 30, 1000, 10), task(2, 10, 1000, 10), task(3, 20, 1000, 10)];
-        assert_eq!(select_task(SchedulingPolicy::Fifo, &q, SimTime::ZERO), Some(1));
+        let q = vec![
+            task(1, 30, 1000, 10),
+            task(2, 10, 1000, 10),
+            task(3, 20, 1000, 10),
+        ];
+        assert_eq!(
+            select_task(SchedulingPolicy::Fifo, &q, SimTime::ZERO),
+            Some(1)
+        );
     }
 
     #[test]
@@ -188,15 +242,24 @@ mod tests {
     #[test]
     fn lsf_breaks_ties_by_arrival_then_id() {
         let q = vec![task(5, 20, 1000, 100), task(3, 10, 1000, 100)];
-        assert_eq!(select_task(SchedulingPolicy::Lsf, &q, SimTime::ZERO), Some(1));
+        assert_eq!(
+            select_task(SchedulingPolicy::Lsf, &q, SimTime::ZERO),
+            Some(1)
+        );
         let q2 = vec![task(5, 10, 1000, 100), task(3, 10, 1000, 100)];
-        assert_eq!(select_task(SchedulingPolicy::Lsf, &q2, SimTime::ZERO), Some(1));
+        assert_eq!(
+            select_task(SchedulingPolicy::Lsf, &q2, SimTime::ZERO),
+            Some(1)
+        );
     }
 
     #[test]
     fn empty_queue_selects_nothing() {
         assert_eq!(select_task(SchedulingPolicy::Lsf, &[], SimTime::ZERO), None);
-        assert_eq!(select_container(ContainerSelection::GreedyLeastFreeSlots, &[]), None);
+        assert_eq!(
+            select_container(ContainerSelection::GreedyLeastFreeSlots, &[]),
+            None
+        );
     }
 
     #[test]
@@ -234,8 +297,74 @@ mod tests {
         assert_eq!(select_task(SchedulingPolicy::Lsf, &q, now), Some(1));
     }
 
+    #[test]
+    fn edf_picks_earliest_deadline() {
+        // job 3 has the earliest deadline even though job 2 has less slack
+        let q = vec![
+            task(1, 10, 1000, 100),
+            task(2, 30, 500, 450),
+            task(3, 20, 400, 50),
+        ];
+        assert_eq!(
+            select_task(SchedulingPolicy::Edf, &q, SimTime::ZERO),
+            Some(2)
+        );
+        // ...while LSF prefers job 2 (latest start 50ms vs job 3's 350ms)
+        assert_eq!(
+            select_task(SchedulingPolicy::Lsf, &q, SimTime::ZERO),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn edf_breaks_ties_by_arrival_then_id() {
+        let q = vec![task(5, 20, 1000, 100), task(3, 10, 1000, 300)];
+        assert_eq!(
+            select_task(SchedulingPolicy::Edf, &q, SimTime::ZERO),
+            Some(1)
+        );
+        let q2 = vec![task(5, 10, 1000, 100), task(3, 10, 1000, 300)];
+        assert_eq!(
+            select_task(SchedulingPolicy::Edf, &q2, SimTime::ZERO),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn priority_key_agrees_with_reference_selection() {
+        // a queue with deliberate ties in every component
+        let q = vec![
+            task(4, 40, 900, 100),
+            task(1, 10, 1000, 100),
+            task(2, 10, 1000, 100),
+            task(3, 10, 900, 200),
+            task(5, 40, 700, 0),
+        ];
+        for policy in SchedulingPolicy::ALL {
+            let by_key = q
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.priority_key(policy))
+                .map(|(i, _)| i);
+            let by_ref = select_task(policy, &q, SimTime::from_millis(50));
+            assert_eq!(by_key, by_ref, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn priority_key_is_unique_per_task() {
+        let a = task(1, 10, 1000, 100);
+        let b = task(2, 10, 1000, 100);
+        for policy in SchedulingPolicy::ALL {
+            assert_ne!(a.priority_key(policy), b.priority_key(policy), "{policy:?}");
+        }
+    }
+
     fn cand(id: u64, free: usize) -> ContainerCandidate {
-        ContainerCandidate { id, free_slots: free }
+        ContainerCandidate {
+            id,
+            free_slots: free,
+        }
     }
 
     #[test]
@@ -264,7 +393,10 @@ mod tests {
     #[test]
     fn most_free_is_the_opposite_of_greedy() {
         let cs = vec![cand(1, 3), cand(2, 1)];
-        assert_eq!(select_container(ContainerSelection::MostFreeSlots, &cs), Some(1));
+        assert_eq!(
+            select_container(ContainerSelection::MostFreeSlots, &cs),
+            Some(1)
+        );
     }
 
     #[test]

@@ -95,8 +95,8 @@ proptest! {
         let exec = SimDuration::from_millis(exec_ms);
         let b = batch_size(slack, exec);
         prop_assert!(b >= 1);
-        if exec_ms > 0 {
-            prop_assert!(b as u64 <= slack_ms / exec_ms + 1);
+        if let Some(bound) = slack_ms.checked_div(exec_ms) {
+            prop_assert!(b as u64 <= bound + 1);
             let bigger = batch_size(slack + SimDuration::from_millis(extra_ms), exec);
             prop_assert!(bigger >= b, "batch size must be monotone in slack");
         }

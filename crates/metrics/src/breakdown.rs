@@ -107,7 +107,11 @@ impl BreakdownSummary {
 
     /// `(exec, cold_start, queuing)` means in milliseconds.
     pub fn mean_components_ms(&self) -> (f64, f64, f64) {
-        (self.exec_ms.mean(), self.cold_ms.mean(), self.queue_ms.mean())
+        (
+            self.exec_ms.mean(),
+            self.cold_ms.mean(),
+            self.queue_ms.mean(),
+        )
     }
 
     /// `p`-th percentile of total latency in milliseconds.

@@ -25,10 +25,24 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), 1.0);
 /// assert_eq!(s.max(), 100.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
+    /// Materialized `(value, cumulative fraction)` pairs for the full
+    /// distribution, built lazily on the first [`Samples::cdf`] call and
+    /// reused (sliced) by later calls until the collection mutates.
+    #[serde(skip)]
+    cdf_cache: Option<Vec<(f64, f64)>>,
+}
+
+/// Equality is over the observations (and sort state), never the derived
+/// CDF cache — two collections that saw the same pushes compare equal
+/// whether or not `cdf` has been called on them.
+impl PartialEq for Samples {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values && self.sorted == other.sorted
+    }
 }
 
 impl Samples {
@@ -37,6 +51,7 @@ impl Samples {
         Samples {
             values: Vec::new(),
             sorted: true,
+            cdf_cache: None,
         }
     }
 
@@ -45,6 +60,7 @@ impl Samples {
         Samples {
             values: Vec::with_capacity(n),
             sorted: true,
+            cdf_cache: None,
         }
     }
 
@@ -56,6 +72,7 @@ impl Samples {
         if v.is_finite() {
             self.values.push(v);
             self.sorted = false;
+            self.cdf_cache = None;
         }
     }
 
@@ -90,12 +107,20 @@ impl Samples {
 
     /// Smallest observation, or 0 when empty.
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_finite()
     }
 
     /// Largest observation, or 0 when empty.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_finite()
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_finite()
     }
 
     /// Exact `p`-th percentile (`0 ≤ p ≤ 100`) with linear interpolation.
@@ -141,15 +166,17 @@ impl Samples {
         assert!((0.0..=100.0).contains(&up_to_p));
         self.ensure_sorted();
         let n = self.values.len();
+        let points = self.cdf_cache.get_or_insert_with(|| {
+            self.values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+                .collect()
+        });
         let keep = ((up_to_p / 100.0) * n as f64).ceil() as usize;
-        let points = self
-            .values
-            .iter()
-            .take(keep)
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
-            .collect();
-        Cdf { points }
+        Cdf {
+            points: points[..keep].to_vec(),
+        }
     }
 
     /// Borrow the raw observations (unsorted order not guaranteed).
@@ -161,6 +188,7 @@ impl Samples {
     pub fn merge(&mut self, other: &Samples) {
         self.values.extend_from_slice(&other.values);
         self.sorted = false;
+        self.cdf_cache = None;
     }
 
     fn ensure_sorted(&mut self) {
@@ -364,6 +392,38 @@ mod tests {
         assert_eq!(ds.len(), 10);
         assert_eq!(ds.first().unwrap().0, 1.0);
         assert_eq!(ds.last().unwrap().0, 1000.0);
+    }
+
+    #[test]
+    fn repeated_cdf_calls_reuse_the_cache() {
+        let mut s: Samples = (1..=100).map(|v| v as f64).collect();
+        let full = s.cdf(100.0);
+        assert!(s.cdf_cache.is_some());
+        let truncated = s.cdf(95.0);
+        assert_eq!(truncated.points(), &full.points()[..95]);
+        // equality ignores the cache...
+        let fresh: Samples = (1..=100).map(|v| v as f64).collect();
+        assert_ne!(s.cdf_cache, fresh.cdf_cache);
+        // (`s` was sorted by cdf(); sort the fresh copy the same way)
+        let mut fresh = fresh;
+        let _ = fresh.median();
+        assert_eq!(s, fresh);
+        // ...and mutation invalidates it
+        s.push(0.5);
+        assert!(s.cdf_cache.is_none());
+        let refreshed = s.cdf(100.0);
+        assert_eq!(refreshed.points()[0].0, 0.5);
+        assert_eq!(refreshed.len(), 101);
+    }
+
+    #[test]
+    fn merge_invalidates_cdf_cache() {
+        let mut a: Samples = vec![1.0, 2.0].into_iter().collect();
+        let _ = a.cdf(100.0);
+        let b: Samples = vec![3.0].into_iter().collect();
+        a.merge(&b);
+        assert!(a.cdf_cache.is_none());
+        assert_eq!(a.cdf(100.0).len(), 3);
     }
 
     #[test]

@@ -157,7 +157,7 @@ impl TimeSeries {
         init: f64,
     ) -> Vec<f64> {
         assert!(!width.is_zero(), "window width must be positive");
-        let n = (end.as_micros() + width.as_micros() - 1) / width.as_micros();
+        let n = end.as_micros().div_ceil(width.as_micros());
         let mut out = vec![init; n as usize];
         for &(t, v) in &self.points {
             if t >= end {
@@ -272,7 +272,10 @@ mod tests {
         assert!((ts.time_weighted_mean_between(secs(10), secs(20), 0.0) - 100.0).abs() < 1e-9);
         assert!((ts.time_weighted_mean_between(secs(5), secs(15), 0.0) - 50.0).abs() < 1e-9);
         // degenerate window samples the value
-        assert_eq!(ts.time_weighted_mean_between(secs(12), secs(12), 0.0), 100.0);
+        assert_eq!(
+            ts.time_weighted_mean_between(secs(12), secs(12), 0.0),
+            100.0
+        );
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl LoadPredictor for LstmPredictor {
                 let drop = self.history.len() - cap;
                 self.history.drain(..drop);
             }
-            if self.observations % self.retrain_every == 0 {
+            if self.observations.is_multiple_of(self.retrain_every) {
                 // refit the scaler when untrained, or when the live range
                 // has drifted outside what the fitted scaler can express —
                 // a regime shift would otherwise saturate at the transform

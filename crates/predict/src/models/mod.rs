@@ -159,7 +159,10 @@ mod model_tests {
         cfg.epochs = 12;
         let mut p = DeepArPredictor::new(cfg, 16, 1);
         let (model, baseline) = eval_model(&mut p);
-        assert!(model < baseline, "DeepAR rmse {model} vs baseline {baseline}");
+        assert!(
+            model < baseline,
+            "DeepAR rmse {model} vs baseline {baseline}"
+        );
     }
 
     #[test]

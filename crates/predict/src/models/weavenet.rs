@@ -49,7 +49,9 @@ impl WeaveNetPredictor {
             &convs.iter().map(CausalConv1d::dilation).collect::<Vec<_>>(),
         ) < cfg.lags
         {
-            convs.push(CausalConv1d::new(in_ch, channels, dilation, cfg.lr, &mut rng));
+            convs.push(CausalConv1d::new(
+                in_ch, channels, dilation, cfg.lr, &mut rng,
+            ));
             in_ch = channels;
             dilation *= 2;
         }

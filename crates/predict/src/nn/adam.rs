@@ -52,7 +52,11 @@ impl Adam {
     ///
     /// Panics if buffer lengths disagree or `t == 0`.
     pub fn step(&mut self, params: &mut [f64], grads: &[f64], t: u64) {
-        assert_eq!(params.len(), self.m.len(), "parameter buffer length changed");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "parameter buffer length changed"
+        );
         assert_eq!(grads.len(), self.m.len(), "gradient buffer length mismatch");
         assert!(t > 0, "Adam step count is 1-based");
         let bc1 = 1.0 - self.beta1.powi(t as i32);

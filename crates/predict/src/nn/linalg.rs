@@ -72,7 +72,9 @@ pub fn add_assign(a: &mut [f64], b: &[f64]) {
 /// Xavier/Glorot uniform initialization for a `rows × cols` weight matrix.
 pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Vec<f64> {
     let bound = (6.0 / (rows + cols) as f64).sqrt();
-    (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect()
+    (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect()
 }
 
 #[cfg(test)]

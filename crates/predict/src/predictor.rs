@@ -36,9 +36,7 @@ pub trait LoadPredictor {
 }
 
 /// Identifies one of the eight predictors compared in Figure 6a.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PredictorKind {
     /// Moving-window average.
     Mwa,
@@ -88,7 +86,9 @@ impl PredictorKind {
         match self {
             PredictorKind::Mwa => Box::new(crate::classic::MovingWindowAverage::paper_default()),
             PredictorKind::Ewma => Box::new(crate::classic::Ewma::paper_default()),
-            PredictorKind::LinearRegression => Box::new(crate::classic::LinearTrend::paper_default()),
+            PredictorKind::LinearRegression => {
+                Box::new(crate::classic::LinearTrend::paper_default())
+            }
             PredictorKind::LogisticRegression => {
                 Box::new(crate::classic::LogisticTrend::paper_default())
             }

@@ -94,9 +94,7 @@ impl WindowSampler {
     /// The global maximum rate over the retained history ending at `now` —
     /// the quantity the paper's predictor consumes.
     pub fn global_max_rate(&self, now: SimTime) -> f64 {
-        self.window_max_rates(now)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.window_max_rates(now).into_iter().fold(0.0, f64::max)
     }
 
     /// Drops cells older than the retained history before `now` to bound
@@ -104,7 +102,8 @@ impl WindowSampler {
     /// than shifting.
     pub fn compact(&mut self, now: SimTime) {
         let wsec = (self.window.as_micros() / 1_000_000) as usize;
-        let keep_from = (now.as_secs_f64() as usize).saturating_sub(wsec * self.history_windows * 2);
+        let keep_from =
+            (now.as_secs_f64() as usize).saturating_sub(wsec * self.history_windows * 2);
         for s in 0..keep_from.min(self.cells.len()) {
             self.cells[s] = 0;
         }

@@ -16,9 +16,17 @@ fn main() {
     let r = Simulation::new(cfg, &stream).run();
     // live containers over time
     for t in (0..3600).step_by(300) {
-        let live = r.live_containers.value_at(fifer_metrics::SimTime::from_secs(t), 0.0);
-        let nodes = r.active_nodes.value_at(fifer_metrics::SimTime::from_secs(t), 0.0);
+        let live = r
+            .live_containers
+            .value_at(fifer_metrics::SimTime::from_secs(t), 0.0);
+        let nodes = r
+            .active_nodes
+            .value_at(fifer_metrics::SimTime::from_secs(t), 0.0);
         println!("t={t}s live={live} nodes={nodes}");
     }
-    println!("energy={:.0}kJ spawns={}", r.energy_joules/1000.0, r.total_spawns);
+    println!(
+        "energy={:.0}kJ spawns={}",
+        r.energy_joules / 1000.0,
+        r.total_spawns
+    );
 }

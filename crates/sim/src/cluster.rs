@@ -72,12 +72,26 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if `n` is zero or resources are non-positive.
-    pub fn new(n: usize, cores_per_node: f64, mem_per_node_gb: f64, container_cpu: f64, container_mem_gb: f64) -> Self {
+    pub fn new(
+        n: usize,
+        cores_per_node: f64,
+        mem_per_node_gb: f64,
+        container_cpu: f64,
+        container_mem_gb: f64,
+    ) -> Self {
         assert!(n > 0, "need at least one node");
-        assert!(cores_per_node > 0.0 && mem_per_node_gb > 0.0, "node resources must be positive");
-        assert!(container_cpu > 0.0 && container_mem_gb > 0.0, "pod resources must be positive");
+        assert!(
+            cores_per_node > 0.0 && mem_per_node_gb > 0.0,
+            "node resources must be positive"
+        );
+        assert!(
+            container_cpu > 0.0 && container_mem_gb > 0.0,
+            "pod resources must be positive"
+        );
         Cluster {
-            nodes: (0..n).map(|_| Node::new(cores_per_node, mem_per_node_gb)).collect(),
+            nodes: (0..n)
+                .map(|_| Node::new(cores_per_node, mem_per_node_gb))
+                .collect(),
             container_cpu,
             container_mem_gb,
         }
@@ -136,7 +150,10 @@ impl Cluster {
     /// [`Cluster::select_node`] first).
     pub fn place(&mut self, node: usize) {
         let n = &mut self.nodes[node];
-        assert!(n.fits(self.container_cpu, self.container_mem_gb), "pod does not fit on node {node}");
+        assert!(
+            n.fits(self.container_cpu, self.container_mem_gb),
+            "pod does not fit on node {node}"
+        );
         n.alloc_cpu += self.container_cpu;
         n.alloc_mem_gb += self.container_mem_gb;
         n.pods += 1;

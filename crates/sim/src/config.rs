@@ -101,6 +101,13 @@ pub struct SimConfig {
     pub min_warm_pool: usize,
     /// RNG seed for exec-time jitter and any stochastic choices.
     pub seed: u64,
+    /// Dispatch tasks through the reference linear-scan scheduler
+    /// (`fifer_core::scheduling::select_task_iter`) instead of the indexed
+    /// priority queue's O(log Q) pop. The two are required to produce
+    /// bit-identical runs; this flag exists so differential tests (and
+    /// skeptical users) can check that end to end. Slower — O(Q) per
+    /// dispatched task — and off by default.
+    pub use_reference_scheduler: bool,
 }
 
 impl SimConfig {
@@ -125,6 +132,7 @@ impl SimConfig {
             tenants: 1,
             min_warm_pool: 0,
             seed: 1,
+            use_reference_scheduler: false,
         }
     }
 
@@ -140,8 +148,8 @@ impl SimConfig {
     /// 0.5-core containers make CPU the binding resource).
     pub fn max_containers(&self) -> usize {
         let by_cpu = self.cluster.total_cores() / self.container_cpu;
-        let by_mem = self.cluster.nodes as f64 * self.cluster.mem_per_node_gb
-            / self.container_mem_gb;
+        let by_mem =
+            self.cluster.nodes as f64 * self.cluster.mem_per_node_gb / self.container_mem_gb;
         by_cpu.min(by_mem) as usize
     }
 
@@ -159,8 +167,7 @@ impl SimConfig {
             "container cannot exceed a node"
         );
         assert!(
-            self.container_mem_gb > 0.0
-                && self.container_mem_gb <= self.cluster.mem_per_node_gb,
+            self.container_mem_gb > 0.0 && self.container_mem_gb <= self.cluster.mem_per_node_gb,
             "container memory must fit on a node"
         );
         assert!(!self.monitor_interval.is_zero(), "monitor interval > 0");

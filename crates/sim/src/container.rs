@@ -145,7 +145,10 @@ impl Container {
     ///
     /// Panics if nothing is executing.
     pub fn finish_executing(&mut self, now: SimTime) -> BoundTask {
-        let task = self.executing.take().expect("finish without executing task");
+        let task = self
+            .executing
+            .take()
+            .expect("finish without executing task");
         self.tasks_executed += 1;
         self.last_used = now;
         task

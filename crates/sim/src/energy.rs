@@ -86,8 +86,7 @@ impl EnergyMeter {
                 .iter()
                 .map(|n| {
                     let busy = n.executing as f64 * self.container_cpu;
-                    self.model
-                        .node_power(busy, n.cores, n.empty_since, now)
+                    self.model.node_power(busy, n.cores, n.empty_since, now)
                 })
                 .sum();
             self.joules += watts * dt;
@@ -130,14 +129,24 @@ mod tests {
     #[test]
     fn recently_emptied_node_still_draws_idle() {
         let m = model();
-        let p = m.node_power(0.0, 16.0, Some(SimTime::from_secs(100)), SimTime::from_secs(130));
+        let p = m.node_power(
+            0.0,
+            16.0,
+            Some(SimTime::from_secs(100)),
+            SimTime::from_secs(130),
+        );
         assert_eq!(p, 100.0);
     }
 
     #[test]
     fn long_empty_node_powers_off() {
         let m = model();
-        let p = m.node_power(0.0, 16.0, Some(SimTime::from_secs(100)), SimTime::from_secs(161));
+        let p = m.node_power(
+            0.0,
+            16.0,
+            Some(SimTime::from_secs(100)),
+            SimTime::from_secs(161),
+        );
         assert_eq!(p, 0.0);
     }
 

@@ -69,6 +69,12 @@ pub struct SimResult {
     pub store_reads: u64,
     /// Modeled stats-store writes.
     pub store_writes: u64,
+    /// Simulator events processed (drained from the event queue).
+    pub events_processed: u64,
+    /// Largest total pending-task backlog observed across all stage
+    /// queues at any instant (tracked incrementally, not just at monitor
+    /// ticks).
+    pub peak_queue_depth: u64,
 }
 
 impl SimResult {
@@ -176,6 +182,146 @@ impl SimResult {
             self.records.len() as f64 / secs
         }
     }
+
+    /// Serializes the full result as pretty-printed JSON.
+    ///
+    /// Written by hand because the vendored `serde` is a no-op marker
+    /// stand-in (the build environment has no crates.io access). Times are
+    /// emitted in integer microseconds (`*_us`) — the simulator's native
+    /// resolution — so the artifact round-trips losslessly.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096 + self.records.len() * 96);
+        o.push_str("{\n");
+        o.push_str(&format!(
+            "  \"horizon_us\": {},\n",
+            self.horizon.as_micros()
+        ));
+        o.push_str(&format!("  \"warmup_us\": {},\n", self.warmup.as_micros()));
+        o.push_str(&format!("  \"total_spawns\": {},\n", self.total_spawns));
+        o.push_str(&format!(
+            "  \"blocking_cold_starts\": {},\n",
+            self.blocking_cold_starts
+        ));
+        o.push_str(&format!("  \"failed_spawns\": {},\n", self.failed_spawns));
+        o.push_str(&format!(
+            "  \"energy_joules\": {},\n",
+            json_f64(self.energy_joules)
+        ));
+        o.push_str(&format!("  \"store_reads\": {},\n", self.store_reads));
+        o.push_str(&format!("  \"store_writes\": {},\n", self.store_writes));
+        o.push_str(&format!(
+            "  \"events_processed\": {},\n",
+            self.events_processed
+        ));
+        o.push_str(&format!(
+            "  \"peak_queue_depth\": {},\n",
+            self.peak_queue_depth
+        ));
+        o.push_str(&format!("  \"slo\": {},\n", slo_json(&self.slo)));
+        o.push_str(&format!(
+            "  \"slo_whole_run\": {},\n",
+            slo_json(&self.slo_whole_run)
+        ));
+        o.push_str("  \"stages\": {");
+        let mut first = true;
+        for (ms, s) in &self.stages {
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!(
+                "\n    \"{ms:?}\": {{\"containers_spawned\": {}, \"tasks_executed\": {}, \"arrivals\": {}}}",
+                s.containers_spawned, s.tasks_executed, s.arrivals
+            ));
+        }
+        o.push_str("\n  },\n");
+        o.push_str(&format!(
+            "  \"live_containers\": {},\n",
+            series_json(&self.live_containers)
+        ));
+        o.push_str(&format!(
+            "  \"cumulative_spawns\": {},\n",
+            series_json(&self.cumulative_spawns)
+        ));
+        o.push_str(&format!(
+            "  \"active_nodes\": {},\n",
+            series_json(&self.active_nodes)
+        ));
+        o.push_str(&format!(
+            "  \"queue_depth\": {},\n",
+            series_json(&self.queue_depth)
+        ));
+        o.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!(
+                "\n    {{\"job_id\": {}, \"app\": {}, \"submitted_us\": {}, \"completed_us\": {}, \
+                 \"exec_us\": {}, \"cold_start_us\": {}, \"queuing_us\": {}, \"slo_violated\": {}}}",
+                r.job_id,
+                json_str(&r.app),
+                r.submitted.as_micros(),
+                r.completed.as_micros(),
+                r.breakdown.exec.as_micros(),
+                r.breakdown.cold_start.as_micros(),
+                r.breakdown.queuing.as_micros(),
+                r.slo_violated
+            ));
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+}
+
+/// JSON number for an `f64` (`null` for non-finite values, which JSON
+/// cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    o.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\r' => o.push_str("\\r"),
+            '\t' => o.push_str("\\t"),
+            c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+            c => o.push(c),
+        }
+    }
+    o.push('"');
+    o
+}
+
+fn slo_json(s: &SloAccountant) -> String {
+    format!(
+        "{{\"slo_us\": {}, \"total\": {}, \"violations\": {}}}",
+        s.slo().as_micros(),
+        s.total(),
+        s.violations()
+    )
+}
+
+fn series_json(ts: &TimeSeries) -> String {
+    let mut o = String::from("[");
+    for (i, (t, v)) in ts.points().iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push_str(&format!("[{}, {}]", t.as_micros(), json_f64(*v)));
+    }
+    o.push(']');
+    o
 }
 
 /// Shorthand used by tests and the harness: per-run scalar summary.
@@ -269,6 +415,8 @@ mod tests {
             warmup: SimTime::ZERO,
             store_reads: 5,
             store_writes: 7,
+            events_processed: 11,
+            peak_queue_depth: 4,
         }
     }
 

@@ -6,10 +6,20 @@
 //! that stage". The load monitor tracks queuing delays of recently
 //! scheduled requests and per-stage arrivals, feeding the reactive and
 //! proactive scalers.
+//!
+//! The queue is an [`IndexedTaskQueue`]: the scheduling policy's dispatch
+//! key ([`QueuedTask::priority_key`]) is computed once at enqueue — every
+//! policy's key is clock-independent — and tasks live in a slab indexed by
+//! two lazy-deletion binary heaps, one in key order (for `pop`) and one in
+//! arrival order (for the load monitor's oldest-pending-age signal). Both
+//! `pop` and the age query are O(log n) amortized where the seed scanned
+//! the whole queue per dispatched task.
 
+use fifer_core::scheduling::{QueuedTask, SchedulingPolicy};
 use fifer_metrics::{SimDuration, SimTime};
 use fifer_workloads::Microservice;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A task waiting in a stage's global queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +33,169 @@ pub struct StageTask {
     /// Estimated work remaining for the job (this stage onward) — used by
     /// Least-Slack-First.
     pub remaining_work: SimDuration,
+}
+
+impl StageTask {
+    /// The scheduler-facing view of this task.
+    pub fn as_queued(&self) -> QueuedTask {
+        QueuedTask {
+            job_id: self.job as u64,
+            enqueued: self.enqueued,
+            job_deadline: self.job_deadline,
+            remaining_work: self.remaining_work,
+        }
+    }
+}
+
+/// Stable handle to a task inside an [`IndexedTaskQueue`]. Valid until the
+/// task is popped or removed; a stale handle is detected (the slot's
+/// generation stamp no longer matches) and `remove` returns `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRef {
+    slot: u32,
+    seq: u64,
+}
+
+/// A policy-keyed indexed priority queue of [`StageTask`]s.
+///
+/// Layout: a slab of `(generation, task)` slots with a free list, plus two
+/// `BinaryHeap`s of `Reverse<(key, seq, slot)>` entries — one keyed by the
+/// policy's dispatch key, one by arrival time. Heap entries are never
+/// eagerly deleted; a `remove` bumps nothing but the slab, and stale heap
+/// entries are discarded when they surface at the top (their generation
+/// stamp no longer matches the slab). The `seq` component makes every heap
+/// entry unique, so iteration order of the underlying heap never affects
+/// which task wins — ordering is exactly the lexicographic key.
+#[derive(Debug, Clone)]
+pub struct IndexedTaskQueue {
+    policy: SchedulingPolicy,
+    /// Slot -> (generation stamp, task). `None` = free slot.
+    slots: Vec<Option<(u64, StageTask)>>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
+    /// Monotonic insert counter; doubles as the generation stamp.
+    next_seq: u64,
+    /// Live task count (heaps may hold more, stale, entries).
+    len: usize,
+    /// Dispatch order: min-heap of (policy key, seq, slot).
+    by_key: BinaryHeap<Reverse<([u64; 3], u64, u32)>>,
+    /// Arrival order: min-heap of (enqueued µs, seq, slot) for the load
+    /// monitor's oldest-pending query.
+    by_age: BinaryHeap<Reverse<(u64, u64, u32)>>,
+}
+
+impl IndexedTaskQueue {
+    /// Creates an empty queue dispatching per `policy`.
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        IndexedTaskQueue {
+            policy,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            len: 0,
+            by_key: BinaryHeap::new(),
+            by_age: BinaryHeap::new(),
+        }
+    }
+
+    /// The dispatch policy this queue is keyed by.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Number of live tasks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no task is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a task, keying it once; O(log n).
+    pub fn push(&mut self, task: StageTask) -> TaskRef {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((seq, task));
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("queue exceeds u32 slots");
+                self.slots.push(Some((seq, task)));
+                s
+            }
+        };
+        let key = task.as_queued().priority_key(self.policy);
+        self.by_key.push(Reverse((key, seq, slot)));
+        self.by_age
+            .push(Reverse((task.enqueued.as_micros(), seq, slot)));
+        self.len += 1;
+        TaskRef { slot, seq }
+    }
+
+    /// Removes and returns the policy-minimum task; O(log n) amortized.
+    pub fn pop(&mut self) -> Option<StageTask> {
+        while let Some(Reverse((_, seq, slot))) = self.by_key.pop() {
+            if let Some(task) = self.take_if_live(slot, seq) {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Removes the task behind `r`, or `None` if it already left the queue.
+    pub fn remove(&mut self, r: TaskRef) -> Option<StageTask> {
+        // the matching by_key/by_age entries stay behind as stale and are
+        // skipped when they reach the top of their heap
+        self.take_if_live(r.slot, r.seq)
+    }
+
+    /// Enqueue time of the oldest pending task; O(log n) amortized (stale
+    /// age entries are discarded on the way to the answer).
+    pub fn oldest_enqueued(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((enq_us, seq, slot))) = self.by_age.peek() {
+            match self.slots[slot as usize] {
+                Some((live_seq, _)) if live_seq == seq => {
+                    return Some(SimTime::from_micros(enq_us));
+                }
+                _ => {
+                    self.by_age.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates live tasks in slab order with their handles — the view the
+    /// reference scheduler path scans.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskRef, &StageTask)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(slot, s)| {
+            s.as_ref().map(|(seq, task)| {
+                (
+                    TaskRef {
+                        slot: slot as u32,
+                        seq: *seq,
+                    },
+                    task,
+                )
+            })
+        })
+    }
+
+    fn take_if_live(&mut self, slot: u32, seq: u64) -> Option<StageTask> {
+        match self.slots[slot as usize] {
+            Some((live_seq, task)) if live_seq == seq => {
+                self.slots[slot as usize] = None;
+                self.free.push(slot);
+                self.len -= 1;
+                Some(task)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A (queuing delay, when scheduled) observation for the load monitor.
@@ -47,8 +220,8 @@ pub struct StageRuntime {
     pub mean_exec: SimDuration,
     /// Expected cold-start latency for this stage's image.
     pub cold_start: SimDuration,
-    /// Global queue of pending tasks.
-    pub queue: Vec<StageTask>,
+    /// Global queue of pending tasks, indexed by the dispatch policy.
+    pub queue: IndexedTaskQueue,
     /// Containers (ids) currently serving this stage, dead ones pruned.
     pub containers: Vec<u64>,
     /// Free-slot index: `free_buckets[f]` holds the ids of this stage's
@@ -56,7 +229,13 @@ pub struct StageRuntime {
     /// in sync by the driver so container selection is O(log C) instead of
     /// a full scan per dispatched task.
     free_buckets: Vec<std::collections::BTreeSet<u64>>,
-    /// Queuing-delay observations of recently scheduled tasks.
+    /// Free slots across all buckets, maintained incrementally so the
+    /// reactive scaler's waiting-count is O(1) instead of a bucket walk.
+    free_slots_total: usize,
+    /// Queuing-delay observations of recently scheduled tasks, kept as a
+    /// sliding-window max-deque: delays are non-increasing front→back, so
+    /// the front is the window maximum and each observation is pushed and
+    /// popped at most once (O(1) amortized, vs. the seed's full scan).
     recent_delays: VecDeque<DelayObs>,
     /// Tasks currently executing in this stage's containers (driver-
     /// maintained; lets the load monitor report waiting-task counts that
@@ -71,9 +250,10 @@ pub struct StageRuntime {
 }
 
 impl StageRuntime {
-    /// Creates an empty stage runtime.
+    /// Creates an empty stage runtime dispatching per `policy`.
     pub fn new(
         microservice: Microservice,
+        policy: SchedulingPolicy,
         batch_size: usize,
         response_latency: SimDuration,
         slack: SimDuration,
@@ -88,9 +268,10 @@ impl StageRuntime {
             slack,
             mean_exec,
             cold_start,
-            queue: Vec::new(),
+            queue: IndexedTaskQueue::new(policy),
             containers: Vec::new(),
             free_buckets: vec![std::collections::BTreeSet::new(); batch_size + 1],
+            free_slots_total: 0,
             executing: 0,
             recent_delays: VecDeque::new(),
             arrivals: 0,
@@ -106,7 +287,12 @@ impl StageRuntime {
     }
 
     /// Records that a task waited `delay` before being scheduled at `at`.
+    /// Observations arrive in non-decreasing `at` order (simulation time).
     pub fn record_scheduled(&mut self, at: SimTime, delay: SimDuration) {
+        // max-deque invariant: drop older observations this one dominates
+        while matches!(self.recent_delays.back(), Some(obs) if obs.delay <= delay) {
+            self.recent_delays.pop_back();
+        }
         self.recent_delays.push_back(DelayObs { at, delay });
     }
 
@@ -125,15 +311,13 @@ impl StageRuntime {
         }
         let scheduled_max = self
             .recent_delays
-            .iter()
+            .front()
             .map(|o| o.delay)
-            .max()
             .unwrap_or(SimDuration::ZERO);
         let pending_max = self
             .queue
-            .iter()
-            .map(|t| now.saturating_since(t.enqueued))
-            .max()
+            .oldest_enqueued()
+            .map(|enq| now.saturating_since(enq))
             .unwrap_or(SimDuration::ZERO);
         scheduled_max.max(pending_max)
     }
@@ -161,9 +345,11 @@ impl StageRuntime {
     pub fn update_free(&mut self, id: u64, prev_free: usize, free: usize) {
         if prev_free > 0 {
             self.free_buckets[prev_free].remove(&id);
+            self.free_slots_total -= prev_free;
         }
         if free > 0 {
             self.free_buckets[free].insert(id);
+            self.free_slots_total += free;
         }
     }
 
@@ -171,6 +357,7 @@ impl StageRuntime {
     pub fn remove_free(&mut self, id: u64, prev_free: usize) {
         if prev_free > 0 {
             self.free_buckets[prev_free].remove(&id);
+            self.free_slots_total -= prev_free;
         }
     }
 
@@ -194,10 +381,7 @@ impl StageRuntime {
     ) -> Option<u64> {
         use fifer_core::scheduling::ContainerSelection::*;
         match policy {
-            GreedyLeastFreeSlots => self
-                .free_buckets
-                .iter()
-                .find_map(|b| b.first().copied()),
+            GreedyLeastFreeSlots => self.free_buckets.iter().find_map(|b| b.first().copied()),
             MostFreeSlots => self
                 .free_buckets
                 .iter()
@@ -217,19 +401,19 @@ impl StageRuntime {
         self.free_buckets.iter().find(|b| !b.is_empty())
     }
 
-    /// Total free slots across the stage's containers (index-derived).
+    /// Total free slots across the stage's containers (O(1), maintained on
+    /// every index update).
     pub fn total_free_slots(&self) -> usize {
-        self.free_buckets
-            .iter()
-            .enumerate()
-            .map(|(f, b)| f * b.len())
-            .sum()
+        self.free_slots_total
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fifer_core::scheduling::{select_task_iter, SchedulingPolicy};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn ms(v: u64) -> SimDuration {
         SimDuration::from_millis(v)
@@ -238,6 +422,7 @@ mod tests {
     fn stage() -> StageRuntime {
         StageRuntime::new(
             Microservice::Asr,
+            SchedulingPolicy::Lsf,
             4,
             ms(400),
             ms(350),
@@ -292,6 +477,21 @@ mod tests {
     }
 
     #[test]
+    fn observed_delay_max_survives_later_smaller_observations() {
+        // the max-deque must keep a dominating in-window observation even
+        // after smaller ones arrive behind it
+        let mut s = stage();
+        s.record_scheduled(SimTime::from_secs(20), ms(500));
+        s.record_scheduled(SimTime::from_secs(21), ms(10));
+        s.record_scheduled(SimTime::from_secs(22), ms(70));
+        let d = s.observed_delay(SimTime::from_secs(23), SimDuration::from_secs(10));
+        assert_eq!(d, ms(500));
+        // once the 500ms observation ages out, the 70ms one is the max
+        let d = s.observed_delay(SimTime::from_secs(31), SimDuration::from_secs(10));
+        assert_eq!(d, ms(70));
+    }
+
+    #[test]
     fn observed_delay_sees_stuck_queue() {
         let mut s = stage();
         s.enqueue(stage_task(1, 10));
@@ -321,6 +521,7 @@ mod tests {
         // 11 fills up
         s.update_free(11, 2, 0);
         assert_eq!(s.pick_container(GreedyLeastFreeSlots), Some(10));
+        assert_eq!(s.total_free_slots(), 4);
         // 10 dies
         s.remove_free(10, 4);
         assert_eq!(s.pick_container(GreedyLeastFreeSlots), None);
@@ -341,11 +542,140 @@ mod tests {
     fn zero_batch_rejected() {
         let _ = StageRuntime::new(
             Microservice::Qa,
+            SchedulingPolicy::Fifo,
             0,
             ms(100),
             ms(50),
             ms(56),
             SimDuration::from_secs(4),
         );
+    }
+
+    // ---- IndexedTaskQueue ------------------------------------------------
+
+    fn task(job: usize, enq_ms: u64, deadline_ms: u64, work_ms: u64) -> StageTask {
+        StageTask {
+            job,
+            enqueued: SimTime::from_millis(enq_ms),
+            job_deadline: SimTime::from_millis(deadline_ms),
+            remaining_work: ms(work_ms),
+        }
+    }
+
+    #[test]
+    fn pop_returns_policy_minimum() {
+        let mut q = IndexedTaskQueue::new(SchedulingPolicy::Lsf);
+        q.push(task(1, 10, 1000, 100)); // latest start 900
+        q.push(task(2, 30, 400, 250)); // latest start 150 — tightest
+        q.push(task(3, 20, 800, 100)); // latest start 700
+        assert_eq!(q.pop().map(|t| t.job), Some(2));
+        assert_eq!(q.pop().map(|t| t.job), Some(3));
+        assert_eq!(q.pop().map(|t| t.job), Some(1));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut q = IndexedTaskQueue::new(SchedulingPolicy::Fifo);
+        q.push(task(9, 30, 100, 10));
+        q.push(task(7, 10, 5000, 10));
+        q.push(task(8, 20, 200, 10));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|t| t.job).collect();
+        assert_eq!(order, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn edf_pops_by_deadline() {
+        let mut q = IndexedTaskQueue::new(SchedulingPolicy::Edf);
+        q.push(task(1, 10, 1000, 100));
+        q.push(task(2, 30, 500, 450));
+        q.push(task(3, 20, 400, 50));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|t| t.job).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn remove_by_ref_and_stale_handles() {
+        let mut q = IndexedTaskQueue::new(SchedulingPolicy::Fifo);
+        let r1 = q.push(task(1, 10, 1000, 100));
+        let _r2 = q.push(task(2, 20, 1000, 100));
+        assert_eq!(q.remove(r1).map(|t| t.job), Some(1));
+        assert_eq!(q.remove(r1), None, "second removal must miss");
+        assert_eq!(q.len(), 1);
+        // slot reuse must not resurrect the stale handle
+        let _r3 = q.push(task(3, 5, 1000, 100));
+        assert_eq!(q.remove(r1), None);
+        assert_eq!(q.pop().map(|t| t.job), Some(3));
+        assert_eq!(q.pop().map(|t| t.job), Some(2));
+    }
+
+    #[test]
+    fn oldest_enqueued_tracks_removals() {
+        let mut q = IndexedTaskQueue::new(SchedulingPolicy::Lsf);
+        let r1 = q.push(task(1, 10, 5000, 100));
+        q.push(task(2, 20, 300, 100));
+        assert_eq!(q.oldest_enqueued(), Some(SimTime::from_millis(10)));
+        // job 2 pops first under LSF; oldest is still job 1
+        assert_eq!(q.pop().map(|t| t.job), Some(2));
+        assert_eq!(q.oldest_enqueued(), Some(SimTime::from_millis(10)));
+        q.remove(r1).expect("live");
+        assert_eq!(q.oldest_enqueued(), None);
+    }
+
+    #[test]
+    fn iter_yields_live_tasks_with_valid_handles() {
+        let mut q = IndexedTaskQueue::new(SchedulingPolicy::Fifo);
+        q.push(task(1, 10, 1000, 100));
+        let r2 = q.push(task(2, 20, 1000, 100));
+        q.push(task(3, 30, 1000, 100));
+        q.remove(r2).expect("live");
+        let jobs: Vec<usize> = q.iter().map(|(_, t)| t.job).collect();
+        assert_eq!(jobs, vec![1, 3]);
+        let handles: Vec<TaskRef> = q.iter().map(|(r, _)| r).collect();
+        for (r, job) in handles.into_iter().zip([1usize, 3]) {
+            assert_eq!(q.remove(r).map(|t| t.job), Some(job));
+        }
+        assert!(q.is_empty());
+    }
+
+    /// Differential test: under every policy, a run of randomized
+    /// interleaved pushes/pops agrees with [`select_task_iter`], the
+    /// reference linear-scan implementation in `fifer-core`.
+    #[test]
+    fn pop_agrees_with_reference_scheduler() {
+        for policy in SchedulingPolicy::ALL {
+            let mut rng = StdRng::seed_from_u64(0xD1FF ^ policy as u64);
+            let mut q = IndexedTaskQueue::new(policy);
+            let mut job = 0usize;
+            let mut clock_ms = 0u64;
+            for _ in 0..600 {
+                if q.is_empty() || rng.gen_bool(0.6) {
+                    clock_ms += rng.gen_range(0u64..5);
+                    job += 1;
+                    q.push(task(
+                        job,
+                        clock_ms,
+                        clock_ms + rng.gen_range(50u64..2000),
+                        rng.gen_range(10u64..500),
+                    ));
+                } else {
+                    let view: Vec<(TaskRef, QueuedTask)> =
+                        q.iter().map(|(r, t)| (r, t.as_queued())).collect();
+                    let ti = select_task_iter(
+                        policy,
+                        view.iter().enumerate().map(|(i, (_, t))| (i, *t)),
+                        SimTime::from_millis(clock_ms),
+                    )
+                    .expect("non-empty");
+                    let expect = view[ti].1.job_id;
+                    assert_eq!(
+                        q.pop().map(|t| t.job as u64),
+                        Some(expect),
+                        "{policy:?}: indexed pop diverged from reference"
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,9 +9,8 @@
 //! table (§6.1.5) and the scalability discussion can be reproduced.
 
 use fifer_metrics::SimDuration;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which store operation an access represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,7 +62,7 @@ impl StatsStore {
     /// Records one access and returns its modeled latency, which callers on
     /// the scheduling path add to their decision time.
     pub fn access(&self, op: StoreOp) -> SimDuration {
-        let mut c = self.counters.lock();
+        let mut c = self.counters.lock().expect("store mutex poisoned");
         match op {
             StoreOp::PodQuery | StoreOp::ArrivalQuery => c.reads += 1,
             StoreOp::SlotUpdate | StoreOp::JobStats | StoreOp::ContainerStats => c.writes += 1,
@@ -73,7 +72,7 @@ impl StatsStore {
 
     /// Snapshot of the counters.
     pub fn counters(&self) -> StoreCounters {
-        *self.counters.lock()
+        *self.counters.lock().expect("store mutex poisoned")
     }
 
     /// Total modeled time spent in store accesses.

@@ -65,8 +65,12 @@ fn fixed_pool_is_immutable_after_startup() {
     let s = stream(10.0, 300, 3);
     let cfg = SimConfig::prototype(RmKind::SBatch.config(), 10.0);
     let r = Simulation::new(cfg, &s).run();
-    let spawn_times: Vec<SimTime> =
-        r.cumulative_spawns.points().iter().map(|&(t, _)| t).collect();
+    let spawn_times: Vec<SimTime> = r
+        .cumulative_spawns
+        .points()
+        .iter()
+        .map(|&(t, _)| t)
+        .collect();
     assert!(spawn_times.iter().all(|&t| t == SimTime::ZERO));
     // live container count never drops: the pool is exempt from idle
     // reclamation
@@ -102,7 +106,10 @@ fn image_cache_shortens_later_cold_starts() {
     );
     // the maximum reflects the initial full image pull (seconds)
     let max = *colds.last().expect("non-empty");
-    assert!(max > 2_500.0, "first pull {max}ms should exceed cached spawns");
+    assert!(
+        max > 2_500.0,
+        "first pull {max}ms should exceed cached spawns"
+    );
 }
 
 #[test]

@@ -49,11 +49,13 @@ fn mean_queuing_matches_pollaczek_khinchine() {
     cfg.warmup = SimDuration::from_secs(60);
     let r = Simulation::new(cfg, &stream).run();
     assert_eq!(
-        r.stages[&fifer_workloads::Microservice::Faced].containers_spawned, 1,
+        r.stages[&fifer_workloads::Microservice::Faced].containers_spawned,
+        1,
         "test assumes a single-container FACED pool"
     );
     assert_eq!(
-        r.stages[&fifer_workloads::Microservice::Facer].containers_spawned, 1,
+        r.stages[&fifer_workloads::Microservice::Facer].containers_spawned,
+        1,
         "test assumes a single-container FACER pool"
     );
 
@@ -99,7 +101,11 @@ fn response_floor_is_the_chain_runtime() {
     let stream = face_security_stream(5.0, 120, 11);
     let cfg = SimConfig::prototype(RmKind::Bline.config(), 5.0);
     let r = Simulation::new(cfg, &stream).run();
-    let floor_ms = Application::FaceSecurity.spec().total_runtime().as_millis_f64() * 0.8;
+    let floor_ms = Application::FaceSecurity
+        .spec()
+        .total_runtime()
+        .as_millis_f64()
+        * 0.8;
     for rec in &r.records {
         assert!(
             rec.response_latency().as_millis_f64() >= floor_ms,

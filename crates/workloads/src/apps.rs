@@ -18,9 +18,7 @@ use std::fmt;
 pub const DEFAULT_SLO: SimDuration = SimDuration::from_millis(1000);
 
 /// One of the four microservice-chain applications evaluated in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Application {
     /// Face Security: FACED → FACER (Table 4, slack 788 ms).
     FaceSecurity,
@@ -183,9 +181,7 @@ impl AppSpec {
 
 /// The three workload mixes of Table 5, named by decreasing total available
 /// slack ("Heavy" = least slack).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum WorkloadMix {
     /// IPA + Detect-Fatigue (least slack).
     Heavy,

@@ -21,9 +21,7 @@ use std::fmt;
 /// `Nlp` is the parts-of-speech + named-entity stage used by the IMG and IPA
 /// chains; the paper lists POS and NER separately in Table 3 and plots the
 /// composite `NLP` stage in Figure 3b.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Microservice {
     /// Automatic speech recognition (NNet3/Kaldi).
     Asr,
@@ -318,7 +316,10 @@ mod tests {
         }
         assert!(lo >= 2.0, "fastest cold start {lo}s should be >= 2s");
         assert!(hi <= 9.0, "slowest cold start {hi}s should be <= 9s");
-        assert!(hi > 6.0, "largest image should be near the top of the range");
+        assert!(
+            hi > 6.0,
+            "largest image should be near the top of the range"
+        );
     }
 
     #[test]

@@ -130,7 +130,10 @@ pub fn stream_from_csv(
                 reason: format!("expected 4 fields, got {}", fields.len()),
             });
         }
-        let bad = |reason: String| ParseWorkloadError::Malformed { line: i + 1, reason };
+        let bad = |reason: String| ParseWorkloadError::Malformed {
+            line: i + 1,
+            reason,
+        };
         let id: u64 = fields[0].parse().map_err(|e| bad(format!("id: {e}")))?;
         let app: Application = fields[1].parse().map_err(bad)?;
         let arrival_us: u64 = fields[2]
@@ -152,10 +155,7 @@ pub fn stream_from_csv(
     if let Some(w) = jobs.windows(2).find(|w| w[0].arrival > w[1].arrival) {
         return Err(ParseWorkloadError::Malformed {
             line: 0,
-            reason: format!(
-                "jobs {} and {} out of arrival order",
-                w[0].id, w[1].id
-            ),
+            reason: format!("jobs {} and {} out of arrival order", w[0].id, w[1].id),
         });
     }
     // infer the mix if the file's applications match a known pair

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The seven pre-trained MXNet models of Figure 2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MxnetModel {
     /// SqueezeNet: millisecond-scale, ~5 MB.
     Squeezenet,
@@ -132,8 +130,10 @@ impl LambdaModel {
     pub fn cold_invocation<R: Rng + ?Sized>(&self, model: MxnetModel, rng: &mut R) -> Invocation {
         let fetch_ms = model.size_mb() / self.s3_mbps * 1000.0;
         let exec = self.jittered(model.compute_ms() + fetch_ms, rng);
-        let overhead =
-            self.jittered(self.provision_ms + self.runtime_init_ms + self.network_rtt_ms, rng);
+        let overhead = self.jittered(
+            self.provision_ms + self.runtime_init_ms + self.network_rtt_ms,
+            rng,
+        );
         Invocation {
             exec_time: SimDuration::from_millis_f64(exec),
             rtt: SimDuration::from_millis_f64(exec + overhead),

@@ -84,7 +84,10 @@ impl PoissonTrace {
     ///
     /// Panics if `lambda` is not positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         PoissonTrace { lambda }
     }
 
@@ -144,7 +147,10 @@ impl WikiLikeTrace {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scaled(factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         let mut t = Self::paper_scale();
         t.avg_rate *= factor;
         t
@@ -213,7 +219,10 @@ impl WitsLikeTrace {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scaled(factor: f64, horizon: SimDuration, structure_seed: u64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         Self::with_rates(240.0 * factor, 1200.0 * factor, horizon, structure_seed)
     }
 
@@ -228,7 +237,10 @@ impl WitsLikeTrace {
         horizon: SimDuration,
         structure_seed: u64,
     ) -> Self {
-        assert!(base_rate > 0.0 && peak_rate >= base_rate, "need 0 < base <= peak");
+        assert!(
+            base_rate > 0.0 && peak_rate >= base_rate,
+            "need 0 < base <= peak"
+        );
         let mut rng = StdRng::seed_from_u64(structure_seed);
         let horizon_s = horizon.as_secs_f64();
         // one spike every ~3 minutes of trace on average

@@ -31,7 +31,11 @@ fn main() {
     let plan = AppPlan::new(&Application::Img.spec(), SlackPolicy::Proportional);
     println!("IMG batch sizes under proportional slack division:");
     for st in plan.stages() {
-        println!("  {:>4}: batch size {}", st.microservice.to_string(), st.batch_size);
+        println!(
+            "  {:>4}: batch size {}",
+            st.microservice.to_string(),
+            st.batch_size
+        );
     }
     println!();
 

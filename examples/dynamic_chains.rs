@@ -20,7 +20,10 @@ fn main() {
     let horizon = SimDuration::from_secs(300);
     let stream = JobStream::generate(&trace, WorkloadMix::Heavy, horizon, 8);
 
-    println!("Heavy mix (IPA + DetectFatigue), {} jobs, early-exit p = {p}\n", stream.len());
+    println!(
+        "Heavy mix (IPA + DetectFatigue), {} jobs, early-exit p = {p}\n",
+        stream.len()
+    );
     println!(
         "{:>12}  {:>12}  {:>12}  {:>12}  {:>10}",
         "chains", "stage_tasks", "containers", "median_ms", "slo_viol%"

@@ -66,7 +66,7 @@ fn main() {
             .join(", ")
     );
 
-    let mut summary = result.breakdown_summary();
+    let summary = result.breakdown_summary();
     let (exec, cold, queue) = summary.mean_components_ms();
     println!(
         "\nmean latency attribution across the mix: exec {exec:.0} ms, cold-start {cold:.0} ms, queuing {queue:.0} ms"

@@ -48,7 +48,10 @@ fn main() {
         "  median latency        : {:.0} ms",
         result.median_latency_ms()
     );
-    println!("  p99 latency           : {:.0} ms", result.p99_latency_ms());
+    println!(
+        "  p99 latency           : {:.0} ms",
+        result.p99_latency_ms()
+    );
     println!(
         "  avg live containers   : {:.1}",
         result.avg_live_containers()

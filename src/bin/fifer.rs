@@ -110,9 +110,7 @@ fn parse_args() -> Args {
             "--warmup" => args.warmup = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--large" => args.large = true,
             "--tenants" => args.tenants = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--early-exit" => {
-                args.early_exit = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--early-exit" => args.early_exit = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--replay" => args.replay = Some(value(&mut i)),
             "--save-workload" => args.save_workload = Some(value(&mut i)),
             "--out" => args.out = Some(value(&mut i)),
@@ -213,17 +211,9 @@ fn main() {
         let r = Simulation::new(cfg, &stream).run();
         if let Some(path) = &args.json {
             // the last RM listed wins when --compare is combined with --json
-            match serde_json::to_string_pretty(&r) {
-                Ok(body) => {
-                    if let Err(e) = fifer::metrics::report::write_file(path, &body) {
-                        eprintln!("error: cannot write {path}: {e}");
-                        exit(1);
-                    }
-                }
-                Err(e) => {
-                    eprintln!("error: cannot serialize result: {e}");
-                    exit(1);
-                }
+            if let Err(e) = fifer::metrics::report::write_file(path, &r.to_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                exit(1);
             }
         }
         println!(

@@ -26,7 +26,10 @@ fn unknown_rm_is_a_named_error() {
 
 #[test]
 fn invalid_early_exit_rejected() {
-    let out = fifer().args(["--early-exit", "1.5"]).output().expect("spawn");
+    let out = fifer()
+        .args(["--early-exit", "1.5"])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--early-exit"));
 }
@@ -34,10 +37,16 @@ fn invalid_early_exit_rejected() {
 #[test]
 fn small_run_prints_summary_row() {
     let out = fifer()
-        .args(["--rm", "bline", "--rate", "5", "--secs", "30", "--seed", "3"])
+        .args([
+            "--rm", "bline", "--rate", "5", "--secs", "30", "--seed", "3",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Bline"), "{stdout}");
     assert!(stdout.contains("jobs over 30s"));
@@ -52,14 +61,20 @@ fn save_and_replay_round_trip() {
     let summary = dir.join("sum.csv");
 
     let save = fifer()
-        .args(["--rm", "bline", "--rate", "5", "--secs", "20", "--seed", "4"])
+        .args([
+            "--rm", "bline", "--rate", "5", "--secs", "20", "--seed", "4",
+        ])
         .arg("--save-workload")
         .arg(&wl)
         .arg("--out")
         .arg(&summary)
         .output()
         .expect("spawn");
-    assert!(save.status.success(), "{}", String::from_utf8_lossy(&save.stderr));
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
     assert!(wl.exists() && summary.exists());
 
     let replay = fifer()
@@ -86,12 +101,18 @@ fn json_export_round_trips() {
     std::fs::create_dir_all(&dir).expect("mkdir");
     let json = dir.join("r.json");
     let out = fifer()
-        .args(["--rm", "bline", "--rate", "5", "--secs", "20", "--seed", "6"])
+        .args([
+            "--rm", "bline", "--rate", "5", "--secs", "20", "--seed", "6",
+        ])
         .arg("--json")
         .arg(&json)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let body = std::fs::read_to_string(&json).expect("json written");
     assert!(body.contains("\"records\""));
     assert!(body.contains("\"total_spawns\""));
@@ -102,10 +123,23 @@ fn json_export_round_trips() {
 #[test]
 fn tenants_flag_is_accepted() {
     let out = fifer()
-        .args(["--rm", "fifer", "--rate", "4", "--secs", "15", "--tenants", "3"])
+        .args([
+            "--rm",
+            "fifer",
+            "--rate",
+            "4",
+            "--secs",
+            "15",
+            "--tenants",
+            "3",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("Fifer"));
 }
 

@@ -25,7 +25,7 @@ fn all_rms_complete_every_job_on_every_mix() {
                 s.len(),
                 "{kind}/{mix}: every job must complete"
             );
-            assert_eq!(r.failed_spawns == 0 || r.total_spawns > 0, true);
+            assert!(r.failed_spawns == 0 || r.total_spawns > 0);
         }
     }
 }
@@ -84,7 +84,10 @@ fn warmup_excludes_early_jobs_from_metrics() {
         .count();
     assert_eq!(r.records.len(), post_warmup);
     assert_eq!(r.slo_whole_run.total() as usize, s.len());
-    assert!(r.records.iter().all(|rec| rec.submitted >= SimTime::from_secs(30)));
+    assert!(r
+        .records
+        .iter()
+        .all(|rec| rec.submitted >= SimTime::from_secs(30)));
 }
 
 #[test]
@@ -115,10 +118,7 @@ fn stage_arrivals_match_chain_lengths() {
     let r = Simulation::new(cfg, &s).run();
     // Heavy = IPA (3 stages) + DetectFatigue (4 stages); total stage tasks
     // must equal the sum of chain lengths over jobs
-    let expected: u64 = s
-        .iter()
-        .map(|j| j.app.chain().len() as u64)
-        .sum();
+    let expected: u64 = s.iter().map(|j| j.app.chain().len() as u64).sum();
     let total_tasks: u64 = r.stages.values().map(|st| st.tasks_executed).sum();
     assert_eq!(total_tasks, expected);
 }

@@ -103,8 +103,7 @@ fn bursty_trace_separates_the_schemes() {
     let rscale = run(RmKind::RScale, &s, rate, 200);
     let fifer = run(RmKind::Fifer, &s, rate, 200);
     assert!(
-        sbatch.slo_whole_run.violation_fraction()
-            > 3.0 * fifer.slo_whole_run.violation_fraction(),
+        sbatch.slo_whole_run.violation_fraction() > 3.0 * fifer.slo_whole_run.violation_fraction(),
         "SBatch ({:.3}) must violate far more than Fifer ({:.3}) on bursts",
         sbatch.slo_whole_run.violation_fraction(),
         fifer.slo_whole_run.violation_fraction()
@@ -167,8 +166,10 @@ fn lstm_beats_mwa_on_dynamic_load() {
     let series = window_max_series(&arrivals, 5);
     let (train, test) = train_test_split(&series);
 
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 15;
+    let cfg = TrainConfig {
+        epochs: 15,
+        ..TrainConfig::default()
+    };
     let eval = |p: &mut dyn fifer::predict::LoadPredictor| {
         p.pretrain(train);
         for &v in &train[train.len() - 20..] {

@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so `cargo bench` runs
+//! against this minimal harness instead: every benchmark is warmed up,
+//! timed over a fixed wall-clock budget, and reported as `mean ns/iter`
+//! (median of batch means) on stdout. The statistical machinery of real
+//! criterion (outlier rejection, regressions, HTML reports) is out of
+//! scope — the numbers are honest but unadorned.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Wall-clock budget spent warming up each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+pub use std::hint::black_box;
+
+/// Times one closure over repeated iterations.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup: also estimates the per-iteration cost to size batches
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        // measure in batches; report the median batch mean
+        let batch = ((10_000_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        let mut batch_means: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch_means.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        batch_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = batch_means[batch_means.len() / 2];
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    if b.ns_per_iter >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", b.ns_per_iter / 1e6);
+    } else if b.ns_per_iter >= 1_000.0 {
+        println!("{name:<50} {:>12.3} us/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("{name:<50} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// Benchmark registry/driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group (flat in this harness; the name prefixes ids).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named parameterized benchmark id (`group/name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; budgets are fixed in this harness.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.prefix, name), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.prefix, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; the real crate flushes reports here).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::new("x", 3), &3u64, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lsf", 10).to_string(), "lsf/10");
+    }
+}

@@ -1,0 +1,372 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic mini property-testing harness. It covers exactly the
+//! strategy combinators this workspace's property tests use — scalar
+//! ranges, tuples, `Just`, `prop_map`, `prop_oneof!` (optionally
+//! weighted), `prop::collection::vec` and `any::<bool>()` — and runs each
+//! property over a fixed-seed pseudo-random case stream, so failures
+//! reproduce bit-identically on every machine. No shrinking: the failing
+//! input is printed via the panic message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases per property unless overridden by
+/// [`ProptestConfig::with_cases`].
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-property configuration (subset: case count only).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many generated cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The case generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic generator for one case index (used by the
+/// `proptest!` expansion; public so generated code can reach it).
+pub fn rng_for_case(case: u32) -> TestRng {
+    TestRng::seed_from_u64(0xF1FE_0000u64 ^ u64::from(case))
+}
+
+/// A value generator. Unlike upstream proptest there is no shrinking
+/// tree — `generate` yields the value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (for heterogeneous `prop_oneof!` arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// A boxed, shareable strategy.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// The canonical full-range strategy for the type.
+    fn arbitrary() -> ArbitraryOf<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryOf<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for ArbitraryOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbitraryOf<bool> {
+        ArbitraryOf(|rng| rng.gen_bool(0.5))
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> ArbitraryOf<u64> {
+        ArbitraryOf(|rng| rng.next_u64())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> ArbitraryOf<f64> {
+        ArbitraryOf(|rng| rng.gen_range(-1e9..1e9))
+    }
+}
+
+/// Full-range strategy for `T` (bool/u64/f64 here).
+pub fn any<T: Arbitrary>() -> ArbitraryOf<T> {
+    T::arbitrary()
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no arm is given or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof needs at least one weighted arm");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.gen_range(0u32..self.total);
+        for (w, s) in &self.arms {
+            if roll < *w {
+                return s.generate(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weights summed correctly")
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `vec(strategy, min..max)`: vectors of `min..max` elements.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            elem,
+            min: len.start,
+            max: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.min + 1 == self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace tests import via `prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests `use proptest::prelude::*` for.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// expands to a normal test that replays the property over a
+/// deterministic, fixed-seed case stream.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($argp:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                // one independent, deterministic generator per case, so a
+                // failure message identifies the reproducing case index
+                let mut prop_rng = $crate::rng_for_case(case);
+                $(let $argp = $crate::Strategy::generate(&$strat, &mut prop_rng);)+
+                $body
+            }
+        }
+    )*};
+    // with a leading #![proptest_config(...)]
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    // without a config: default case count
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = (0u64..10, 0.0f64..1.0);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 10 && (0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let s = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let ones = (0..1000).filter(|_| s.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "{ones}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let s = collection::vec(0u64..5, 2..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns bind, bodies run.
+        #[test]
+        fn macro_smoke(mut xs in collection::vec(0u64..100, 1..10), flip in any::<bool>()) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            let negated = !flip;
+            prop_assert_eq!(flip, !negated);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, and nothing in this
+//! workspace performs actual serde serialization (JSON artifacts are
+//! written by hand — see `fifer_metrics::report` and `SimResult::to_json`).
+//! The derives remain on every type so the code keeps its upstream shape;
+//! here they resolve to no-op macros, and the traits are blanket-satisfied
+//! markers, so bounds like `T: Serialize` keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait: every type "serializes".
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait: every type "deserializes".
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of serde's `de` module for `use serde::de::...` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of serde's `ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}
