@@ -15,6 +15,11 @@
 //!   forecast-driven scaling (Algorithm 1 e),
 //! * [`rm`] — the five resource-manager configurations evaluated in §6
 //!   (Bline, SBatch, RScale, BPred, Fifer),
+//! * [`policy`] — the [`policy::ResourceManager`] decision-hook trait that
+//!   turns those configurations into pluggable policy objects
+//!   (`RmKind::build() -> Box<dyn ResourceManager>`), the read-only
+//!   [`policy::ClusterView`]/[`policy::StageView`] snapshots they consume,
+//!   and the typed [`policy::Decision`]s they emit,
 //! * [`features`] — the Table 6 feature matrix versus related work.
 //!
 //! The event-driven cluster substrate that executes these policies lives in
@@ -36,11 +41,13 @@
 
 pub mod features;
 pub mod met;
+pub mod policy;
 pub mod rm;
 pub mod scaling;
 pub mod scheduling;
 pub mod slack;
 
+pub use policy::{ClusterView, ContainerView, Decision, DecisionCause, ResourceManager, StageView};
 pub use rm::{BatchingMode, NodePlacement, PredictorChoice, RmConfig, RmKind, ScalingMode};
 pub use scheduling::{ContainerSelection, SchedulingPolicy};
 pub use slack::{AppPlan, SlackPolicy, StagePlan};

@@ -1,0 +1,926 @@
+//! The policy/mechanism boundary: resource-manager decision hooks.
+//!
+//! Every result in the paper's §6 is a function of the *policy* (scaling,
+//! placement, dispatch, batching) applied to one cluster *mechanism*. This
+//! module makes that boundary a hard one: a [`ResourceManager`] is a set of
+//! decision hooks that consume read-only [`ClusterView`]/[`StageView`]
+//! snapshots and emit typed [`Decision`]s; the simulator's mechanism
+//! modules (`fifer-sim`) *apply* those decisions — spawn, kill, dispatch —
+//! but never make them. Adding a sixth resource manager is a new struct
+//! implementing this trait, not an edit to the event loop.
+//!
+//! The paper's five managers (§5.3) are provided as separate policy
+//! structs — [`BlinePolicy`], [`SBatchPolicy`], [`RScalePolicy`],
+//! [`BPredPolicy`], [`FiferPolicy`] — built through the registry
+//! ([`RmConfig::build_rm`] / [`RmKind::build`]).
+//!
+//! # Hook protocol
+//!
+//! The driver invokes hooks at well-defined points of the event loop and
+//! applies the returned decisions in order:
+//!
+//! * [`on_start`](ResourceManager::on_start) — once before the first event
+//!   (SBatch provisions its fixed pool here, §5.3),
+//! * [`on_arrival`](ResourceManager::on_arrival) — a task entered a
+//!   stage's global queue (front-door arrival or chain transition),
+//! * [`on_task_finish`](ResourceManager::on_task_finish) — a container
+//!   completed a task,
+//! * [`on_queue_blocked`](ResourceManager::on_queue_blocked) — the
+//!   dispatcher found queued tasks but no free container slot; spawn
+//!   ([`Decision::SpawnContainer`], AWS-style §2.2) or leave them queued
+//!   for the scalers ([`Decision::Requeue`]),
+//! * [`on_reactive_tick`](ResourceManager::on_reactive_tick) — the fast
+//!   queue-delay check (Algorithm 1 a/b); only stages with pending work
+//!   are in the view,
+//! * [`on_monitor_tick`](ResourceManager::on_monitor_tick) — the slow
+//!   monitoring tick (§4.5); proactive forecasting happens here,
+//! * [`on_idle_deadline`](ResourceManager::on_idle_deadline) — containers
+//!   idle past the configured timeout (§4.4.1); kill them or keep them.
+//!
+//! Views are immutable snapshots taken when the hook fires; decisions are
+//! applied after the hook returns, so a policy never observes its own
+//! half-applied output.
+
+use crate::rm::{PredictorChoice, RmConfig, RmKind, ScalingMode};
+use crate::scaling::{
+    proactive_containers_needed, reactive_containers_needed, static_pool_size, ProactiveInputs,
+    ReactiveInputs,
+};
+use fifer_metrics::{SimDuration, SimTime};
+use fifer_predict::LoadPredictor;
+use std::cmp::Reverse;
+
+/// Read-only snapshot of one stage, passed to decision hooks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageView {
+    /// Stage table index (the id used in [`Decision`]s).
+    pub stage: usize,
+    /// Unscheduled tasks in the stage's global queue.
+    pub pending: usize,
+    /// Tasks waiting anywhere in the stage (global queue plus
+    /// bound-but-not-executing) — the paper's `PQ_len`.
+    pub waiting_total: usize,
+    /// Containers currently serving the stage (cold starters included).
+    pub num_containers: usize,
+    /// The stage's batch size `B_size`.
+    pub batch_size: usize,
+    /// Per-stage response budget `S_r = slack + exec`.
+    pub response_latency: SimDuration,
+    /// Allocated slack (the reactive trigger threshold, Algorithm 1 a).
+    pub slack: SimDuration,
+    /// Mean execution time of the stage's microservice.
+    pub mean_exec: SimDuration,
+    /// Expected cold-start latency for the stage's container image `C_d`.
+    pub cold_start: SimDuration,
+    /// Worst queuing delay observed recently (Algorithm 1 a signal).
+    /// Populated on reactive ticks; zero in other hooks.
+    pub observed_delay: SimDuration,
+    /// Cumulative arrivals into this stage (for demand-share estimates).
+    pub arrivals: u64,
+    /// Static fraction of workload-mix arrivals that reach this stage's
+    /// microservice (used to size fixed pools offline, §5.3).
+    pub mix_share: f64,
+}
+
+/// Read-only snapshot of one container, passed to
+/// [`ResourceManager::on_idle_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerView {
+    /// Container id (the id used in [`Decision::KillContainer`]).
+    pub container: u64,
+    /// Stage the container serves.
+    pub stage: usize,
+    /// Node hosting the container.
+    pub node: usize,
+    /// Last instant the container finished or received work.
+    pub last_used: SimTime,
+}
+
+/// Read-only cluster-level snapshot passed to every decision hook.
+///
+/// `stages` is hook-dependent: all stages on monitor ticks and at start,
+/// only pending dirty stages on reactive ticks, and empty for the per-task
+/// hooks (which receive their own [`StageView`] argument instead).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Jobs that have arrived at the front door so far.
+    pub total_arrivals: u64,
+    /// Window-max arrival rate from the load monitor (req/s). Populated on
+    /// monitor ticks for policies whose [`ResourceManager::observes_load`]
+    /// is true; zero elsewhere.
+    pub global_rate: f64,
+    /// Expected average arrival rate the operator configured (sizes
+    /// SBatch's fixed pool, §5.3).
+    pub expected_avg_rate: f64,
+    /// Independent tenants sharing the cluster (stage pools replicate per
+    /// tenant).
+    pub tenants: usize,
+    /// Pre-warmed pool floor: idle containers per stage exempt from
+    /// reclamation (§2.2.1).
+    pub min_warm_pool: usize,
+    /// Idle-container reclamation timeout (§4.4.1).
+    pub idle_timeout: SimDuration,
+    /// Stage snapshots (see the struct-level note on hook dependence).
+    pub stages: &'a [StageView],
+}
+
+/// A typed decision a policy hands back to the mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Spawn up to `count` containers for `stage`; the mechanism stops
+    /// early when the cluster is full and nothing can be evicted.
+    SpawnContainer {
+        /// Target stage (a `StageView::stage` index).
+        stage: usize,
+        /// Containers to add.
+        count: usize,
+    },
+    /// Kill one idle container and release its resources. The mechanism
+    /// rejects (and trace-logs) kills of busy or dead containers.
+    KillContainer {
+        /// Victim container id.
+        container: u64,
+    },
+    /// Drain `stage`'s global queue into free container slots under the
+    /// configured scheduling/selection policies.
+    DispatchBatch {
+        /// Stage whose queue to drain.
+        stage: usize,
+    },
+    /// Leave `stage`'s queued tasks waiting (for the scalers to add
+    /// capacity) — the batching managers' answer to a blocked queue.
+    Requeue {
+        /// Stage whose tasks stay queued.
+        stage: usize,
+    },
+    /// Explicit no-op (useful for hook defaults and tracing).
+    Noop,
+}
+
+/// Which hook (or mechanism path) produced an applied decision — the cause
+/// attribution threaded through the structured trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionCause {
+    /// `on_start` (fixed-pool provisioning).
+    Startup,
+    /// `on_arrival`.
+    Arrival,
+    /// `on_task_finish`.
+    TaskFinish,
+    /// `on_queue_blocked` (on-demand spawning).
+    QueueBlocked,
+    /// `on_reactive_tick` (Algorithm 1 a/b).
+    ReactiveTick,
+    /// `on_monitor_tick` (proactive forecasting, Algorithm 1 e).
+    MonitorTick,
+    /// `on_idle_deadline` (idle reclamation, §4.4.1).
+    IdleDeadline,
+    /// Mechanism: pre-warmed pool floor top-up (§2.2.1).
+    WarmPoolFloor,
+    /// Mechanism: LRU-idle eviction under capacity pressure.
+    CapacityEviction,
+    /// Mechanism: a cold-started container warmed up and drained queues.
+    ContainerWarm,
+}
+
+impl DecisionCause {
+    /// Stable lowercase name (used by the JSONL trace export).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionCause::Startup => "startup",
+            DecisionCause::Arrival => "arrival",
+            DecisionCause::TaskFinish => "task_finish",
+            DecisionCause::QueueBlocked => "queue_blocked",
+            DecisionCause::ReactiveTick => "reactive_tick",
+            DecisionCause::MonitorTick => "monitor_tick",
+            DecisionCause::IdleDeadline => "idle_deadline",
+            DecisionCause::WarmPoolFloor => "warm_pool_floor",
+            DecisionCause::CapacityEviction => "capacity_eviction",
+            DecisionCause::ContainerWarm => "container_warm",
+        }
+    }
+}
+
+/// A resource manager as a set of decision hooks.
+///
+/// Implementations must be deterministic functions of the views they are
+/// given (plus their own internal state, e.g. a load predictor): the
+/// simulator's reproducibility guarantees depend on it. All hooks have
+/// no-op (or dispatch-only) defaults, so a minimal policy only overrides
+/// what it cares about.
+pub trait ResourceManager: Send {
+    /// Short display name (e.g. for traces and reports).
+    fn name(&self) -> &'static str;
+
+    /// Whether the driver should run the fast reactive-scaling tick for
+    /// this policy ([`on_reactive_tick`](Self::on_reactive_tick) only
+    /// fires when this is true).
+    fn wants_reactive_ticks(&self) -> bool {
+        false
+    }
+
+    /// Whether the policy consumes the load monitor's arrival-rate signal
+    /// each monitor tick. Drives one modeled stats-store read per tick and
+    /// populates [`ClusterView::global_rate`].
+    fn observes_load(&self) -> bool {
+        false
+    }
+
+    /// Called once at `t = 0`, before any event. `view.stages` holds every
+    /// stage.
+    fn on_start(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        let _ = (view, out);
+    }
+
+    /// A task entered `stage`'s global queue. Default: drain the queue.
+    fn on_arrival(&mut self, view: &ClusterView, stage: &StageView, out: &mut Vec<Decision>) {
+        let _ = view;
+        out.push(Decision::DispatchBatch { stage: stage.stage });
+    }
+
+    /// `container` finished a task at `stage`. The mechanism has already
+    /// started the container's next local task; the default decision
+    /// re-drains the stage's global queue into the freed slot.
+    fn on_task_finish(
+        &mut self,
+        view: &ClusterView,
+        stage: &StageView,
+        container: u64,
+        out: &mut Vec<Decision>,
+    ) {
+        let _ = (view, container);
+        out.push(Decision::DispatchBatch { stage: stage.stage });
+    }
+
+    /// The dispatcher holds queued tasks for `stage` but found no free
+    /// container slot. Return [`Decision::SpawnContainer`] to spawn on
+    /// demand (per-request, AWS-style) or [`Decision::Requeue`] to leave
+    /// the tasks for the scalers. Default: requeue.
+    fn on_queue_blocked(&mut self, view: &ClusterView, stage: &StageView) -> Decision {
+        let _ = view;
+        Decision::Requeue { stage: stage.stage }
+    }
+
+    /// Fast reactive check (Algorithm 1 a/b). `view.stages` holds only the
+    /// stages with pending work since their backlog last drained, with
+    /// [`StageView::observed_delay`] populated.
+    fn on_reactive_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        let _ = (view, out);
+    }
+
+    /// Slow monitoring tick (the paper's `T` = 10 s, §4.5). `view.stages`
+    /// holds every stage; [`ClusterView::global_rate`] carries the load
+    /// monitor's window-max arrival rate when
+    /// [`observes_load`](Self::observes_load) is true.
+    fn on_monitor_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        let _ = (view, out);
+    }
+
+    /// `expired` lists containers idle past [`ClusterView::idle_timeout`]
+    /// (in container-id order). Emit [`Decision::KillContainer`]s to
+    /// reclaim them; emit nothing to keep them (fixed pools).
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        let _ = (view, expired, out);
+    }
+}
+
+// ---- shared policy building blocks -------------------------------------
+
+/// The optional load predictor a policy carries (§4.5): observes the
+/// monitor's window-max rate every tick, forecasts on demand.
+struct LoadModel {
+    predictor: Option<Box<dyn LoadPredictor + Send>>,
+}
+
+impl LoadModel {
+    fn build(choice: PredictorChoice, seed: u64, pretrain: &[f64]) -> Self {
+        let predictor = match choice {
+            PredictorChoice::None => None,
+            PredictorChoice::Model(kind) => {
+                let mut p = kind.build(seed);
+                if !pretrain.is_empty() {
+                    p.pretrain(pretrain);
+                }
+                Some(p)
+            }
+        };
+        LoadModel { predictor }
+    }
+
+    fn present(&self) -> bool {
+        self.predictor.is_some()
+    }
+
+    fn observe(&mut self, rate: f64) {
+        if let Some(p) = self.predictor.as_mut() {
+            p.observe(rate);
+        }
+    }
+
+    fn forecast(&mut self) -> Option<f64> {
+        self.predictor.as_mut().map(|p| p.forecast())
+    }
+}
+
+/// Reactive scaling over the pending stages in `view` (Algorithm 1 a/b):
+/// one spawn batch plus a dispatch per stage that needs containers.
+fn reactive_decisions(view: &ClusterView, out: &mut Vec<Decision>) {
+    for s in view.stages {
+        let needed = reactive_containers_needed(&ReactiveInputs {
+            pending_queue_len: s.waiting_total,
+            num_containers: s.num_containers,
+            batch_size: s.batch_size,
+            stage_response_latency: s.response_latency,
+            cold_start: s.cold_start,
+            observed_delay: s.observed_delay,
+            stage_slack: s.slack,
+        });
+        if needed > 0 {
+            out.push(Decision::SpawnContainer {
+                stage: s.stage,
+                count: needed,
+            });
+            out.push(Decision::DispatchBatch { stage: s.stage });
+        }
+    }
+}
+
+/// Proactive scaling (Algorithm 1 e): pre-spawn so the forecast demand
+/// fits capacity. Each stage's share of the forecast follows its observed
+/// share of arrivals; the per-container demand window is the response
+/// budget with batching, the mean exec time without (one request per
+/// container turnover).
+fn proactive_decisions(view: &ClusterView, batches: bool, forecast: f64, out: &mut Vec<Decision>) {
+    for s in view.stages {
+        let share = if view.total_arrivals == 0 {
+            0.0
+        } else {
+            (s.arrivals as f64 / view.total_arrivals as f64).min(1.0)
+        };
+        if share <= 0.0 {
+            continue;
+        }
+        let window = if batches {
+            s.response_latency
+        } else {
+            s.mean_exec
+        };
+        let needed = proactive_containers_needed(&ProactiveInputs {
+            forecast_rate: forecast * share,
+            num_containers: s.num_containers,
+            batch_size: s.batch_size,
+            stage_response_latency: window,
+        });
+        if needed > 0 {
+            out.push(Decision::SpawnContainer {
+                stage: s.stage,
+                count: needed,
+            });
+        }
+    }
+}
+
+/// Idle reclamation with the pre-warmed pool floor exemption (§4.4.1,
+/// §2.2.1): every expired container dies, except that each stage keeps its
+/// `min_warm_pool` most-recently-used expired containers alive.
+fn reclaim_decisions(view: &ClusterView, expired: &[ContainerView], out: &mut Vec<Decision>) {
+    let floor = view.min_warm_pool;
+    if floor == 0 {
+        // no pool floor: every expired container dies, no ordering needed
+        out.extend(expired.iter().map(|c| Decision::KillContainer {
+            container: c.container,
+        }));
+        return;
+    }
+    let num_stages = expired.iter().map(|c| c.stage + 1).max().unwrap_or(0);
+    let mut by_stage: Vec<Vec<&ContainerView>> = vec![Vec::new(); num_stages];
+    for c in expired {
+        by_stage[c.stage].push(c);
+    }
+    for mut ids in by_stage {
+        if ids.len() <= floor {
+            continue; // the whole stage fits under the floor
+        }
+        // rank key (Reverse(last_used), id) is unique per container, so the
+        // kept set matches a stable descending-recency sort at O(n)
+        ids.select_nth_unstable_by_key(floor - 1, |c| (Reverse(c.last_used), c.container));
+        out.extend(ids[floor..].iter().map(|c| Decision::KillContainer {
+            container: c.container,
+        }));
+    }
+}
+
+// ---- the paper's five resource managers --------------------------------
+
+/// Bline (§3): the AWS-style baseline. No batching; every request that
+/// finds no free container spawns its own
+/// ([`ResourceManager::on_queue_blocked`] → spawn); idle containers are
+/// reclaimed on timeout.
+pub struct BlinePolicy {
+    load: LoadModel,
+}
+
+impl ResourceManager for BlinePolicy {
+    fn name(&self) -> &'static str {
+        "Bline"
+    }
+
+    fn observes_load(&self) -> bool {
+        self.load.present()
+    }
+
+    fn on_queue_blocked(&mut self, _view: &ClusterView, stage: &StageView) -> Decision {
+        Decision::SpawnContainer {
+            stage: stage.stage,
+            count: 1,
+        }
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, _out: &mut Vec<Decision>) {
+        // the predictor (if an ablation attached one) keeps learning the
+        // arrival process, but OnDemand scaling never queries it
+        self.load.observe(view.global_rate);
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        reclaim_decisions(view, expired, out);
+    }
+}
+
+/// SBatch (§5.3): static equal-slack batching on a fixed pool sized to the
+/// trace's average rate at startup. Never scales, never reclaims.
+pub struct SBatchPolicy {
+    load: LoadModel,
+}
+
+impl ResourceManager for SBatchPolicy {
+    fn name(&self) -> &'static str {
+        "SBatch"
+    }
+
+    fn observes_load(&self) -> bool {
+        self.load.present()
+    }
+
+    fn on_start(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        // fixed per-stage pools; with multiple tenants the stage table is
+        // replicated and jobs split evenly, so each tenant's pool covers
+        // its share of the configured average rate
+        let per_tenant_rate = view.expected_avg_rate / view.tenants as f64;
+        for s in view.stages {
+            let rate = per_tenant_rate * s.mix_share;
+            if rate <= 0.0 {
+                continue;
+            }
+            out.push(Decision::SpawnContainer {
+                stage: s.stage,
+                count: static_pool_size(rate, s.batch_size, s.response_latency),
+            });
+        }
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, _out: &mut Vec<Decision>) {
+        self.load.observe(view.global_rate);
+    }
+
+    // on_idle_deadline: default no-op — the fixed pool is never reclaimed
+}
+
+/// RScale (§5.3): dynamic slack-aware batching with reactive scaling only
+/// (Algorithm 1 a/b) — GrandSLAm-like. Blocked queues wait for the scaler.
+pub struct RScalePolicy {
+    load: LoadModel,
+}
+
+impl ResourceManager for RScalePolicy {
+    fn name(&self) -> &'static str {
+        "RScale"
+    }
+
+    fn wants_reactive_ticks(&self) -> bool {
+        true
+    }
+
+    fn observes_load(&self) -> bool {
+        self.load.present()
+    }
+
+    fn on_reactive_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        reactive_decisions(view, out);
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, _out: &mut Vec<Decision>) {
+        self.load.observe(view.global_rate);
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        reclaim_decisions(view, expired, out);
+    }
+}
+
+/// The shared reactive-plus-proactive scaling core behind [`BPredPolicy`]
+/// and [`FiferPolicy`]: reactive ticks, forecast-driven pre-spawning at
+/// monitor ticks, and timeout reclamation. `batches` selects the proactive
+/// demand window and whether blocked queues spawn on demand (non-batching
+/// managers keep Bline-style per-request spawning, §5.3).
+struct ProactiveCore {
+    batches: bool,
+    load: LoadModel,
+}
+
+impl ProactiveCore {
+    fn on_queue_blocked(&mut self, stage: &StageView) -> Decision {
+        if self.batches {
+            Decision::Requeue { stage: stage.stage }
+        } else {
+            Decision::SpawnContainer {
+                stage: stage.stage,
+                count: 1,
+            }
+        }
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        self.load.observe(view.global_rate);
+        if let Some(forecast) = self.load.forecast() {
+            proactive_decisions(view, self.batches, forecast, out);
+        }
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        reclaim_decisions(view, expired, out);
+    }
+}
+
+/// BPred (§5.3): Bline plus LSF scheduling and EWMA prediction —
+/// Archipelago-like. No batching, so blocked queues still spawn per
+/// request; the predictor pre-spawns ahead of forecast load.
+pub struct BPredPolicy {
+    core: ProactiveCore,
+}
+
+impl ResourceManager for BPredPolicy {
+    fn name(&self) -> &'static str {
+        "BPred"
+    }
+
+    fn wants_reactive_ticks(&self) -> bool {
+        true
+    }
+
+    fn observes_load(&self) -> bool {
+        self.core.load.present()
+    }
+
+    fn on_queue_blocked(&mut self, _view: &ClusterView, stage: &StageView) -> Decision {
+        self.core.on_queue_blocked(stage)
+    }
+
+    fn on_reactive_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        reactive_decisions(view, out);
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        self.core.on_monitor_tick(view, out);
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        self.core.on_idle_deadline(view, expired, out);
+    }
+}
+
+/// Fifer (§4): the full system — dynamic slack-aware batching, reactive
+/// plus LSTM-proactive scaling, and timeout reclamation. Blocked queues
+/// requeue (batching absorbs bursts); capacity arrives from the scalers.
+pub struct FiferPolicy {
+    core: ProactiveCore,
+}
+
+impl ResourceManager for FiferPolicy {
+    fn name(&self) -> &'static str {
+        "Fifer"
+    }
+
+    fn wants_reactive_ticks(&self) -> bool {
+        true
+    }
+
+    fn observes_load(&self) -> bool {
+        self.core.load.present()
+    }
+
+    fn on_queue_blocked(&mut self, _view: &ClusterView, stage: &StageView) -> Decision {
+        self.core.on_queue_blocked(stage)
+    }
+
+    fn on_reactive_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        reactive_decisions(view, out);
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        self.core.on_monitor_tick(view, out);
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        self.core.on_idle_deadline(view, expired, out);
+    }
+}
+
+// ---- registry ----------------------------------------------------------
+
+impl RmConfig {
+    /// Builds the resource-manager policy this configuration describes.
+    ///
+    /// The scaling mode selects the policy struct; batching, predictor and
+    /// the scheduling/selection/placement choices parameterize it (the
+    /// latter three are applied by the simulator's dispatcher, which reads
+    /// them straight from the config). `seed` seeds any stochastic
+    /// predictor; `pretrain` optionally pre-trains it on a historical
+    /// window-max rate series (§4.5.1).
+    pub fn build_rm(&self, seed: u64, pretrain: &[f64]) -> Box<dyn ResourceManager> {
+        let load = LoadModel::build(self.predictor, seed, pretrain);
+        match self.scaling {
+            ScalingMode::OnDemand => Box::new(BlinePolicy { load }),
+            ScalingMode::FixedPool => Box::new(SBatchPolicy { load }),
+            ScalingMode::Reactive => Box::new(RScalePolicy { load }),
+            ScalingMode::ReactivePlusProactive => {
+                let core = ProactiveCore {
+                    batches: self.batching.batches(),
+                    load,
+                };
+                if core.batches {
+                    Box::new(FiferPolicy { core })
+                } else {
+                    Box::new(BPredPolicy { core })
+                }
+            }
+        }
+    }
+}
+
+impl RmKind {
+    /// Builds this named resource manager's policy (no pre-training).
+    pub fn build(self, seed: u64) -> Box<dyn ResourceManager> {
+        self.config().build_rm(seed, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifer_predict::PredictorKind;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn stage_view(stage: usize) -> StageView {
+        StageView {
+            stage,
+            pending: 0,
+            waiting_total: 0,
+            num_containers: 0,
+            batch_size: 4,
+            response_latency: ms(400),
+            slack: ms(350),
+            mean_exec: ms(50),
+            cold_start: SimDuration::from_secs(3),
+            observed_delay: SimDuration::ZERO,
+            arrivals: 0,
+            mix_share: 0.5,
+        }
+    }
+
+    fn view<'a>(stages: &'a [StageView]) -> ClusterView<'a> {
+        ClusterView {
+            now: SimTime::ZERO,
+            total_arrivals: 0,
+            global_rate: 0.0,
+            expected_avg_rate: 40.0,
+            tenants: 1,
+            min_warm_pool: 0,
+            idle_timeout: SimDuration::from_secs(600),
+            stages,
+        }
+    }
+
+    fn cv(container: u64, stage: usize, last_used_s: u64) -> ContainerView {
+        ContainerView {
+            container,
+            stage,
+            node: 0,
+            last_used: SimTime::from_secs(last_used_s),
+        }
+    }
+
+    #[test]
+    fn registry_builds_the_papers_five() {
+        let names: Vec<&str> = RmKind::ALL.iter().map(|k| k.build(1).name()).collect();
+        assert_eq!(names, ["Bline", "SBatch", "RScale", "BPred", "Fifer"]);
+    }
+
+    #[test]
+    fn reactive_ticks_follow_scaling_mode() {
+        assert!(!RmKind::Bline.build(1).wants_reactive_ticks());
+        assert!(!RmKind::SBatch.build(1).wants_reactive_ticks());
+        assert!(RmKind::RScale.build(1).wants_reactive_ticks());
+        assert!(RmKind::BPred.build(1).wants_reactive_ticks());
+        assert!(RmKind::Fifer.build(1).wants_reactive_ticks());
+    }
+
+    #[test]
+    fn only_predictor_policies_observe_load() {
+        assert!(!RmKind::Bline.build(1).observes_load());
+        assert!(!RmKind::RScale.build(1).observes_load());
+        assert!(RmKind::BPred.build(1).observes_load());
+        assert!(RmKind::Fifer.build(1).observes_load());
+        // an ablation can attach a predictor to any mode; it then observes
+        let ablated = RmKind::Bline.config().with_predictor(PredictorKind::Ewma);
+        assert!(ablated.build_rm(1, &[]).observes_load());
+    }
+
+    #[test]
+    fn bline_spawns_on_blocked_queue_fifer_requeues() {
+        let sv = stage_view(2);
+        let v = view(&[]);
+        assert_eq!(
+            RmKind::Bline.build(1).on_queue_blocked(&v, &sv),
+            Decision::SpawnContainer { stage: 2, count: 1 }
+        );
+        assert_eq!(
+            RmKind::BPred.build(1).on_queue_blocked(&v, &sv),
+            Decision::SpawnContainer { stage: 2, count: 1 },
+            "non-batching BPred keeps Bline-style per-request spawning"
+        );
+        assert_eq!(
+            RmKind::Fifer.build(1).on_queue_blocked(&v, &sv),
+            Decision::Requeue { stage: 2 }
+        );
+        assert_eq!(
+            RmKind::SBatch.build(1).on_queue_blocked(&v, &sv),
+            Decision::Requeue { stage: 2 }
+        );
+    }
+
+    #[test]
+    fn sbatch_provisions_static_pools_at_start() {
+        let stages = [stage_view(0), {
+            let mut s = stage_view(1);
+            s.mix_share = 0.0; // a stage no mix traffic reaches
+            s
+        }];
+        let v = view(&stages);
+        let mut out = Vec::new();
+        RmKind::SBatch.build(1).on_start(&v, &mut out);
+        // 40 req/s × 0.5 share × 0.4 s budget = 8 in flight / batch 4 → 2
+        assert_eq!(
+            out,
+            vec![Decision::SpawnContainer { stage: 0, count: 2 }],
+            "zero-share stages get no pool"
+        );
+    }
+
+    #[test]
+    fn fixed_pool_never_reclaims() {
+        let v = view(&[]);
+        let expired = [cv(1, 0, 0), cv(2, 0, 5)];
+        let mut out = Vec::new();
+        RmKind::SBatch
+            .build(1)
+            .on_idle_deadline(&v, &expired, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reclaim_kills_all_without_floor() {
+        let v = view(&[]);
+        let expired = [cv(3, 0, 0), cv(7, 1, 5), cv(9, 0, 2)];
+        let mut out = Vec::new();
+        RmKind::Bline
+            .build(1)
+            .on_idle_deadline(&v, &expired, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn reclaim_floor_boundary_is_exact() {
+        let mut v = view(&[]);
+        v.min_warm_pool = 2;
+        let mut rm = RmKind::Bline.build(1);
+        // exactly `floor` expired containers → all survive
+        let expired = [cv(1, 0, 10), cv(2, 0, 20)];
+        let mut out = Vec::new();
+        rm.on_idle_deadline(&v, &expired, &mut out);
+        assert!(out.is_empty(), "at the floor boundary nothing dies");
+        // one past the floor → exactly the least-recently-used one dies
+        let expired = [cv(1, 0, 10), cv(2, 0, 20), cv(3, 0, 5)];
+        out.clear();
+        rm.on_idle_deadline(&v, &expired, &mut out);
+        assert_eq!(out, vec![Decision::KillContainer { container: 3 }]);
+    }
+
+    #[test]
+    fn reclaim_floor_is_per_stage() {
+        let mut v = view(&[]);
+        v.min_warm_pool = 1;
+        let expired = [cv(1, 0, 10), cv(2, 0, 20), cv(3, 1, 5)];
+        let mut out = Vec::new();
+        RmKind::Fifer
+            .build(1)
+            .on_idle_deadline(&v, &expired, &mut out);
+        // stage 0 keeps its most recent (2), kills 1; stage 1 is at floor
+        assert_eq!(out, vec![Decision::KillContainer { container: 1 }]);
+    }
+
+    #[test]
+    fn reactive_decisions_spawn_and_dispatch() {
+        let mut s = stage_view(0);
+        s.waiting_total = 9;
+        s.num_containers = 0;
+        s.batch_size = 5;
+        s.observed_delay = ms(500); // past slack → triggered
+        let stages = [s];
+        let v = view(&stages);
+        let mut out = Vec::new();
+        RmKind::RScale.build(1).on_reactive_tick(&v, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Decision::SpawnContainer { stage: 0, count: 2 },
+                Decision::DispatchBatch { stage: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn proactive_window_depends_on_batching() {
+        // same forecast pressure; Fifer (batching) amortizes over the
+        // response budget, BPred (no batching) over the mean exec time
+        let mut s = stage_view(0);
+        s.arrivals = 10;
+        s.num_containers = 0;
+        s.batch_size = 1;
+        let stages = [s];
+        let mut v = view(&stages);
+        v.total_arrivals = 10;
+        v.global_rate = 50.0;
+        let pretrain = [50.0; 32];
+        let spawned = |kind: RmKind| {
+            let mut rm = kind.config().build_rm(1, &pretrain);
+            let mut out = Vec::new();
+            rm.on_monitor_tick(&v, &mut out);
+            out.iter()
+                .map(|d| match d {
+                    Decision::SpawnContainer { count, .. } => *count,
+                    _ => 0,
+                })
+                .sum::<usize>()
+        };
+        let fifer = spawned(RmKind::Fifer);
+        let bpred = spawned(RmKind::BPred);
+        assert!(fifer > 0 && bpred > 0, "both pre-spawn ({fifer}, {bpred})");
+        assert!(
+            fifer >= bpred,
+            "the 400ms response window ({fifer}) covers at least the 50ms \
+             exec window ({bpred})"
+        );
+    }
+
+    #[test]
+    fn decision_cause_names_are_stable() {
+        assert_eq!(DecisionCause::ReactiveTick.as_str(), "reactive_tick");
+        assert_eq!(DecisionCause::IdleDeadline.as_str(), "idle_deadline");
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the golden-headline fixtures asserted by
+//! `tests/golden_headlines.rs`.
+//!
+//! The fixtures pin the exact `SimResult::headline()` of every resource
+//! manager on fixed seeds, so any refactor of the policy/mechanism split
+//! can prove it preserved behaviour bit for bit. Run with
+//!
+//! ```sh
+//! cargo run --release -p fifer-sim --example golden_gen
+//! ```
+//!
+//! and paste the output over the `GOLDEN` table in the test if a change is
+//! *intentional* (document why in the commit message).
+
+use fifer_core::rm::RmKind;
+use fifer_metrics::SimDuration;
+use fifer_sim::driver::Simulation;
+use fifer_sim::SimConfig;
+use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+
+fn main() {
+    for (rate, secs, seed) in [(5.0, 30, 7), (8.0, 60, 11)] {
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(secs),
+            seed,
+        );
+        for kind in RmKind::ALL {
+            let cfg = SimConfig::prototype(kind.config(), rate);
+            let h = Simulation::new(cfg, &stream).run().headline();
+            println!("({kind:?}, {rate:?}, {secs}, {seed}, {h:?}),");
+        }
+    }
+}

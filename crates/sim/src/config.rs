@@ -1,5 +1,6 @@
 //! Simulation configuration with the paper's defaults (Tables 1–2, §5).
 
+use crate::trace::TraceConfig;
 use fifer_core::rm::RmConfig;
 use fifer_metrics::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -108,6 +109,9 @@ pub struct SimConfig {
     /// skeptical users) can check that end to end. Slower — O(Q) per
     /// dispatched task — and off by default.
     pub use_reference_scheduler: bool,
+    /// Structured decision trace (ring capacity + optional JSONL export).
+    /// Disabled by default; see [`crate::trace`].
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -133,6 +137,7 @@ impl SimConfig {
             min_warm_pool: 0,
             seed: 1,
             use_reference_scheduler: false,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -182,6 +187,10 @@ impl SimConfig {
             "early-exit probability must be in [0, 1]"
         );
         assert!(self.tenants >= 1, "need at least one tenant");
+        assert!(
+            self.trace.jsonl.is_none() || self.trace.capacity > 0,
+            "decision-trace JSONL export requires a nonzero trace capacity"
+        );
     }
 }
 

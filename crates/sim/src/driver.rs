@@ -1,114 +1,130 @@
-//! The simulation driver: wires an [`RmConfig`](fifer_core::rm::RmConfig)'s policies into the
-//! discrete-event loop.
+//! The simulation driver: the discrete-event loop and the policy hook
+//! call sites.
 //!
 //! One [`Simulation`] executes one [`JobStream`] under one resource
 //! manager and produces a [`SimResult`]. The flow mirrors the prototype
 //! (§5.1): jobs arrive, are decomposed into per-stage tasks, wait in
 //! per-stage global queues, get bound to container free slots by the
-//! scheduling policies, and execute sequentially per container. Scaling
-//! decisions run on two timers — a fast reactive check (Algorithm 1 a/b)
+//! scheduling policies, and execute sequentially per container.
+//!
+//! The driver is *mechanism only*: every scaling decision is made by the
+//! [`ResourceManager`] policy object (built from the config's
+//! [`RmConfig`](fifer_core::rm::RmConfig) through the
+//! [`build_rm`](fifer_core::rm::RmConfig::build_rm) registry, or injected
+//! via [`Simulation::with_resource_manager`]). At each hook point the
+//! driver snapshots read-only
+//! [`ClusterView`](fifer_core::policy::ClusterView)/[`StageView`] state,
+//! collects the policy's typed [`Decision`]s, and applies them through the
+//! mechanism modules:
+//!
+//! * `dispatcher` — task-to-slot binding (and the `on_queue_blocked`
+//!   consultation),
+//! * `lifecycle` — spawn/evict/reclaim/kill and the warm-pool floor,
+//! * `accounting` — view snapshots, stage setup, result assembly,
+//! * [`crate::trace`] — the structured decision trace.
+//!
+//! Scaling runs on two timers — a fast reactive check (Algorithm 1 a/b)
 //! and the 10-second monitoring tick that drives proactive provisioning
 //! (Algorithm 1 e), idle reclamation and energy sampling.
 
+use crate::accounting::{build_stages, AppRuntime, JobState};
 use crate::cluster::Cluster;
 use crate::config::SimConfig;
-use crate::container::{BoundTask, Container};
+use crate::container::Container;
 use crate::energy::{EnergyMeter, PowerModel};
 use crate::engine::{Event, EventQueue};
-use crate::results::{SimResult, StageStats};
-use crate::stage::{StageRuntime, StageTask, TaskRef};
+use crate::results::SimResult;
+use crate::stage::{StageRuntime, StageTask};
 use crate::stats_store::{StatsStore, StoreOp};
-use fifer_core::rm::{PredictorChoice, ScalingMode};
-use fifer_core::scaling::{
-    proactive_containers_needed, reactive_containers_needed, static_pool_size, ProactiveInputs,
-    ReactiveInputs,
-};
-use fifer_core::scheduling::{select_task_iter, QueuedTask};
-use fifer_core::slack::AppPlan;
-use fifer_metrics::breakdown::LatencyBreakdown;
+use crate::trace::SimTrace;
+use fifer_core::policy::{Decision, DecisionCause, ResourceManager, StageView};
 use fifer_metrics::{RequestRecord, SimDuration, SimTime, SloAccountant, TimeSeries};
-use fifer_predict::{LoadPredictor, WindowSampler};
+use fifer_predict::WindowSampler;
 use fifer_workloads::{Application, JobStream, Microservice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Per-job live state.
-#[derive(Debug, Clone)]
-struct JobState {
-    app: Application,
-    /// Tenant this job belongs to (stage pools are per tenant).
-    tenant: usize,
-    submitted: SimTime,
-    input_scale: f64,
-    /// Index into the app's chain of the stage the job is currently at.
-    stage_pos: usize,
-    breakdown: LatencyBreakdown,
-    done: bool,
-}
-
-/// Static per-application routing/plan data.
-#[derive(Debug, Clone)]
-struct AppRuntime {
-    plan: AppPlan,
-    /// Stage table index for each chain position.
-    stage_at: Vec<usize>,
-    /// Remaining mean work (exec + transitions) from each chain position.
-    remaining_work: Vec<SimDuration>,
-    transition_overhead: SimDuration,
-}
+pub use crate::accounting::window_max_series;
 
 /// One simulation run in progress.
 pub struct Simulation<'a> {
-    cfg: SimConfig,
-    stream: &'a JobStream,
-    queue: EventQueue,
-    rng: StdRng,
-    cluster: Cluster,
-    containers: Vec<Container>,
-    stages: Vec<StageRuntime>,
-    apps: BTreeMap<(usize, Application), AppRuntime>,
-    jobs: Vec<JobState>,
-    predictor: Option<Box<dyn LoadPredictor + Send>>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) stream: &'a JobStream,
+    pub(crate) queue: EventQueue,
+    pub(crate) rng: StdRng,
+    pub(crate) cluster: Cluster,
+    pub(crate) containers: Vec<Container>,
+    pub(crate) stages: Vec<StageRuntime>,
+    /// Static mix share per stage (for fixed-pool sizing views).
+    pub(crate) mix_share: Vec<f64>,
+    pub(crate) apps: BTreeMap<(usize, Application), AppRuntime>,
+    pub(crate) jobs: Vec<JobState>,
+    /// The policy object whose decision hooks drive all scaling.
+    pub(crate) rm: Box<dyn ResourceManager>,
     /// Per-node set of microservice images already pulled (layer cache).
-    image_cache: Vec<std::collections::BTreeSet<Microservice>>,
-    sampler: WindowSampler,
-    meter: EnergyMeter,
-    store: StatsStore,
+    pub(crate) image_cache: Vec<std::collections::BTreeSet<Microservice>>,
+    pub(crate) sampler: WindowSampler,
+    pub(crate) meter: EnergyMeter,
+    pub(crate) store: StatsStore,
+    /// Structured decision trace (no-op unless configured).
+    pub(crate) trace: SimTrace,
+    /// Reusable decision buffer for policy hooks (avoids per-event allocs).
+    decisions: Vec<Decision>,
+    /// Reusable stage-view buffer for the tick hooks.
+    stage_views: Vec<StageView>,
     // progress + metrics
-    jobs_done: usize,
-    jobs_arrived: u64,
-    live_count: usize,
-    total_spawns: u64,
-    blocking_cold_starts: u64,
-    failed_spawns: u64,
-    live_series: TimeSeries,
-    spawn_series: TimeSeries,
-    nodes_series: TimeSeries,
-    queue_series: TimeSeries,
-    slo: SloAccountant,
-    slo_whole_run: SloAccountant,
-    records: Vec<RequestRecord>,
-    last_completion: SimTime,
+    pub(crate) jobs_done: usize,
+    pub(crate) jobs_arrived: u64,
+    pub(crate) live_count: usize,
+    pub(crate) total_spawns: u64,
+    pub(crate) blocking_cold_starts: u64,
+    pub(crate) failed_spawns: u64,
+    pub(crate) live_series: TimeSeries,
+    pub(crate) spawn_series: TimeSeries,
+    pub(crate) nodes_series: TimeSeries,
+    pub(crate) queue_series: TimeSeries,
+    pub(crate) slo: SloAccountant,
+    pub(crate) slo_whole_run: SloAccountant,
+    pub(crate) records: Vec<RequestRecord>,
+    pub(crate) last_completion: SimTime,
     /// Stages with (possibly) pending tasks since their last reactive
     /// check; the reactive tick visits only these, so idle stages cost
     /// nothing. Ordered for deterministic iteration.
-    dirty_stages: BTreeSet<usize>,
+    pub(crate) dirty_stages: BTreeSet<usize>,
     /// Tasks currently pending across all stage queues (global backlog).
-    pending_tasks: usize,
+    pub(crate) pending_tasks: usize,
     /// High-water mark of `pending_tasks`.
-    peak_queue_depth: u64,
+    pub(crate) peak_queue_depth: u64,
     /// Events drained from the event queue.
-    events_processed: u64,
+    pub(crate) events_processed: u64,
 }
 
 impl<'a> Simulation<'a> {
-    /// Prepares a run of `stream` under `cfg`.
+    /// Prepares a run of `stream` under `cfg`, building the resource
+    /// manager from the config through the policy registry.
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SimConfig, stream: &'a JobStream) -> Self {
+        let rm = cfg.rm.build_rm(cfg.seed, &cfg.pretrain_series);
+        Self::with_resource_manager(cfg, stream, rm)
+    }
+
+    /// Prepares a run driven by a caller-supplied policy object instead of
+    /// the registry-built one — the extension point for custom (sixth,
+    /// seventh, …) resource managers. `cfg.rm` still parameterizes the
+    /// mechanism (batching plan, scheduling, selection, placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_resource_manager(
+        cfg: SimConfig,
+        stream: &'a JobStream,
+        rm: Box<dyn ResourceManager>,
+    ) -> Self {
         cfg.validate();
         let cluster = Cluster::new(
             cfg.cluster.nodes,
@@ -122,16 +138,10 @@ impl<'a> Simulation<'a> {
             cfg.container_cpu,
         );
         let (stages, apps) = build_stages(&cfg, stream.mix().applications());
-        let predictor = match cfg.rm.predictor {
-            PredictorChoice::None => None,
-            PredictorChoice::Model(kind) => {
-                let mut p = kind.build(cfg.seed);
-                if !cfg.pretrain_series.is_empty() {
-                    p.pretrain(&cfg.pretrain_series);
-                }
-                Some(p)
-            }
-        };
+        let mix_share = stages
+            .iter()
+            .map(|s| stream.mix().stage_share(s.microservice))
+            .collect();
         let jobs = stream
             .iter()
             .enumerate()
@@ -141,25 +151,30 @@ impl<'a> Simulation<'a> {
                 submitted: j.arrival,
                 input_scale: j.input_scale,
                 stage_pos: 0,
-                breakdown: LatencyBreakdown::new(),
+                breakdown: Default::default(),
                 done: false,
             })
             .collect();
         let slo = SloAccountant::new(cfg.slo);
         let slo_whole_run = SloAccountant::new(cfg.slo);
+        let trace = SimTrace::new(cfg.trace.capacity);
         Simulation {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xF1FE_F1FE),
             queue: EventQueue::new(),
             cluster,
             containers: Vec::new(),
             stages,
+            mix_share,
             apps,
             jobs,
-            predictor,
+            rm,
             image_cache: vec![std::collections::BTreeSet::new(); cfg.cluster.nodes],
             sampler: WindowSampler::paper_default(),
             meter,
             store: StatsStore::paper_default(),
+            trace,
+            decisions: Vec::new(),
+            stage_views: Vec::new(),
             jobs_done: 0,
             jobs_arrived: 0,
             live_count: 0,
@@ -184,17 +199,39 @@ impl<'a> Simulation<'a> {
     }
 
     /// Runs the simulation to completion and returns the results.
-    pub fn run(mut self) -> SimResult {
-        // SBatch provisions its fixed pool up front (§5.3)
-        if self.cfg.rm.scaling == ScalingMode::FixedPool {
-            self.provision_fixed_pools();
+    pub fn run(self) -> SimResult {
+        self.run_with_trace().0
+    }
+
+    /// Runs the simulation and also returns the decision trace (empty
+    /// unless `cfg.trace.capacity > 0`). With `cfg.trace.jsonl` set, the
+    /// retained events are additionally exported as JSON Lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured JSONL export path cannot be written.
+    pub fn run_with_trace(mut self) -> (SimResult, SimTrace) {
+        // startup hook: SBatch provisions its fixed pool up front (§5.3)
+        let mut views = std::mem::take(&mut self.stage_views);
+        let mut out = std::mem::take(&mut self.decisions);
+        views.clear();
+        for sidx in 0..self.stages.len() {
+            views.push(self.stage_view(sidx, SimDuration::ZERO));
         }
+        {
+            let cv = self.cluster_scalars(SimTime::ZERO, &views);
+            self.rm.on_start(&cv, &mut out);
+        }
+        self.apply(&mut out, SimTime::ZERO, DecisionCause::Startup);
+        self.stage_views = views;
+        self.decisions = out;
+
         for (i, job) in self.stream.iter().enumerate() {
             self.queue
                 .schedule(job.arrival, Event::JobArrival { job: i });
         }
         if !self.stream.is_empty() {
-            if self.reactive_enabled() {
+            if self.rm.wants_reactive_ticks() {
                 self.queue.schedule(
                     SimTime::ZERO + self.cfg.reactive_interval,
                     Event::ReactiveTick,
@@ -205,10 +242,10 @@ impl<'a> Simulation<'a> {
                 Event::MonitorTick,
             );
         }
-        let trace_enabled = std::env::var_os("FIFER_TRACE").is_some();
+        let progress_enabled = std::env::var_os("FIFER_TRACE").is_some();
         while let Some((now, event)) = self.queue.pop() {
             self.events_processed += 1;
-            if trace_enabled && self.events_processed.is_multiple_of(100_000) {
+            if progress_enabled && self.events_processed.is_multiple_of(100_000) {
                 eprintln!(
                     "[trace] {} events, t={now}, pending={}",
                     self.events_processed,
@@ -224,7 +261,40 @@ impl<'a> Simulation<'a> {
                 Event::MonitorTick => self.on_monitor_tick(now),
             }
         }
-        self.finish()
+        let trace = std::mem::take(&mut self.trace);
+        if let Some(path) = self.cfg.trace.jsonl.clone() {
+            trace
+                .export_jsonl(&path)
+                .unwrap_or_else(|e| panic!("writing decision trace to {path}: {e}"));
+        }
+        (self.finish(), trace)
+    }
+
+    // ---- decision application -------------------------------------------
+
+    /// Applies a hook's decisions in order, then clears the buffer. Spawn
+    /// batches stop early when the cluster is full (the next decision still
+    /// runs — a different stage's spawn or a dispatch may still succeed).
+    fn apply(&mut self, decisions: &mut Vec<Decision>, now: SimTime, cause: DecisionCause) {
+        for &decision in decisions.iter() {
+            match decision {
+                Decision::SpawnContainer { stage, count } => {
+                    for _ in 0..count {
+                        if self.spawn_container(stage, now, cause).is_none() {
+                            break;
+                        }
+                    }
+                }
+                Decision::KillContainer { container } => {
+                    self.apply_kill(container, now, cause);
+                }
+                Decision::DispatchBatch { stage } => {
+                    self.dispatch(stage, now, cause);
+                }
+                Decision::Requeue { .. } | Decision::Noop => {}
+            }
+        }
+        decisions.clear();
     }
 
     // ---- event handlers -------------------------------------------------
@@ -255,7 +325,15 @@ impl<'a> Simulation<'a> {
         self.pending_tasks += 1;
         self.peak_queue_depth = self.peak_queue_depth.max(self.pending_tasks as u64);
         self.dirty_stages.insert(sidx);
-        self.dispatch(sidx, now);
+
+        let mut out = std::mem::take(&mut self.decisions);
+        {
+            let sv = self.stage_view(sidx, SimDuration::ZERO);
+            let cv = self.cluster_scalars(now, &[]);
+            self.rm.on_arrival(&cv, &sv, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::Arrival);
+        self.decisions = out;
     }
 
     fn on_task_finish(&mut self, cid: u64, now: SimTime) {
@@ -317,9 +395,17 @@ impl<'a> Simulation<'a> {
                 .schedule(now + overhead, Event::StageEnqueue { job: task.job });
         }
 
-        // keep the container busy: local queue first, then global queue
+        // keep the container busy: its local queue first (mechanism), then
+        // let the policy decide what to do with the freed capacity
         self.try_start(cid, now);
-        self.dispatch(sidx, now);
+        let mut out = std::mem::take(&mut self.decisions);
+        {
+            let sv = self.stage_view(sidx, SimDuration::ZERO);
+            let cv = self.cluster_scalars(now, &[]);
+            self.rm.on_task_finish(&cv, &sv, cid, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::TaskFinish);
+        self.decisions = out;
     }
 
     fn on_warm(&mut self, cid: u64, now: SimTime) {
@@ -330,54 +416,38 @@ impl<'a> Simulation<'a> {
         let sidx = c.stage;
         c.warm_up(now);
         self.try_start(cid, now);
-        self.dispatch(sidx, now);
+        self.dispatch(sidx, now, DecisionCause::ContainerWarm);
     }
 
     fn on_reactive_tick(&mut self, now: SimTime) {
         // only stages that enqueued work since their backlog last drained
         // can need reactive scaling: Algorithm 1 a/b triggers on pending
-        // tasks, and a stage with an empty global queue is skipped below
-        // anyway. Visiting just the dirty set makes the tick O(active
-        // stages); drained stages are dropped from the set here.
+        // tasks, and a stage with an empty global queue is skipped here.
+        // Visiting just the dirty set makes the tick O(active stages);
+        // drained stages are dropped from the set.
         let dirty: Vec<usize> = self.dirty_stages.iter().copied().collect();
+        let mut views = std::mem::take(&mut self.stage_views);
+        views.clear();
         for sidx in dirty {
-            let (inputs, spawnable) = {
-                let stage = &mut self.stages[sidx];
-                if stage.pending() == 0 {
-                    self.dirty_stages.remove(&sidx);
-                    continue;
-                }
-                let alive = stage.containers.len();
-                let observed = stage.observed_delay(now, SimDuration::from_secs(10));
-                (
-                    ReactiveInputs {
-                        // the paper's PQ_len counts every waiting request;
-                        // with eager binding that is global pending plus
-                        // bound-but-not-executing tasks (see waiting_total)
-                        pending_queue_len: stage.waiting_total(),
-                        num_containers: alive,
-                        batch_size: stage.batch_size,
-                        stage_response_latency: stage.response_latency,
-                        cold_start: stage.cold_start,
-                        observed_delay: observed,
-                        stage_slack: stage.slack,
-                    },
-                    true,
-                )
-            };
-            if !spawnable {
+            if self.stages[sidx].pending() == 0 {
+                self.dirty_stages.remove(&sidx);
                 continue;
             }
-            let needed = reactive_containers_needed(&inputs);
-            for _ in 0..needed {
-                if self.spawn_container(sidx, now).is_none() {
-                    break;
-                }
-            }
-            if needed > 0 {
-                self.dispatch(sidx, now);
-            }
+            // measure the recent worst queuing delay (Algorithm 1 a); this
+            // also prunes the stage's sliding window, so it only happens on
+            // reactive ticks — exactly as often as before the policy split
+            let observed = self.stages[sidx].observed_delay(now, SimDuration::from_secs(10));
+            views.push(self.stage_view(sidx, observed));
         }
+        let mut out = std::mem::take(&mut self.decisions);
+        {
+            let cv = self.cluster_scalars(now, &views);
+            self.rm.on_reactive_tick(&cv, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::ReactiveTick);
+        self.stage_views = views;
+        self.decisions = out;
+
         if !self.workload_drained() {
             self.queue
                 .schedule(now + self.cfg.reactive_interval, Event::ReactiveTick);
@@ -395,74 +465,52 @@ impl<'a> Simulation<'a> {
             .push(now, self.cluster.active_nodes() as f64);
         self.queue_series.push(now, self.pending_tasks as f64);
 
-        // feed + query the predictor (§4.5)
-        if let Some(p) = self.predictor.as_mut() {
+        // the load monitor's rate signal is only read (one modeled stats-
+        // store query, §6.1.5) for policies that consume it
+        let global_rate = if self.rm.observes_load() {
             self.store.access(StoreOp::ArrivalQuery);
-            let rate = self.sampler.global_max_rate(now);
-            p.observe(rate);
-            if self.cfg.rm.is_proactive() {
-                let forecast = p.forecast();
-                let total_arrivals = self.jobs_arrived;
-                let batching = self.cfg.rm.batching.batches();
-                for sidx in 0..self.stages.len() {
-                    let (needed, any) = {
-                        let stage = &self.stages[sidx];
-                        let share = stage_share(stage, total_arrivals);
-                        // demand window per container: with batching a
-                        // container admits B requests per S_r; without, it
-                        // turns over one request per exec time
-                        let window = if batching {
-                            stage.response_latency
-                        } else {
-                            stage.mean_exec
-                        };
-                        let inputs = ProactiveInputs {
-                            forecast_rate: forecast * share,
-                            num_containers: stage.containers.len(),
-                            batch_size: stage.batch_size,
-                            stage_response_latency: window,
-                        };
-                        (proactive_containers_needed(&inputs), share > 0.0)
-                    };
-                    if any {
-                        for _ in 0..needed {
-                            if self.spawn_container(sidx, now).is_none() {
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+            self.sampler.global_max_rate(now)
+        } else {
+            0.0
+        };
 
-        // idle reclamation (§4.4.1) — SBatch keeps its fixed pool
-        if self.cfg.rm.scaling != ScalingMode::FixedPool {
-            self.reclaim_idle(now);
+        // monitor hook: predictor updates + proactive provisioning (§4.5)
+        let mut views = std::mem::take(&mut self.stage_views);
+        let mut out = std::mem::take(&mut self.decisions);
+        views.clear();
+        for sidx in 0..self.stages.len() {
+            views.push(self.stage_view(sidx, SimDuration::ZERO));
         }
+        {
+            let mut cv = self.cluster_scalars(now, &views);
+            cv.global_rate = global_rate;
+            self.rm.on_monitor_tick(&cv, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::MonitorTick);
 
-        // pre-warmed pool floor (§2.2.1): top each stage back up to the
-        // configured number of unoccupied containers
-        if self.cfg.min_warm_pool > 0 {
-            for sidx in 0..self.stages.len() {
-                let unoccupied = self.stages[sidx]
-                    .containers
-                    .iter()
-                    .filter(|&&id| is_unoccupied(&self.containers[id as usize]))
-                    .count();
-                for _ in unoccupied..self.cfg.min_warm_pool {
-                    if self.spawn_container(sidx, now).is_none() {
-                        break;
-                    }
-                }
+        // idle deadlines (§4.4.1): snapshot the expired containers and let
+        // the policy decide which die (fixed pools keep theirs). Containers
+        // spawned by the monitor hook above are still cold, never idle.
+        let expired = self.expired_idle_views(now);
+        if !expired.is_empty() {
+            {
+                let cv = self.cluster_scalars(now, &[]);
+                self.rm.on_idle_deadline(&cv, &expired, &mut out);
             }
+            self.apply(&mut out, now, DecisionCause::IdleDeadline);
         }
+        self.stage_views = views;
+        self.decisions = out;
+
+        // pre-warmed pool floor (§2.2.1), mechanism-side
+        self.top_up_warm_pool(now);
 
         // retry stages whose earlier spawn attempts failed (cluster full):
         // idle reclamation above may have freed capacity, and no container
         // event will fire for a stage that has no containers
         for sidx in 0..self.stages.len() {
             if self.stages[sidx].pending() > 0 {
-                self.dispatch(sidx, now);
+                self.dispatch(sidx, now, DecisionCause::MonitorTick);
             }
         }
 
@@ -472,488 +520,6 @@ impl<'a> Simulation<'a> {
                 .schedule(now + self.cfg.monitor_interval, Event::MonitorTick);
         }
     }
-
-    // ---- scheduling -----------------------------------------------------
-
-    /// Binds queued tasks to container free slots per the RM's policies.
-    fn dispatch(&mut self, sidx: usize, now: SimTime) {
-        let selection = self.cfg.rm.container_selection;
-        let on_demand = self.on_demand_spawning();
-
-        while !self.stages[sidx].queue.is_empty() {
-            let target = match self.pick_target(sidx, selection) {
-                Some(t) => t,
-                None => {
-                    if on_demand {
-                        // AWS-style: spawn per request when no free
-                        // container exists (§2.2, §3)
-                        match self.spawn_container(sidx, now) {
-                            Some(id) => id,
-                            None => break, // cluster full; tasks stay queued
-                        }
-                    } else {
-                        break; // batching RMs wait for the scalers
-                    }
-                }
-            };
-
-            // pick the task per the scheduling policy: O(log Q) pop off the
-            // policy-keyed index, or — under the differential-testing flag —
-            // a linear scan through the reference scheduler, which must pick
-            // the identical task (fifer-core's keys are total orders)
-            let task = if self.cfg.use_reference_scheduler {
-                let view: Vec<(TaskRef, QueuedTask)> = self.stages[sidx]
-                    .queue
-                    .iter()
-                    .map(|(r, t)| (r, t.as_queued()))
-                    .collect();
-                let ti = select_task_iter(
-                    self.cfg.rm.scheduling,
-                    view.iter().enumerate().map(|(i, (_, t))| (i, *t)),
-                    now,
-                )
-                .expect("queue checked non-empty");
-                self.stages[sidx]
-                    .queue
-                    .remove(view[ti].0)
-                    .expect("selected task is live")
-            } else {
-                self.stages[sidx]
-                    .queue
-                    .pop()
-                    .expect("queue checked non-empty")
-            };
-            self.pending_tasks -= 1;
-
-            self.store.access(StoreOp::PodQuery);
-            self.store.access(StoreOp::SlotUpdate);
-            let wait = now.saturating_since(task.enqueued);
-            self.stages[sidx].record_scheduled(now, wait);
-            let c = &mut self.containers[target as usize];
-            let prev_free = c.free_slots();
-            c.bind(BoundTask {
-                job: task.job,
-                enqueued: task.enqueued,
-                assigned: now,
-            });
-            self.stages[sidx].update_free(target, prev_free, prev_free - 1);
-            self.try_start(target, now);
-        }
-    }
-
-    /// Picks the container to receive the next task. For the greedy
-    /// least-free-slots policy, ties break toward the container on the
-    /// most-packed node (then lowest id): concentrating traffic lets
-    /// containers on straggler nodes idle out, completing the server
-    /// consolidation §4.4 aims for. Other policies use the index order.
-    fn pick_target(
-        &self,
-        sidx: usize,
-        selection: fifer_core::scheduling::ContainerSelection,
-    ) -> Option<u64> {
-        use fifer_core::scheduling::ContainerSelection::GreedyLeastFreeSlots;
-        if selection == GreedyLeastFreeSlots {
-            let bucket = self.stages[sidx].least_free_bucket()?;
-            bucket
-                .iter()
-                .max_by_key(|&&id| {
-                    let node = self.containers[id as usize].node;
-                    (self.cluster.nodes()[node].pods, std::cmp::Reverse(id))
-                })
-                .copied()
-        } else {
-            self.stages[sidx].pick_container(selection)
-        }
-    }
-
-    /// Starts the container's next local task if it is warm and idle.
-    fn try_start(&mut self, cid: u64, now: SimTime) {
-        let (job, exec, node) = {
-            let c = &mut self.containers[cid as usize];
-            let Some(task) = c.start_next(now) else {
-                return;
-            };
-            // attribute the wait: overlap with the container's cold period
-            // is cold-start delay, the rest is queuing (§6.1.2)
-            let total_wait = now.saturating_since(task.enqueued);
-            let warm_at = c.warm_at();
-            let cold_wait = warm_at.saturating_since(task.assigned).min(total_wait);
-            if !cold_wait.is_zero() {
-                self.blocking_cold_starts += 1;
-            }
-            let j = &mut self.jobs[task.job];
-            j.breakdown.cold_start += cold_wait;
-            j.breakdown.queuing += total_wait.saturating_sub(cold_wait);
-            let ms = self.stages[c.stage].microservice;
-            let exec = ms
-                .spec()
-                .sample_exec_time(self.jobs[task.job].input_scale, &mut self.rng);
-            (task.job, exec, c.node)
-        };
-        self.jobs[job].breakdown.exec += exec;
-        self.stages[self.containers[cid as usize].stage].executing += 1;
-        self.cluster.set_executing(node, 1);
-        self.queue
-            .schedule(now + exec, Event::TaskFinish { container: cid });
-    }
-
-    // ---- scaling --------------------------------------------------------
-
-    /// Spawns one container for `sidx`, returning its id, or `None` when
-    /// the cluster is full and nothing can be evicted.
-    ///
-    /// When no node fits, the least-recently-used *idle* container
-    /// cluster-wide is evicted first — real orchestrators reclaim idle
-    /// sandboxes under capacity pressure rather than starving a stage
-    /// behind another stage's warm pool.
-    fn spawn_container(&mut self, sidx: usize, now: SimTime) -> Option<u64> {
-        let node = match self.cluster.select_node(self.cfg.rm.placement) {
-            Some(n) => n,
-            None => {
-                if !self.evict_lru_idle(sidx, now) {
-                    self.failed_spawns += 1;
-                    return None;
-                }
-                match self.cluster.select_node(self.cfg.rm.placement) {
-                    Some(n) => n,
-                    None => {
-                        self.failed_spawns += 1;
-                        return None;
-                    }
-                }
-            }
-        };
-        self.cluster.place(node);
-        let ms = self.stages[sidx].microservice;
-        // first spawn of a microservice on a node pays the full image pull;
-        // later spawns hit the node's layer cache (runtime init only)
-        let cached = self.image_cache[node].contains(&ms);
-        let base = if cached {
-            ms.spec().warm_node_cold_start()
-        } else {
-            self.image_cache[node].insert(ms);
-            self.stages[sidx].cold_start
-        };
-        // ±10% cold-start jitter around the image-size model
-        let jitter = 0.9 + self.rng.gen_range(0.0..0.2);
-        let cold = base.mul_f64(jitter);
-        let stage = &mut self.stages[sidx];
-        let id = self.containers.len() as u64;
-        self.containers.push(Container::spawn(
-            id,
-            sidx,
-            node,
-            stage.batch_size,
-            now,
-            cold,
-        ));
-        stage.containers.push(id);
-        stage.update_free(id, 0, stage.batch_size);
-        stage.containers_spawned += 1;
-        self.total_spawns += 1;
-        self.live_count += 1;
-        self.spawn_series.push(now, self.total_spawns as f64);
-        self.live_series.push(now, self.live_count as f64);
-        self.store.access(StoreOp::ContainerStats);
-        self.queue
-            .schedule(now + cold, Event::ContainerWarm { container: id });
-        Some(id)
-    }
-
-    /// Evicts the least-recently-used idle container cluster-wide,
-    /// excluding the stage currently being provisioned (evicting its own
-    /// idle capacity to spawn a replacement would be pure cold-start
-    /// churn). Returns `false` when nothing is evictable.
-    fn evict_lru_idle(&mut self, spawning_stage: usize, now: SimTime) -> bool {
-        let victim = self
-            .containers
-            .iter()
-            .filter(|c| c.is_alive() && c.is_idle() && c.stage != spawning_stage)
-            .min_by_key(|c| (c.last_used, c.id))
-            .map(|c| c.id);
-        match victim {
-            Some(cid) => {
-                self.kill_container(cid, now);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Kills one idle container and releases its resources.
-    fn kill_container(&mut self, cid: u64, now: SimTime) {
-        let (sidx, node, prev_free) = {
-            let c = &mut self.containers[cid as usize];
-            let prev_free = c.free_slots();
-            c.kill();
-            (c.stage, c.node, prev_free)
-        };
-        self.cluster.release(node, now);
-        self.stages[sidx].remove_free(cid, prev_free);
-        self.stages[sidx].containers.retain(|&id| id != cid);
-        self.live_count -= 1;
-        self.live_series.push(now, self.live_count as f64);
-        self.store.access(StoreOp::ContainerStats);
-    }
-
-    /// Kills warm containers idle past the timeout (§4.4.1).
-    fn reclaim_idle(&mut self, now: SimTime) {
-        let timeout = self.cfg.idle_timeout;
-        let expired: Vec<u64> = self
-            .containers
-            .iter()
-            .filter(|c| c.is_alive() && c.is_idle() && now.saturating_since(c.last_used) >= timeout)
-            .map(|c| c.id)
-            .collect();
-        let floor = self.cfg.min_warm_pool;
-        if floor == 0 {
-            // no pool floor: every expired container dies, no ordering needed
-            for cid in expired {
-                self.kill_container(cid, now);
-            }
-            return;
-        }
-        // the pre-warmed pool floor (§2.2.1) is exempt: keep the `floor`
-        // most recently used idle containers per stage alive. Each stage's
-        // keep-set depends only on its own members' recency ranks, so an
-        // O(n) per-stage selection replaces the seed's global O(n log n)
-        // sort: everything after the floor-th rank is killed unordered.
-        let mut by_stage: Vec<Vec<u64>> = vec![Vec::new(); self.stages.len()];
-        for cid in expired {
-            by_stage[self.containers[cid as usize].stage].push(cid);
-        }
-        for mut ids in by_stage {
-            if ids.len() <= floor {
-                continue; // the whole stage fits under the floor
-            }
-            // rank key (Reverse(last_used), id) is unique per container, so
-            // the kept set matches the seed's stable descending-recency sort
-            ids.select_nth_unstable_by_key(floor - 1, |&id| {
-                let c = &self.containers[id as usize];
-                (std::cmp::Reverse(c.last_used), c.id)
-            });
-            for &cid in &ids[floor..] {
-                self.kill_container(cid, now);
-            }
-        }
-    }
-
-    /// SBatch's fixed per-stage pools, sized to the expected average rate.
-    /// With multiple tenants the stage table is replicated per tenant and
-    /// jobs split evenly, so each tenant's pool is sized for its share of
-    /// the rate.
-    fn provision_fixed_pools(&mut self) {
-        let per_tenant_rate = self.cfg.expected_avg_rate / self.cfg.tenants as f64;
-        for sidx in 0..self.stages.len() {
-            let (rate, batch, latency) = {
-                let stage = &self.stages[sidx];
-                let share = self.stream.mix().stage_share(stage.microservice);
-                (
-                    per_tenant_rate * share,
-                    stage.batch_size,
-                    stage.response_latency,
-                )
-            };
-            if rate <= 0.0 {
-                continue;
-            }
-            let pool = static_pool_size(rate, batch, latency);
-            for _ in 0..pool {
-                if self.spawn_container(sidx, SimTime::ZERO).is_none() {
-                    break;
-                }
-            }
-        }
-    }
-
-    // ---- bookkeeping ----------------------------------------------------
-
-    /// `true` when dispatch may spawn a container for a request that finds
-    /// no free slot. OnDemand mode always spawns at dispatch; non-batching
-    /// RMs with proactive scaling (BPred) retain their Bline-style
-    /// per-request spawning as well (§5.3).
-    fn on_demand_spawning(&self) -> bool {
-        match self.cfg.rm.scaling {
-            ScalingMode::OnDemand => true,
-            ScalingMode::ReactivePlusProactive => !self.cfg.rm.batching.batches(),
-            ScalingMode::FixedPool | ScalingMode::Reactive => false,
-        }
-    }
-
-    fn reactive_enabled(&self) -> bool {
-        // batching RMs rely on these ticks; non-batching RMs with a
-        // reactive mode get them too (their on-demand path covers most
-        // spawns, but a custom batching=None + Reactive config would
-        // otherwise have no spawn path at all)
-        matches!(
-            self.cfg.rm.scaling,
-            ScalingMode::Reactive | ScalingMode::ReactivePlusProactive
-        )
-    }
-
-    fn workload_drained(&self) -> bool {
-        self.jobs_done == self.jobs.len()
-    }
-
-    fn finish(self) -> SimResult {
-        let mut stages = BTreeMap::new();
-        for s in &self.stages {
-            let entry = stages
-                .entry(s.microservice)
-                .or_insert(StageStats::default());
-            entry.containers_spawned += s.containers_spawned;
-            entry.tasks_executed += s.tasks_executed;
-            entry.arrivals += s.arrivals;
-        }
-        let counters = self.store.counters();
-        SimResult {
-            records: self.records,
-            slo: self.slo,
-            slo_whole_run: self.slo_whole_run,
-            live_containers: self.live_series,
-            cumulative_spawns: self.spawn_series,
-            stages,
-            total_spawns: self.total_spawns,
-            blocking_cold_starts: self.blocking_cold_starts,
-            failed_spawns: self.failed_spawns,
-            energy_joules: self.meter.joules(),
-            active_nodes: self.nodes_series,
-            queue_depth: self.queue_series,
-            horizon: self.last_completion,
-            warmup: SimTime::ZERO + self.cfg.warmup,
-            store_reads: counters.reads,
-            store_writes: counters.writes,
-            events_processed: self.events_processed,
-            peak_queue_depth: self.peak_queue_depth,
-        }
-    }
-}
-
-/// A container that holds no work — warm-idle or still cold-starting with
-/// an empty local queue. Both the warm-pool top-up and its reclamation
-/// exemption count these (cold-empty containers will be unoccupied the
-/// moment they warm, so spawning past them would overshoot the floor).
-fn is_unoccupied(c: &Container) -> bool {
-    c.is_alive() && c.executing.is_none() && c.local_queue.is_empty()
-}
-
-/// Observed fraction of total arrivals that reach this stage.
-fn stage_share(stage: &StageRuntime, total_arrivals: u64) -> f64 {
-    if total_arrivals == 0 {
-        0.0
-    } else {
-        (stage.arrivals as f64 / total_arrivals as f64).min(1.0)
-    }
-}
-
-/// Builds the stage table and per-app routing for a mix.
-fn build_stages(
-    cfg: &SimConfig,
-    apps: [Application; 2],
-) -> (
-    Vec<StageRuntime>,
-    BTreeMap<(usize, Application), AppRuntime>,
-) {
-    let policy = cfg.rm.batching.slack_policy();
-    let mut stages: Vec<StageRuntime> = Vec::new();
-    // stage sharing applies within a tenant only (§4.3 footnote)
-    let mut by_ms: BTreeMap<(usize, Microservice), usize> = BTreeMap::new();
-    let mut app_table = BTreeMap::new();
-
-    for tenant in 0..cfg.tenants {
-        for app in apps {
-            let spec = app.spec_with_slo(cfg.slo);
-            let plan = AppPlan::new(&spec, policy);
-            let mut stage_at = Vec::with_capacity(plan.num_stages());
-            for sp in plan.stages() {
-                let batch = if cfg.rm.batching.batches() {
-                    sp.batch_size
-                } else {
-                    1 // non-batching RMs: one request per container (§3)
-                };
-                let cold = sp.microservice.spec().cold_start_time(cfg.image_pull_mbps);
-                let push_stage = |stages: &mut Vec<StageRuntime>| {
-                    let i = stages.len();
-                    stages.push(StageRuntime::new(
-                        sp.microservice,
-                        cfg.rm.scheduling,
-                        batch,
-                        sp.response_latency,
-                        sp.slack,
-                        sp.exec_time,
-                        cold,
-                    ));
-                    i
-                };
-                let sidx = if cfg.share_stages {
-                    match by_ms.get(&(tenant, sp.microservice)) {
-                        Some(&i) => {
-                            // shared stage: take the conservative plan across
-                            // apps so neither app's SLO is jeopardized
-                            let st = &mut stages[i];
-                            st.batch_size = st.batch_size.min(batch);
-                            st.response_latency = st.response_latency.min(sp.response_latency);
-                            st.slack = st.slack.min(sp.slack);
-                            i
-                        }
-                        None => {
-                            let i = push_stage(&mut stages);
-                            by_ms.insert((tenant, sp.microservice), i);
-                            i
-                        }
-                    }
-                } else {
-                    push_stage(&mut stages)
-                };
-                stage_at.push(sidx);
-            }
-            // remaining mean work from each position (for LSF)
-            let n = plan.num_stages();
-            let overhead = spec.transition_overhead();
-            let mut remaining = vec![SimDuration::ZERO; n];
-            let mut acc = SimDuration::ZERO;
-            for pos in (0..n).rev() {
-                acc += plan.stage(pos).exec_time;
-                if pos + 1 < n {
-                    acc += overhead;
-                }
-                remaining[pos] = acc;
-            }
-            app_table.insert(
-                (tenant, app),
-                AppRuntime {
-                    plan,
-                    stage_at,
-                    remaining_work: remaining,
-                    transition_overhead: overhead,
-                },
-            );
-        }
-    }
-    (stages, app_table)
-}
-
-/// Builds the window-max rate series the paper's predictor trains on
-/// (§4.5): 1-second arrival cells aggregated into `window`-second maxima.
-pub fn window_max_series(arrivals: &[SimTime], window_secs: u64) -> Vec<f64> {
-    assert!(window_secs > 0, "window must be positive");
-    if arrivals.is_empty() {
-        return Vec::new();
-    }
-    let horizon = arrivals
-        .iter()
-        .map(|a| a.as_secs_f64() as usize)
-        .max()
-        .expect("non-empty")
-        + 1;
-    let mut cells = vec![0u32; horizon];
-    for a in arrivals {
-        cells[a.as_secs_f64() as usize] += 1;
-    }
-    cells
-        .chunks(window_secs as usize)
-        .map(|w| w.iter().copied().max().unwrap_or(0) as f64)
-        .collect()
 }
 
 #[cfg(test)]
@@ -1188,6 +754,15 @@ mod tests {
         let stream = small_stream(1.0, 5, 1);
         let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 1.0);
         cfg.early_exit_prob = 1.5;
+        let _ = Simulation::new(cfg, &stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "JSONL export requires a nonzero trace capacity")]
+    fn jsonl_without_capacity_rejected() {
+        let stream = small_stream(1.0, 5, 1);
+        let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 1.0);
+        cfg.trace.jsonl = Some("/tmp/never-written.jsonl".into());
         let _ = Simulation::new(cfg, &stream);
     }
 

@@ -17,10 +17,23 @@
 //!   (§6.1.4),
 //! * [`stats_store`] — the MongoDB stand-in with §6.1.5 access-latency
 //!   accounting,
-//! * [`driver`] — the main loop wiring an [`fifer_core::RmConfig`]'s
-//!   policies to events,
+//! * [`driver`] — the discrete-event loop and the policy hook call sites:
+//!   it snapshots read-only views, collects the
+//!   [`ResourceManager`](fifer_core::policy::ResourceManager)'s typed
+//!   decisions, and applies them through the mechanism modules,
+//! * `accounting` — view snapshots, stage-table setup and result assembly
+//!   (exposed through [`Simulation`] and [`driver::window_max_series`]),
+//! * `dispatcher` — task-to-slot binding under the configured scheduling
+//!   and selection policies,
+//! * `lifecycle` — container spawn/placement/eviction/kill and the
+//!   warm-pool floor,
+//! * [`trace`] — the structured decision trace (ring-buffered
+//!   [`SimEvent`]s with cause attribution, optional JSONL export),
 //! * [`results`] — everything the experiment harness needs to regenerate
 //!   the paper's figures.
+//!
+//! Policy lives in `fifer_core::policy`; the driver and its mechanism
+//! modules never inspect the scaling mode — they only execute decisions.
 //!
 //! # Example
 //!
@@ -38,16 +51,21 @@
 //! assert_eq!(result.records.len(), stream.len());
 //! ```
 
+mod accounting;
 pub mod cluster;
 pub mod config;
 pub mod container;
+mod dispatcher;
 pub mod driver;
 pub mod energy;
 pub mod engine;
+mod lifecycle;
 pub mod results;
 pub mod stage;
 pub mod stats_store;
+pub mod trace;
 
 pub use config::{ClusterConfig, SimConfig};
 pub use driver::Simulation;
 pub use results::SimResult;
+pub use trace::{SimEvent, SimTrace, TraceConfig};

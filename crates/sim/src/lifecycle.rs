@@ -1,0 +1,279 @@
+//! Mechanism: container lifecycle — spawn, placement, eviction, kill, and
+//! the pre-warmed pool floor.
+//!
+//! These routines *apply* [`Decision`](fifer_core::policy::Decision)s made
+//! by the policy hooks (plus the two mechanism-side paths the paper
+//! defines independently of any resource manager: LRU-idle eviction under
+//! capacity pressure and the §2.2.1 warm-pool floor top-up). They never
+//! decide *whether* to scale.
+
+use crate::accounting::is_unoccupied;
+use crate::container::Container;
+use crate::driver::Simulation;
+use crate::engine::Event;
+use crate::stats_store::StoreOp;
+use crate::trace::SimEvent;
+use fifer_core::policy::DecisionCause;
+use fifer_metrics::SimTime;
+use rand::Rng;
+
+impl Simulation<'_> {
+    /// Finds a node with room for one more container, evicting the
+    /// least-recently-used idle container cluster-wide when the cluster is
+    /// full (real orchestrators reclaim idle sandboxes under capacity
+    /// pressure rather than starving a stage behind another stage's warm
+    /// pool). Returns `None` when nothing fits and nothing is evictable.
+    pub(crate) fn place_node_with_eviction(&mut self, sidx: usize, now: SimTime) -> Option<usize> {
+        let placement = self.cfg.rm.placement;
+        if let Some(n) = self.cluster.select_node(placement) {
+            return Some(n);
+        }
+        if !self.evict_lru_idle(sidx, now) {
+            return None;
+        }
+        self.cluster.select_node(placement)
+    }
+
+    /// Spawns one container for `sidx`, returning its id, or `None` when
+    /// the cluster is full and nothing can be evicted.
+    pub(crate) fn spawn_container(
+        &mut self,
+        sidx: usize,
+        now: SimTime,
+        cause: DecisionCause,
+    ) -> Option<u64> {
+        let Some(node) = self.place_node_with_eviction(sidx, now) else {
+            self.failed_spawns += 1;
+            self.trace.failed_spawns += 1;
+            self.trace.record(|| SimEvent::SpawnFailed {
+                at: now,
+                cause,
+                stage: sidx,
+            });
+            return None;
+        };
+        self.cluster.place(node);
+        let ms = self.stages[sidx].microservice;
+        // first spawn of a microservice on a node pays the full image pull;
+        // later spawns hit the node's layer cache (runtime init only)
+        let cached = self.image_cache[node].contains(&ms);
+        let base = if cached {
+            ms.spec().warm_node_cold_start()
+        } else {
+            self.image_cache[node].insert(ms);
+            self.stages[sidx].cold_start
+        };
+        // ±10% cold-start jitter around the image-size model
+        let jitter = 0.9 + self.rng.gen_range(0.0..0.2);
+        let cold = base.mul_f64(jitter);
+        let stage = &mut self.stages[sidx];
+        let id = self.containers.len() as u64;
+        self.containers.push(Container::spawn(
+            id,
+            sidx,
+            node,
+            stage.batch_size,
+            now,
+            cold,
+        ));
+        stage.containers.push(id);
+        stage.update_free(id, 0, stage.batch_size);
+        stage.containers_spawned += 1;
+        self.total_spawns += 1;
+        self.live_count += 1;
+        self.spawn_series.push(now, self.total_spawns as f64);
+        self.live_series.push(now, self.live_count as f64);
+        self.store.access(StoreOp::ContainerStats);
+        self.trace.spawns += 1;
+        self.trace.record(|| SimEvent::Spawn {
+            at: now,
+            cause,
+            container: id,
+            stage: sidx,
+            node,
+        });
+        self.queue
+            .schedule(now + cold, Event::ContainerWarm { container: id });
+        Some(id)
+    }
+
+    /// Evicts the least-recently-used idle container cluster-wide,
+    /// excluding the stage currently being provisioned (evicting its own
+    /// idle capacity to spawn a replacement would be pure cold-start
+    /// churn). Returns `false` when nothing is evictable.
+    pub(crate) fn evict_lru_idle(&mut self, spawning_stage: usize, now: SimTime) -> bool {
+        let victim = self
+            .containers
+            .iter()
+            .filter(|c| c.is_alive() && c.is_idle() && c.stage != spawning_stage)
+            .min_by_key(|c| (c.last_used, c.id))
+            .map(|c| c.id);
+        match victim {
+            Some(cid) => {
+                self.kill_container(cid, now, DecisionCause::CapacityEviction);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Kills one idle container and releases its resources.
+    pub(crate) fn kill_container(&mut self, cid: u64, now: SimTime, cause: DecisionCause) {
+        let (sidx, node, prev_free) = {
+            let c = &mut self.containers[cid as usize];
+            let prev_free = c.free_slots();
+            c.kill();
+            (c.stage, c.node, prev_free)
+        };
+        self.cluster.release(node, now);
+        self.stages[sidx].remove_free(cid, prev_free);
+        self.stages[sidx].containers.retain(|&id| id != cid);
+        self.live_count -= 1;
+        self.live_series.push(now, self.live_count as f64);
+        self.store.access(StoreOp::ContainerStats);
+        self.trace.kills += 1;
+        self.trace.record(|| SimEvent::Kill {
+            at: now,
+            cause,
+            container: cid,
+            stage: sidx,
+            node,
+        });
+    }
+
+    /// Applies a kill decision defensively: a policy may only kill live,
+    /// idle containers (the built-in policies always do — they kill from
+    /// the expired-idle snapshot — but a custom policy gets a trace record
+    /// instead of a broken cluster).
+    pub(crate) fn apply_kill(&mut self, cid: u64, now: SimTime, cause: DecisionCause) {
+        let valid = self
+            .containers
+            .get(cid as usize)
+            .is_some_and(|c| c.is_alive() && c.is_idle());
+        if valid {
+            self.kill_container(cid, now, cause);
+        } else {
+            self.trace.record(|| SimEvent::KillRejected {
+                at: now,
+                cause,
+                container: cid,
+            });
+        }
+    }
+
+    /// Pre-warmed pool floor (§2.2.1): tops each stage back up to the
+    /// configured number of unoccupied containers. Mechanism-side because
+    /// the floor is a deployment-wide guarantee independent of the resource
+    /// manager (the paper discusses it as platform behavior, not policy).
+    pub(crate) fn top_up_warm_pool(&mut self, now: SimTime) {
+        if self.cfg.min_warm_pool == 0 {
+            return;
+        }
+        for sidx in 0..self.stages.len() {
+            let unoccupied = self.stages[sidx]
+                .containers
+                .iter()
+                .filter(|&&id| is_unoccupied(&self.containers[id as usize]))
+                .count();
+            for _ in unoccupied..self.cfg.min_warm_pool {
+                if self
+                    .spawn_container(sidx, now, DecisionCause::WarmPoolFloor)
+                    .is_none()
+                {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use fifer_core::rm::RmKind;
+    use fifer_metrics::SimDuration;
+    use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+
+    fn empty_sim(stream: &JobStream) -> Simulation<'_> {
+        let cfg = SimConfig::prototype(RmKind::Bline.config(), 5.0);
+        Simulation::new(cfg, stream)
+    }
+
+    fn tiny_stream() -> JobStream {
+        JobStream::generate(
+            &PoissonTrace::new(1.0),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(2),
+            1,
+        )
+    }
+
+    #[test]
+    fn evict_with_zero_idle_candidates_is_a_clean_no_op() {
+        let stream = tiny_stream();
+        let mut sim = empty_sim(&stream);
+        // no containers at all
+        assert!(!sim.evict_lru_idle(0, SimTime::ZERO));
+        // one container, but cold-starting (not idle) → still nothing
+        sim.spawn_container(1, SimTime::ZERO, DecisionCause::Startup)
+            .expect("empty cluster fits a container");
+        assert!(!sim.evict_lru_idle(0, SimTime::ZERO));
+        // warm and idle, but it belongs to the spawning stage → excluded
+        let warm = sim.containers[0].warm_at();
+        sim.containers[0].warm_up(warm);
+        let later = warm + SimDuration::from_secs(1);
+        assert!(!sim.evict_lru_idle(1, later));
+        assert_eq!(sim.live_count, 1, "no-op evictions must not kill anyone");
+        // …and from any other stage's perspective it is fair game
+        assert!(sim.evict_lru_idle(0, later));
+        assert_eq!(sim.live_count, 0);
+    }
+
+    #[test]
+    fn eviction_picks_the_lru_idle_container() {
+        let stream = tiny_stream();
+        let mut sim = empty_sim(&stream);
+        let a = sim
+            .spawn_container(1, SimTime::ZERO, DecisionCause::Startup)
+            .unwrap();
+        let b = sim
+            .spawn_container(1, SimTime::ZERO, DecisionCause::Startup)
+            .unwrap();
+        let warm = sim.containers[a as usize]
+            .warm_at()
+            .max(sim.containers[b as usize].warm_at());
+        sim.containers[a as usize].warm_up(warm + SimDuration::from_secs(5));
+        sim.containers[b as usize].warm_up(warm + SimDuration::from_secs(3));
+        // b is least recently used → evicted first
+        assert!(sim.evict_lru_idle(0, warm + SimDuration::from_secs(10)));
+        assert!(!sim.containers[b as usize].is_alive());
+        assert!(sim.containers[a as usize].is_alive());
+    }
+
+    #[test]
+    fn rejected_kill_decisions_leave_the_cluster_intact() {
+        let stream = tiny_stream();
+        let mut sim = empty_sim(&stream);
+        let id = sim
+            .spawn_container(0, SimTime::ZERO, DecisionCause::Startup)
+            .unwrap();
+        // cold-starting container: not idle → kill refused
+        sim.apply_kill(id, SimTime::ZERO, DecisionCause::IdleDeadline);
+        assert!(sim.containers[id as usize].is_alive());
+        assert_eq!(sim.live_count, 1);
+        // unknown id: refused without panicking
+        sim.apply_kill(999, SimTime::ZERO, DecisionCause::IdleDeadline);
+        assert_eq!(sim.live_count, 1);
+        // a valid target goes through
+        let warm = sim.containers[id as usize].warm_at();
+        sim.containers[id as usize].warm_up(warm);
+        let later = warm + SimDuration::from_secs(1);
+        sim.apply_kill(id, later, DecisionCause::IdleDeadline);
+        assert!(!sim.containers[id as usize].is_alive());
+        assert_eq!(sim.live_count, 0);
+        // double-kill of a dead container: refused
+        sim.apply_kill(id, later, DecisionCause::IdleDeadline);
+        assert_eq!(sim.live_count, 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Structured decision trace: what the policy decided, when, and why.
+//!
+//! Every decision the mechanism applies — spawns, kills, dispatches, and
+//! their rejections — can be recorded as a [`SimEvent`] with
+//! [`DecisionCause`] attribution, making runs debuggable and replayable.
+//! Events land in a bounded ring buffer ([`SimTrace`]) so long runs keep
+//! the most recent window; lifetime counters (spawns, kills, failed
+//! spawns, dispatched tasks) are maintained independently of the ring so
+//! they always reconcile with [`SimResult`](crate::results::SimResult)
+//! totals even after the ring wraps.
+//!
+//! Tracing is configured via [`TraceConfig`] on
+//! [`SimConfig`](crate::config::SimConfig) and is zero-cost when disabled:
+//! `SimTrace::record` takes a closure and returns before evaluating it.
+//! With [`TraceConfig::jsonl`] set, the retained events are exported as
+//! JSON Lines at the end of the run.
+
+use fifer_core::policy::DecisionCause;
+use fifer_metrics::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Decision-trace configuration (part of `SimConfig`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Events retained in the ring buffer. `0` disables tracing entirely
+    /// (the default): no events are recorded and no counters are kept
+    /// beyond plain integer adds.
+    pub capacity: usize,
+    /// Optional JSON Lines export path; the retained events are written
+    /// there when the run finishes. Requires a nonzero `capacity`.
+    pub jsonl: Option<String>,
+}
+
+/// One applied (or rejected) decision, with cause attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A container was spawned.
+    Spawn {
+        /// When the decision was applied.
+        at: SimTime,
+        /// Which hook (or mechanism path) decided it.
+        cause: DecisionCause,
+        /// The new container's id.
+        container: u64,
+        /// Stage the container serves.
+        stage: usize,
+        /// Node it was placed on.
+        node: usize,
+    },
+    /// A spawn decision could not be applied: the cluster was full and
+    /// nothing was evictable.
+    SpawnFailed {
+        /// When the decision failed.
+        at: SimTime,
+        /// Which hook decided the spawn.
+        cause: DecisionCause,
+        /// Stage that wanted the container.
+        stage: usize,
+    },
+    /// A container was killed and its resources released.
+    Kill {
+        /// When the decision was applied.
+        at: SimTime,
+        /// Which hook (or mechanism path) decided it.
+        cause: DecisionCause,
+        /// The killed container's id.
+        container: u64,
+        /// Stage it served.
+        stage: usize,
+        /// Node it ran on.
+        node: usize,
+    },
+    /// The mechanism refused a kill decision because the target was busy
+    /// or already dead (only reachable from custom policies — the built-in
+    /// policies only kill from the expired-idle snapshot).
+    KillRejected {
+        /// When the decision was refused.
+        at: SimTime,
+        /// Which hook decided the kill.
+        cause: DecisionCause,
+        /// The rejected target.
+        container: u64,
+    },
+    /// A dispatch pass bound queued tasks to container free slots.
+    Dispatch {
+        /// When the pass ran.
+        at: SimTime,
+        /// Which hook (or mechanism path) triggered it.
+        cause: DecisionCause,
+        /// Stage whose queue was drained.
+        stage: usize,
+        /// Tasks bound during the pass (passes that bind nothing are not
+        /// recorded).
+        tasks: usize,
+    },
+}
+
+impl SimEvent {
+    /// One JSON object describing this event (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match *self {
+            SimEvent::Spawn {
+                at,
+                cause,
+                container,
+                stage,
+                node,
+            } => format!(
+                "{{\"event\":\"spawn\",\"at_s\":{},\"cause\":\"{}\",\"container\":{container},\"stage\":{stage},\"node\":{node}}}",
+                at.as_secs_f64(),
+                cause.as_str(),
+            ),
+            SimEvent::SpawnFailed { at, cause, stage } => format!(
+                "{{\"event\":\"spawn_failed\",\"at_s\":{},\"cause\":\"{}\",\"stage\":{stage}}}",
+                at.as_secs_f64(),
+                cause.as_str(),
+            ),
+            SimEvent::Kill {
+                at,
+                cause,
+                container,
+                stage,
+                node,
+            } => format!(
+                "{{\"event\":\"kill\",\"at_s\":{},\"cause\":\"{}\",\"container\":{container},\"stage\":{stage},\"node\":{node}}}",
+                at.as_secs_f64(),
+                cause.as_str(),
+            ),
+            SimEvent::KillRejected {
+                at,
+                cause,
+                container,
+            } => format!(
+                "{{\"event\":\"kill_rejected\",\"at_s\":{},\"cause\":\"{}\",\"container\":{container}}}",
+                at.as_secs_f64(),
+                cause.as_str(),
+            ),
+            SimEvent::Dispatch {
+                at,
+                cause,
+                stage,
+                tasks,
+            } => format!(
+                "{{\"event\":\"dispatch\",\"at_s\":{},\"cause\":\"{}\",\"stage\":{stage},\"tasks\":{tasks}}}",
+                at.as_secs_f64(),
+                cause.as_str(),
+            ),
+        }
+    }
+}
+
+/// The ring-buffered decision trace of one run.
+///
+/// Returned by [`Simulation::run_with_trace`](crate::driver::Simulation::run_with_trace);
+/// empty (and free) unless [`TraceConfig::capacity`] is nonzero.
+#[derive(Debug, Default)]
+pub struct SimTrace {
+    enabled: bool,
+    capacity: usize,
+    ring: VecDeque<SimEvent>,
+    /// Events evicted from the ring after it filled.
+    pub dropped: u64,
+    /// Lifetime container spawns (reconciles with `SimResult::total_spawns`).
+    pub spawns: u64,
+    /// Lifetime container kills (`spawns − kills` = containers alive at end).
+    pub kills: u64,
+    /// Lifetime spawn decisions that found no capacity.
+    pub failed_spawns: u64,
+    /// Lifetime tasks bound by dispatch passes.
+    pub dispatched_tasks: u64,
+}
+
+impl SimTrace {
+    /// A trace retaining up to `capacity` events (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        SimTrace {
+            enabled: capacity > 0,
+            capacity,
+            // bound the eager allocation: a huge configured capacity only
+            // costs memory once that many events actually occur
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            ..SimTrace::default()
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. The closure is only evaluated when tracing is
+    /// enabled, so disabled runs pay one branch per call site.
+    #[inline]
+    pub(crate) fn record(&mut self, event: impl FnOnce() -> SimEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event());
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained events as JSON Lines (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`Self::to_jsonl`] to `path`.
+    pub fn export_jsonl(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_at(s: u64, container: u64) -> SimEvent {
+        SimEvent::Spawn {
+            at: SimTime::from_secs(s),
+            cause: DecisionCause::ReactiveTick,
+            container,
+            stage: 0,
+            node: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = SimTrace::new(0);
+        t.record(|| panic!("closure must not run when disabled"));
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let mut t = SimTrace::new(2);
+        for i in 0..5 {
+            t.record(|| spawn_at(i, i));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped, 3);
+        let kept: Vec<u64> = t
+            .events()
+            .map(|e| match e {
+                SimEvent::Spawn { container, .. } => *container,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, [3, 4], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut t = SimTrace::new(8);
+        t.record(|| spawn_at(1, 0));
+        t.record(|| SimEvent::Dispatch {
+            at: SimTime::from_secs(2),
+            cause: DecisionCause::Arrival,
+            stage: 3,
+            tasks: 4,
+        });
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"spawn\",\"at_s\":1,\"cause\":\"reactive_tick\",\"container\":0,\"stage\":0,\"node\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"dispatch\",\"at_s\":2,\"cause\":\"arrival\",\"stage\":3,\"tasks\":4}"
+        );
+    }
+}

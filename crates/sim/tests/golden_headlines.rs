@@ -1,0 +1,198 @@
+//! Golden-headline regression fixtures.
+//!
+//! Each entry pins the exact [`fifer_sim::results::Headline`] a resource
+//! manager produced on a fixed seed *before* the policy/mechanism split
+//! (captured at commit `cc016b9` with `--example golden_gen`). The
+//! refactored driver must reproduce every value bit for bit — floats are
+//! compared with `==`, not a tolerance — proving the `ResourceManager`
+//! decision-hook layer preserved behaviour exactly.
+//!
+//! Regenerate with `cargo run --release -p fifer-sim --example golden_gen`
+//! only when a behaviour change is intentional, and say why in the commit.
+
+use fifer_core::rm::RmKind;
+use fifer_metrics::SimDuration;
+use fifer_sim::driver::Simulation;
+use fifer_sim::results::Headline;
+use fifer_sim::SimConfig;
+use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+
+/// (rm, rate, secs, stream seed, expected headline).
+#[allow(clippy::excessive_precision)]
+const GOLDEN: [(RmKind, f64, u64, u64, Headline); 10] = [
+    (
+        RmKind::Bline,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.22580645161290322,
+            avg_containers: 47.08735797680451,
+            median_ms: 304.96500000000003,
+            p99_ms: 8785.213729999996,
+            cold_starts: 55,
+            energy_joules: 15217.165,
+        },
+    ),
+    (
+        RmKind::SBatch,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.1693548387096774,
+            avg_containers: 4.0,
+            median_ms: 306.95050000000003,
+            p99_ms: 5184.95482,
+            cold_starts: 4,
+            energy_joules: 15214.393,
+        },
+    ),
+    (
+        RmKind::RScale,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.3064516129032258,
+            avg_containers: 7.211386907153425,
+            median_ms: 313.243,
+            p99_ms: 12833.493559999999,
+            cold_starts: 9,
+            energy_joules: 15407.995,
+        },
+    ),
+    (
+        RmKind::BPred,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.22580645161290322,
+            avg_containers: 47.08735797680451,
+            median_ms: 304.96500000000003,
+            p99_ms: 8785.213729999996,
+            cold_starts: 55,
+            energy_joules: 15217.165,
+        },
+    ),
+    (
+        RmKind::Fifer,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.3064516129032258,
+            avg_containers: 7.211386907153425,
+            median_ms: 313.243,
+            p99_ms: 12833.493559999999,
+            cold_starts: 9,
+            energy_joules: 15407.995,
+        },
+    ),
+    (
+        RmKind::Bline,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.08768267223382047,
+            avg_containers: 73.58527290165209,
+            median_ms: 302.794,
+            p99_ms: 6854.82389999998,
+            cold_starts: 79,
+            energy_joules: 30352.0805,
+        },
+    ),
+    (
+        RmKind::SBatch,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.08559498956158663,
+            avg_containers: 4.0,
+            median_ms: 315.156,
+            p99_ms: 4940.659959999999,
+            cold_starts: 4,
+            energy_joules: 26270.4688,
+        },
+    ),
+    (
+        RmKind::RScale,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.12108559498956159,
+            avg_containers: 10.704395898343314,
+            median_ms: 318.356,
+            p99_ms: 11957.90942,
+            cold_starts: 12,
+            energy_joules: 26332.8576,
+        },
+    ),
+    (
+        RmKind::BPred,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.08768267223382047,
+            avg_containers: 73.58527290165209,
+            median_ms: 302.794,
+            p99_ms: 6854.82389999998,
+            cold_starts: 79,
+            energy_joules: 30352.0805,
+        },
+    ),
+    (
+        RmKind::Fifer,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.12108559498956159,
+            avg_containers: 10.704395898343314,
+            median_ms: 318.356,
+            p99_ms: 11957.90942,
+            cold_starts: 12,
+            energy_joules: 26332.8576,
+        },
+    ),
+];
+
+fn run(kind: RmKind, rate: f64, secs: u64, seed: u64) -> Headline {
+    let stream = JobStream::generate(
+        &PoissonTrace::new(rate),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(secs),
+        seed,
+    );
+    let cfg = SimConfig::prototype(kind.config(), rate);
+    Simulation::new(cfg, &stream).run().headline()
+}
+
+#[test]
+fn headlines_match_pre_refactor_goldens() {
+    for (kind, rate, secs, seed, expected) in GOLDEN {
+        let got = run(kind, rate, secs, seed);
+        assert_eq!(
+            got, expected,
+            "{kind} @ rate={rate} secs={secs} seed={seed}: headline drifted from the \
+             pre-refactor golden"
+        );
+    }
+}
+
+/// The goldens cover every named resource manager — a guard so adding a
+/// sixth `RmKind` forces a fixture for it too.
+#[test]
+fn goldens_cover_all_rm_kinds() {
+    for kind in RmKind::ALL {
+        assert!(
+            GOLDEN.iter().any(|(k, ..)| *k == kind),
+            "{kind} has no golden fixture"
+        );
+    }
+}

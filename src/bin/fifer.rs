@@ -28,6 +28,7 @@ struct Args {
     large: bool,
     early_exit: f64,
     tenants: usize,
+    decision_trace: Option<String>,
 }
 
 fn usage() -> ! {
@@ -48,7 +49,8 @@ fn usage() -> ! {
          --replay <file.csv>                       replay a saved workload instead of a trace\n\
          --save-workload <file.csv>                save the generated workload\n\
          --out <file.csv>                          write the summary row(s) as CSV\n\
-         --json <file.json>                        dump the full SimResult of the last RM as JSON"
+         --json <file.json>                        dump the full SimResult of the last RM as JSON\n\
+         --decision-trace <file.jsonl>             export the last RM's scaling decisions as JSONL"
     );
     exit(2)
 }
@@ -69,6 +71,7 @@ fn parse_args() -> Args {
         large: false,
         early_exit: 0.0,
         tenants: 1,
+        decision_trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -115,6 +118,7 @@ fn parse_args() -> Args {
             "--save-workload" => args.save_workload = Some(value(&mut i)),
             "--out" => args.out = Some(value(&mut i)),
             "--json" => args.json = Some(value(&mut i)),
+            "--decision-trace" => args.decision_trace = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -203,6 +207,11 @@ fn main() {
         cfg.idle_timeout = SimDuration::from_secs((secs / 6).clamp(60, 600));
         cfg.early_exit_prob = args.early_exit;
         cfg.tenants = args.tenants.max(1);
+        if let Some(path) = &args.decision_trace {
+            // like --json, the last RM listed wins under --compare
+            cfg.trace.capacity = 1 << 20;
+            cfg.trace.jsonl = Some(path.clone());
+        }
         if cfg.rm.is_proactive() {
             let cut = (stream.len() * 6 / 10).max(1);
             let arrivals: Vec<SimTime> = stream.iter().take(cut).map(|j| j.arrival).collect();
