@@ -23,6 +23,7 @@ pub fn deep_queue_tasks(n: usize) -> Vec<StageTask> {
                 enqueued: SimTime::from_micros(h % 1_000_000),
                 job_deadline: SimTime::from_micros(1_000_000 + (h >> 8) % 2_000_000),
                 remaining_work: SimDuration::from_micros(1_000 + (h >> 4) % 500_000),
+                retries: 0,
             }
         })
         .collect()

@@ -183,6 +183,13 @@ pub enum DecisionCause {
     CapacityEviction,
     /// Mechanism: a cold-started container warmed up and drained queues.
     ContainerWarm,
+    /// `on_container_failed` (fault injection: spawn fault or crash).
+    ContainerFailure,
+    /// `on_node_down` (fault injection: whole-node outage).
+    NodeFailure,
+    /// Mechanism: the fault-recovery valve respawned capacity for a stage
+    /// whose entire pool was lost to faults.
+    FaultRecovery,
 }
 
 impl DecisionCause {
@@ -199,6 +206,9 @@ impl DecisionCause {
             DecisionCause::WarmPoolFloor => "warm_pool_floor",
             DecisionCause::CapacityEviction => "capacity_eviction",
             DecisionCause::ContainerWarm => "container_warm",
+            DecisionCause::ContainerFailure => "container_failure",
+            DecisionCause::NodeFailure => "node_failure",
+            DecisionCause::FaultRecovery => "fault_recovery",
         }
     }
 }
@@ -288,6 +298,55 @@ pub trait ResourceManager: Send {
         out: &mut Vec<Decision>,
     ) {
         let _ = (view, expired, out);
+    }
+
+    /// `container` (serving `stage`) was killed by an injected fault —
+    /// it died shortly after spawning, crashed mid-task, or both. The
+    /// mechanism has already released its resources and re-enqueued its
+    /// tasks at the stage's global queue (with retry counts), so the
+    /// policy only decides how to replace the lost capacity. Default:
+    /// spawn one replacement and re-drain the queue — which preserves
+    /// every built-in manager's steady-state container count, including
+    /// SBatch's fixed pool.
+    fn on_container_failed(
+        &mut self,
+        view: &ClusterView,
+        stage: &StageView,
+        container: u64,
+        out: &mut Vec<Decision>,
+    ) {
+        let _ = (view, container);
+        out.push(Decision::SpawnContainer {
+            stage: stage.stage,
+            count: 1,
+        });
+        out.push(Decision::DispatchBatch { stage: stage.stage });
+    }
+
+    /// Node `node` went down; `lost` lists the containers it hosted (in
+    /// container-id order). The mechanism has already crashed them all
+    /// and re-enqueued their tasks; the node refuses placements until it
+    /// recovers. Default: respawn one replacement per lost container,
+    /// grouped per stage, then re-drain those stages.
+    fn on_node_down(
+        &mut self,
+        view: &ClusterView,
+        node: usize,
+        lost: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        let _ = (view, node);
+        let mut per_stage: Vec<(usize, usize)> = Vec::new();
+        for c in lost {
+            match per_stage.iter_mut().find(|(s, _)| *s == c.stage) {
+                Some((_, n)) => *n += 1,
+                None => per_stage.push((c.stage, 1)),
+            }
+        }
+        for (stage, count) in per_stage {
+            out.push(Decision::SpawnContainer { stage, count });
+            out.push(Decision::DispatchBatch { stage });
+        }
     }
 }
 

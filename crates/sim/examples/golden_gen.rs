@@ -13,10 +13,30 @@
 //! *intentional* (document why in the commit message).
 
 use fifer_core::rm::RmKind;
-use fifer_metrics::SimDuration;
+use fifer_metrics::{SimDuration, SimTime};
 use fifer_sim::driver::Simulation;
+use fifer_sim::fault::{FaultPlan, NodeOutage};
 use fifer_sim::SimConfig;
 use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+
+/// The fault plan pinned by the faulted golden fixtures. Must stay in
+/// sync with `golden_fault_plan()` in `tests/golden_headlines.rs`.
+fn golden_fault_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 2024,
+        spawn_fail_prob: 0.05,
+        spawn_fail_latency: SimDuration::from_millis(400),
+        crash_prob: 0.03,
+        straggler_prob: 0.10,
+        straggler_factor: 3.0,
+        max_retries: 16,
+        outages: vec![NodeOutage {
+            node: 1,
+            down_at: SimTime::from_secs(10),
+            up_at: SimTime::from_secs(20),
+        }],
+    }
+}
 
 fn main() {
     for (rate, secs, seed) in [(5.0, 30, 7), (8.0, 60, 11)] {
@@ -31,5 +51,20 @@ fn main() {
             let h = Simulation::new(cfg, &stream).run().headline();
             println!("({kind:?}, {rate:?}, {secs}, {seed}, {h:?}),");
         }
+    }
+
+    println!("\n// faulted goldens (golden_fault_plan, audit on):");
+    let stream = JobStream::generate(
+        &PoissonTrace::new(5.0),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(30),
+        7,
+    );
+    for kind in [RmKind::Bline, RmKind::Fifer] {
+        let mut cfg = SimConfig::prototype(kind.config(), 5.0);
+        cfg.faults = golden_fault_plan();
+        cfg.audit = true;
+        let h = Simulation::new(cfg, &stream).run().headline();
+        println!("({kind:?}, {h:?}),");
     }
 }

@@ -28,6 +28,9 @@ pub(crate) struct JobState {
     pub(crate) stage_pos: usize,
     pub(crate) breakdown: LatencyBreakdown,
     pub(crate) done: bool,
+    /// The job was abandoned after a task exhausted the fault-retry
+    /// budget; it produces no record and counts in `jobs_dropped`.
+    pub(crate) dropped: bool,
 }
 
 /// Static per-application routing/plan data.
@@ -100,7 +103,7 @@ impl Simulation<'_> {
     }
 
     pub(crate) fn workload_drained(&self) -> bool {
-        self.jobs_done == self.jobs.len()
+        self.jobs_done + self.jobs_dropped as usize == self.jobs.len()
     }
 
     /// Final result assembly.
@@ -125,6 +128,13 @@ impl Simulation<'_> {
             total_spawns: self.total_spawns,
             blocking_cold_starts: self.blocking_cold_starts,
             failed_spawns: self.failed_spawns,
+            container_failures: self.container_failures,
+            tasks_crashed: self.tasks_crashed,
+            tasks_requeued: self.tasks_requeued,
+            jobs_dropped: self.jobs_dropped,
+            node_outages: self.node_outages,
+            audit_checks: self.audit.checks,
+            audit_violations: self.audit.violations,
             energy_joules: self.meter.joules(),
             active_nodes: self.nodes_series,
             queue_depth: self.queue_series,

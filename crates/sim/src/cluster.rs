@@ -27,6 +27,9 @@ pub struct Node {
     pub executing: usize,
     /// When the node last became empty (for power-off accounting).
     pub empty_since: Option<SimTime>,
+    /// `false` while the node is down (fault injection); a down node
+    /// refuses placements until it recovers.
+    pub up: bool,
 }
 
 impl Node {
@@ -39,6 +42,7 @@ impl Node {
             pods: 0,
             executing: 0,
             empty_since: Some(SimTime::ZERO),
+            up: true,
         }
     }
 
@@ -116,7 +120,8 @@ impl Cluster {
     /// no node fits. Does not allocate; call [`Cluster::place`] with the
     /// returned index.
     pub fn select_node(&self, placement: NodePlacement) -> Option<usize> {
-        let fits = |n: &&(usize, &Node)| n.1.fits(self.container_cpu, self.container_mem_gb);
+        let fits =
+            |n: &&(usize, &Node)| n.1.up && n.1.fits(self.container_cpu, self.container_mem_gb);
         let indexed: Vec<(usize, &Node)> = self.nodes.iter().enumerate().collect();
         match placement {
             NodePlacement::GreedyBinPack => indexed
@@ -182,6 +187,18 @@ impl Cluster {
     pub fn set_executing(&mut self, node: usize, delta: i64) {
         let n = &mut self.nodes[node];
         n.executing = (n.executing as i64 + delta).max(0) as usize;
+    }
+
+    /// Marks `node` up or down (fault injection). Down nodes refuse
+    /// placements; the caller is responsible for evacuating resident
+    /// containers first.
+    pub fn set_node_up(&mut self, node: usize, up: bool) {
+        self.nodes[node].up = up;
+    }
+
+    /// `true` while `node` accepts placements.
+    pub fn node_is_up(&self, node: usize) -> bool {
+        self.nodes[node].up
     }
 
     /// Number of nodes currently hosting at least one pod.
@@ -287,5 +304,20 @@ mod tests {
     fn release_on_empty_panics() {
         let mut c = cluster();
         c.release(0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn down_nodes_refuse_placements() {
+        let mut c = cluster();
+        c.set_node_up(0, false);
+        assert!(!c.node_is_up(0));
+        // greedy would pick node 0 when all are empty; down → next index
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), Some(1));
+        c.set_node_up(1, false);
+        c.set_node_up(2, false);
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), None);
+        assert_eq!(c.select_node(NodePlacement::Spread), None);
+        c.set_node_up(0, true);
+        assert_eq!(c.select_node(NodePlacement::GreedyBinPack), Some(0));
     }
 }

@@ -1,5 +1,6 @@
 //! Simulation configuration with the paper's defaults (Tables 1–2, §5).
 
+use crate::fault::FaultPlan;
 use crate::trace::TraceConfig;
 use fifer_core::rm::RmConfig;
 use fifer_metrics::SimDuration;
@@ -112,6 +113,18 @@ pub struct SimConfig {
     /// Structured decision trace (ring capacity + optional JSONL export).
     /// Disabled by default; see [`crate::trace`].
     pub trace: TraceConfig,
+    /// Deterministic fault-injection plan (spawn faults, crashes,
+    /// stragglers, node outages). [`FaultPlan::none`] — the default —
+    /// injects nothing and leaves runs byte-identical to a fault-free
+    /// build; see [`crate::fault`].
+    pub faults: FaultPlan,
+    /// Run the invariant auditor at every event-commit point (the
+    /// `audit` module): conservation of tasks, slot/memory accounting,
+    /// trace-counter reconciliation. Read-only — violations are collected
+    /// into [`SimResult::audit_violations`](crate::SimResult), never
+    /// panicked mid-run — so enabling it does not perturb the simulation.
+    /// Off by default; the test suite switches it on.
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -138,6 +151,8 @@ impl SimConfig {
             seed: 1,
             use_reference_scheduler: false,
             trace: TraceConfig::default(),
+            faults: FaultPlan::none(),
+            audit: false,
         }
     }
 
@@ -191,6 +206,7 @@ impl SimConfig {
             self.trace.jsonl.is_none() || self.trace.capacity > 0,
             "decision-trace JSONL export requires a nonzero trace capacity"
         );
+        self.faults.validate(self.cluster.nodes);
     }
 }
 

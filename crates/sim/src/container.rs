@@ -21,6 +21,9 @@ pub struct BoundTask {
     pub enqueued: SimTime,
     /// When the task was bound to this container.
     pub assigned: SimTime,
+    /// How many times this task has been re-enqueued after a fault killed
+    /// its container. 0 on the first attempt.
+    pub retries: u32,
 }
 
 /// Lifecycle state of a container.
@@ -52,6 +55,9 @@ pub struct Container {
     pub state: ContainerState,
     /// The task currently executing, if any.
     pub executing: Option<BoundTask>,
+    /// When the executing task would finish — set at dispatch so a crash
+    /// can compute the unexecuted remainder. `None` when nothing runs.
+    pub exec_until: Option<SimTime>,
     /// Tasks waiting in the local queue.
     pub local_queue: VecDeque<BoundTask>,
     /// When the container was created.
@@ -88,6 +94,7 @@ impl Container {
                 warm_at: now + cold_start,
             },
             executing: None,
+            exec_until: None,
             local_queue: VecDeque::new(),
             spawned_at: now,
             cold_start,
@@ -149,9 +156,25 @@ impl Container {
             .executing
             .take()
             .expect("finish without executing task");
+        self.exec_until = None;
         self.tasks_executed += 1;
         self.last_used = now;
         task
+    }
+
+    /// Kills the container by fault, draining whatever it held. Returns the
+    /// interrupted executing task (if any) followed by the local queue in
+    /// bind order — the tasks the fault orphaned, for re-enqueueing.
+    ///
+    /// Unlike [`kill`](Self::kill) this accepts a busy container; unlike
+    /// `finish_executing` the interrupted task does not count as executed.
+    pub fn fail(&mut self) -> Vec<BoundTask> {
+        let mut lost = Vec::with_capacity(self.local_queue.len() + 1);
+        lost.extend(self.executing.take());
+        self.exec_until = None;
+        lost.extend(self.local_queue.drain(..));
+        self.state = ContainerState::Dead;
+        lost
     }
 
     /// Transitions cold → warm.
@@ -205,6 +228,7 @@ mod tests {
             job,
             enqueued: at,
             assigned: at,
+            retries: 0,
         }
     }
 
@@ -308,5 +332,30 @@ mod tests {
     fn finish_without_start_panics() {
         let mut c = warm_container(2);
         c.finish_executing(secs(5));
+    }
+
+    #[test]
+    fn fail_drains_executing_then_queue() {
+        let mut c = warm_container(3);
+        c.bind(task(1, secs(4)));
+        c.bind(task(2, secs(4)));
+        c.bind(task(3, secs(5)));
+        c.start_next(secs(5));
+        c.exec_until = Some(secs(9));
+        let lost = c.fail();
+        assert_eq!(
+            lost.iter().map(|t| t.job).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(!c.is_alive());
+        assert_eq!(c.exec_until, None);
+        assert_eq!(c.tasks_executed, 0, "interrupted task never completed");
+    }
+
+    #[test]
+    fn fail_on_empty_container_loses_nothing() {
+        let mut c = warm_container(2);
+        assert!(c.fail().is_empty());
+        assert!(!c.is_alive());
     }
 }

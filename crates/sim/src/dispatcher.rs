@@ -12,12 +12,14 @@
 use crate::container::BoundTask;
 use crate::driver::Simulation;
 use crate::engine::Event;
+use crate::fault::FaultKind;
 use crate::stage::TaskRef;
 use crate::stats_store::StoreOp;
 use crate::trace::SimEvent;
 use fifer_core::policy::{Decision, DecisionCause};
 use fifer_core::scheduling::{select_task_iter, QueuedTask};
 use fifer_metrics::{SimDuration, SimTime};
+use rand::Rng;
 
 impl Simulation<'_> {
     /// Binds queued tasks to container free slots per the RM's policies.
@@ -94,6 +96,7 @@ impl Simulation<'_> {
                 job: task.job,
                 enqueued: task.enqueued,
                 assigned: now,
+                retries: task.retries,
             });
             self.stages[sidx].update_free(target, prev_free, prev_free - 1);
             self.try_start(target, now);
@@ -139,7 +142,7 @@ impl Simulation<'_> {
 
     /// Starts the container's next local task if it is warm and idle.
     pub(crate) fn try_start(&mut self, cid: u64, now: SimTime) {
-        let (job, exec, node) = {
+        let (job, exec, node, crashes) = {
             let c = &mut self.containers[cid as usize];
             let Some(task) = c.start_next(now) else {
                 return;
@@ -156,15 +159,38 @@ impl Simulation<'_> {
             j.breakdown.cold_start += cold_wait;
             j.breakdown.queuing += total_wait.saturating_sub(cold_wait);
             let ms = self.stages[c.stage].microservice;
-            let exec = ms
+            let mut exec = ms
                 .spec()
                 .sample_exec_time(self.jobs[task.job].input_scale, &mut self.rng);
-            (task.job, exec, c.node)
+            // fault plan (draws guarded so an inactive plan never touches
+            // the fault RNG): a straggler runs the task slowed by the
+            // configured factor; a crash kills the container mid-task
+            let f = &self.cfg.faults;
+            if f.straggler_prob > 0.0 && self.fault_rng.gen_bool(f.straggler_prob) {
+                exec = exec.mul_f64(f.straggler_factor);
+            }
+            let crashes = f.crash_prob > 0.0 && self.fault_rng.gen_bool(f.crash_prob);
+            // full exec is charged up front; a crash refunds the remainder
+            c.exec_until = Some(now + exec);
+            (task.job, exec, c.node, crashes)
         };
         self.jobs[job].breakdown.exec += exec;
         self.stages[self.containers[cid as usize].stage].executing += 1;
         self.cluster.set_executing(node, 1);
-        self.queue
-            .schedule(now + exec, Event::TaskFinish { container: cid });
+        if crashes {
+            // the crash lands partway through the execution, replacing the
+            // finish event outright (the task never completes here)
+            let frac = self.fault_rng.gen_range(0.05..0.95);
+            self.queue.schedule(
+                now + exec.mul_f64(frac),
+                Event::ContainerCrash {
+                    container: cid,
+                    fault: FaultKind::Crash,
+                },
+            );
+        } else {
+            self.queue
+                .schedule(now + exec, Event::TaskFinish { container: cid });
+        }
     }
 }

@@ -28,16 +28,18 @@
 //! (Algorithm 1 e), idle reclamation and energy sampling.
 
 use crate::accounting::{build_stages, AppRuntime, JobState};
+use crate::audit::AuditLog;
 use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::container::Container;
 use crate::energy::{EnergyMeter, PowerModel};
 use crate::engine::{Event, EventQueue};
+use crate::fault::FaultKind;
 use crate::results::SimResult;
 use crate::stage::{StageRuntime, StageTask};
 use crate::stats_store::{StatsStore, StoreOp};
-use crate::trace::SimTrace;
-use fifer_core::policy::{Decision, DecisionCause, ResourceManager, StageView};
+use crate::trace::{SimEvent, SimTrace};
+use fifer_core::policy::{ContainerView, Decision, DecisionCause, ResourceManager, StageView};
 use fifer_metrics::{RequestRecord, SimDuration, SimTime, SloAccountant, TimeSeries};
 use fifer_predict::WindowSampler;
 use fifer_workloads::{Application, JobStream, Microservice};
@@ -53,6 +55,10 @@ pub struct Simulation<'a> {
     pub(crate) stream: &'a JobStream,
     pub(crate) queue: EventQueue,
     pub(crate) rng: StdRng,
+    /// Separate RNG for fault draws, so the workload's stochastic path
+    /// (exec jitter, early exits) is bit-identical with and without an
+    /// active fault plan. Never drawn from when the plan is inactive.
+    pub(crate) fault_rng: StdRng,
     pub(crate) cluster: Cluster,
     pub(crate) containers: Vec<Container>,
     pub(crate) stages: Vec<StageRuntime>,
@@ -98,6 +104,26 @@ pub struct Simulation<'a> {
     pub(crate) peak_queue_depth: u64,
     /// Events drained from the event queue.
     pub(crate) events_processed: u64,
+    // fault injection
+    /// Containers killed by injected faults.
+    pub(crate) container_failures: u64,
+    /// Tasks orphaned by faulted containers.
+    pub(crate) tasks_crashed: u64,
+    /// Orphaned tasks bounced back into global queues.
+    pub(crate) tasks_requeued: u64,
+    /// Jobs abandoned after the retry budget ran out.
+    pub(crate) jobs_dropped: u64,
+    /// Node outages that fired.
+    pub(crate) node_outages: u64,
+    /// Per-node count of outage windows currently covering the node, so
+    /// overlapping windows nest correctly (the node is down while > 0).
+    pub(crate) node_down_depth: Vec<u32>,
+    /// Jobs whose next-stage enqueue is in flight on the event queue
+    /// (chain-transition overhead) — the auditor's conservation ledger
+    /// needs to know they are accounted for.
+    pub(crate) in_transition: usize,
+    /// The invariant auditor's log (inert unless `cfg.audit`).
+    pub(crate) audit: AuditLog,
 }
 
 impl<'a> Simulation<'a> {
@@ -153,6 +179,7 @@ impl<'a> Simulation<'a> {
                 stage_pos: 0,
                 breakdown: Default::default(),
                 done: false,
+                dropped: false,
             })
             .collect();
         let slo = SloAccountant::new(cfg.slo);
@@ -160,6 +187,7 @@ impl<'a> Simulation<'a> {
         let trace = SimTrace::new(cfg.trace.capacity);
         Simulation {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xF1FE_F1FE),
+            fault_rng: StdRng::seed_from_u64(cfg.faults.seed ^ cfg.seed ^ 0xFA17_FA17),
             queue: EventQueue::new(),
             cluster,
             containers: Vec::new(),
@@ -193,6 +221,14 @@ impl<'a> Simulation<'a> {
             pending_tasks: 0,
             peak_queue_depth: 0,
             events_processed: 0,
+            container_failures: 0,
+            tasks_crashed: 0,
+            tasks_requeued: 0,
+            jobs_dropped: 0,
+            node_outages: 0,
+            node_down_depth: vec![0; cfg.cluster.nodes],
+            in_transition: 0,
+            audit: AuditLog::default(),
             cfg,
             stream,
         }
@@ -241,6 +277,13 @@ impl<'a> Simulation<'a> {
                 SimTime::ZERO + self.cfg.monitor_interval,
                 Event::MonitorTick,
             );
+            // fault plan: node outages are first-class engine events, fixed
+            // at configuration time (deterministic by construction)
+            for o in &self.cfg.faults.outages {
+                self.queue
+                    .schedule(o.down_at, Event::NodeDown { node: o.node });
+                self.queue.schedule(o.up_at, Event::NodeUp { node: o.node });
+            }
         }
         let progress_enabled = std::env::var_os("FIFER_TRACE").is_some();
         while let Some((now, event)) = self.queue.pop() {
@@ -259,7 +302,18 @@ impl<'a> Simulation<'a> {
                 Event::ContainerWarm { container } => self.on_warm(container, now),
                 Event::ReactiveTick => self.on_reactive_tick(now),
                 Event::MonitorTick => self.on_monitor_tick(now),
+                Event::ContainerCrash { container, fault } => {
+                    self.on_container_crash(container, fault, now)
+                }
+                Event::NodeDown { node } => self.on_node_down(node, now),
+                Event::NodeUp { node } => self.on_node_up(node, now),
             }
+            if self.cfg.audit {
+                self.audit_commit(now, &event);
+            }
+        }
+        if self.cfg.audit {
+            self.audit_final();
         }
         let trace = std::mem::take(&mut self.trace);
         if let Some(path) = self.cfg.trace.jsonl.clone() {
@@ -306,6 +360,7 @@ impl<'a> Simulation<'a> {
     }
 
     fn on_stage_enqueue(&mut self, job: usize, now: SimTime) {
+        self.in_transition -= 1;
         self.enqueue_current_stage(job, now);
     }
 
@@ -319,6 +374,7 @@ impl<'a> Simulation<'a> {
             enqueued: now,
             job_deadline: j.submitted + self.cfg.slo,
             remaining_work: app.remaining_work[pos],
+            retries: 0,
         };
         self.store.access(StoreOp::JobStats);
         self.stages[sidx].enqueue(task);
@@ -338,6 +394,11 @@ impl<'a> Simulation<'a> {
 
     fn on_task_finish(&mut self, cid: u64, now: SimTime) {
         let c = &mut self.containers[cid as usize];
+        if !c.is_alive() {
+            // stale: a fault killed the container (and re-enqueued its
+            // tasks) after this finish was scheduled
+            return;
+        }
         let sidx = c.stage;
         let node = c.node;
         let task = c.finish_executing(now);
@@ -383,7 +444,7 @@ impl<'a> Simulation<'a> {
             }
             self.jobs_done += 1;
             self.last_completion = now;
-            if self.jobs_done == self.jobs.len() {
+            if self.workload_drained() {
                 // final energy rectangle ends with the workload
                 self.meter.sample(&self.cluster, now);
             }
@@ -391,6 +452,7 @@ impl<'a> Simulation<'a> {
             // chain transition over the event bus (§2.1); the overhead is
             // part of the chain's runtime, not queuing
             j.breakdown.exec += overhead;
+            self.in_transition += 1;
             self.queue
                 .schedule(now + overhead, Event::StageEnqueue { job: task.job });
         }
@@ -417,6 +479,83 @@ impl<'a> Simulation<'a> {
         c.warm_up(now);
         self.try_start(cid, now);
         self.dispatch(sidx, now, DecisionCause::ContainerWarm);
+    }
+
+    // ---- fault handlers -------------------------------------------------
+
+    fn on_container_crash(&mut self, cid: u64, fault: FaultKind, now: SimTime) {
+        if !self.containers[cid as usize].is_alive() {
+            // stale: the policy reclaimed it, or an earlier fault (e.g. a
+            // node outage) got there first
+            return;
+        }
+        let sidx = self.containers[cid as usize].stage;
+        self.crash_container(cid, now, fault);
+        // the mechanism has cleaned up; the policy decides how to replace
+        // the lost capacity (default: one-for-one respawn + re-drain)
+        let mut out = std::mem::take(&mut self.decisions);
+        {
+            let sv = self.stage_view(sidx, SimDuration::ZERO);
+            let cv = self.cluster_scalars(now, &[]);
+            self.rm.on_container_failed(&cv, &sv, cid, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::ContainerFailure);
+        self.decisions = out;
+    }
+
+    fn on_node_down(&mut self, node: usize, now: SimTime) {
+        self.node_down_depth[node] += 1;
+        if self.node_down_depth[node] > 1 {
+            return; // overlapping outage windows: the node is already down
+        }
+        // snapshot the victims before killing them, in container-id order
+        // (the order `on_node_down` documents)
+        let victims: Vec<u64> = self
+            .containers
+            .iter()
+            .filter(|c| c.is_alive() && c.node == node)
+            .map(|c| c.id)
+            .collect();
+        let lost_views: Vec<ContainerView> = victims
+            .iter()
+            .map(|&id| {
+                let c = &self.containers[id as usize];
+                ContainerView {
+                    container: c.id,
+                    stage: c.stage,
+                    node: c.node,
+                    last_used: c.last_used,
+                }
+            })
+            .collect();
+        for &cid in &victims {
+            self.crash_container(cid, now, FaultKind::NodeOutage);
+        }
+        self.cluster.set_node_up(node, false);
+        self.node_outages += 1;
+        self.trace.record(|| SimEvent::NodeDown {
+            at: now,
+            node,
+            lost: victims.len(),
+        });
+        let mut out = std::mem::take(&mut self.decisions);
+        {
+            let cv = self.cluster_scalars(now, &[]);
+            self.rm.on_node_down(&cv, node, &lost_views, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::NodeFailure);
+        self.decisions = out;
+    }
+
+    fn on_node_up(&mut self, node: usize, now: SimTime) {
+        self.node_down_depth[node] -= 1;
+        if self.node_down_depth[node] > 0 {
+            return; // a longer overlapping window still holds it down
+        }
+        self.cluster.set_node_up(node, true);
+        self.trace.record(|| SimEvent::NodeUp { at: now, node });
+        // capacity is back; blocked stages retry via the monitor tick's
+        // dispatch pass and the fault-recovery valve
     }
 
     fn on_reactive_tick(&mut self, now: SimTime) {
@@ -504,6 +643,20 @@ impl<'a> Simulation<'a> {
 
         // pre-warmed pool floor (§2.2.1), mechanism-side
         self.top_up_warm_pool(now);
+
+        // fault-recovery valve (mechanism-side, only under an active fault
+        // plan): a stage can lose its whole pool to faults while its
+        // replacement spawns fail (cluster full, nodes down). No container
+        // event will ever fire for it again, and a fixed-pool policy never
+        // rescales — so the monitor tick restores a minimum of one
+        // container wherever tasks are stranded.
+        if self.cfg.faults.is_active() {
+            for sidx in 0..self.stages.len() {
+                if self.stages[sidx].pending() > 0 && self.stages[sidx].containers.is_empty() {
+                    self.spawn_container(sidx, now, DecisionCause::FaultRecovery);
+                }
+            }
+        }
 
         // retry stages whose earlier spawn attempts failed (cluster full):
         // idle reclamation above may have freed capacity, and no container

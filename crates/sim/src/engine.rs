@@ -1,6 +1,7 @@
 //! The discrete-event engine: a time-ordered event queue with a
 //! deterministic tie-break sequence number.
 
+use crate::fault::FaultKind;
 use fifer_metrics::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -23,6 +24,25 @@ pub enum Event {
     /// Slow monitoring tick: proactive scaling, idle scale-down, energy
     /// sampling (the paper's T = 10 s interval, §4.5).
     MonitorTick,
+    /// Fault injection: `container` dies (spawn fault or mid-task crash,
+    /// per `fault`). Stale if the container is already dead when it fires.
+    ContainerCrash {
+        /// The doomed container.
+        container: u64,
+        /// Which fault killed it (trace attribution).
+        fault: FaultKind,
+    },
+    /// Fault injection: node `node` goes down, killing every resident
+    /// container.
+    NodeDown {
+        /// The failing node.
+        node: usize,
+    },
+    /// Fault injection: node `node` recovers and accepts placements again.
+    NodeUp {
+        /// The recovering node.
+        node: usize,
+    },
 }
 
 /// An event scheduled at a time, ordered by `(time, seq)` so simultaneous

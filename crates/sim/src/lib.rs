@@ -27,6 +27,10 @@
 //!   and selection policies,
 //! * `lifecycle` — container spawn/placement/eviction/kill and the
 //!   warm-pool floor,
+//! * [`fault`] — the deterministic fault-injection plan (seeded spawn
+//!   failures, mid-task crashes, node outages, stragglers),
+//! * `audit` — the runtime invariant auditor: conservation laws checked
+//!   at event-commit points when [`config::SimConfig::audit`] is set,
 //! * [`trace`] — the structured decision trace (ring-buffered
 //!   [`SimEvent`]s with cause attribution, optional JSONL export),
 //! * [`results`] — everything the experiment harness needs to regenerate
@@ -52,6 +56,7 @@
 //! ```
 
 mod accounting;
+mod audit;
 pub mod cluster;
 pub mod config;
 pub mod container;
@@ -59,6 +64,7 @@ mod dispatcher;
 pub mod driver;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 mod lifecycle;
 pub mod results;
 pub mod stage;
@@ -67,5 +73,6 @@ pub mod trace;
 
 pub use config::{ClusterConfig, SimConfig};
 pub use driver::Simulation;
+pub use fault::{FaultKind, FaultPlan, NodeOutage};
 pub use results::SimResult;
 pub use trace::{SimEvent, SimTrace, TraceConfig};

@@ -8,9 +8,11 @@
 //! decide *whether* to scale.
 
 use crate::accounting::is_unoccupied;
-use crate::container::Container;
+use crate::container::{BoundTask, Container};
 use crate::driver::Simulation;
 use crate::engine::Event;
+use crate::fault::FaultKind;
+use crate::stage::StageTask;
 use crate::stats_store::StoreOp;
 use crate::trace::SimEvent;
 use fifer_core::policy::DecisionCause;
@@ -94,7 +96,131 @@ impl Simulation<'_> {
         });
         self.queue
             .schedule(now + cold, Event::ContainerWarm { container: id });
+        // fault plan: some spawns are doomed — the container dies shortly
+        // after creation (image corruption, OOM on init, …). The draw is
+        // guarded so an inactive plan never touches the fault RNG.
+        if self.cfg.faults.spawn_fail_prob > 0.0
+            && self.fault_rng.gen_bool(self.cfg.faults.spawn_fail_prob)
+        {
+            self.queue.schedule(
+                now + self.cfg.faults.spawn_fail_latency,
+                Event::ContainerCrash {
+                    container: id,
+                    fault: FaultKind::SpawnFault,
+                },
+            );
+        }
         Some(id)
+    }
+
+    /// Kills `cid` by injected fault: releases its resources, refunds the
+    /// interrupted task's unexecuted time, and bounces every orphaned task
+    /// back into the stage's global queue (or drops its job once the retry
+    /// budget is spent). Mechanism-side — the policy is consulted
+    /// afterwards via `on_container_failed` / `on_node_down`.
+    pub(crate) fn crash_container(&mut self, cid: u64, now: SimTime, kind: FaultKind) {
+        let (sidx, node, prev_free, exec_until, lost) = {
+            let c = &mut self.containers[cid as usize];
+            let prev_free = c.free_slots();
+            let exec_until = c.exec_until;
+            let lost = c.fail();
+            (c.stage, c.node, prev_free, exec_until, lost)
+        };
+        if let Some(until) = exec_until {
+            // the interrupted task (always first out of `fail`): undo its
+            // in-flight accounting. Its full exec time was charged at
+            // dispatch; refunding the unexecuted remainder leaves exactly
+            // the wall time it really ran on the books.
+            self.stages[sidx].executing -= 1;
+            self.cluster.set_executing(node, -1);
+            let j = &mut self.jobs[lost[0].job];
+            j.breakdown.exec = j.breakdown.exec.saturating_sub(until.saturating_since(now));
+        }
+        self.cluster.release(node, now);
+        self.stages[sidx].remove_free(cid, prev_free);
+        self.stages[sidx].containers.retain(|&id| id != cid);
+        self.live_count -= 1;
+        self.live_series.push(now, self.live_count as f64);
+        self.container_failures += 1;
+        self.trace.container_failures += 1;
+        self.trace.record(|| SimEvent::ContainerFailed {
+            at: now,
+            fault: kind,
+            container: cid,
+            stage: sidx,
+            node,
+        });
+        for (i, t) in lost.into_iter().enumerate() {
+            let interrupted = i == 0 && exec_until.is_some();
+            self.requeue_or_drop(t, interrupted, sidx, now, kind);
+        }
+    }
+
+    /// Routes one orphaned task: back into the stage queue with a bumped
+    /// retry count, or — past `faults.max_retries` — drops the owning job.
+    fn requeue_or_drop(
+        &mut self,
+        t: BoundTask,
+        interrupted: bool,
+        sidx: usize,
+        now: SimTime,
+        kind: FaultKind,
+    ) {
+        self.stages[sidx].lost += 1;
+        self.tasks_crashed += 1;
+        let retries = t.retries + 1;
+        if retries > self.cfg.faults.max_retries {
+            self.drop_job(t.job, now, t.retries);
+            return;
+        }
+        // a task that was mid-execution restarts its wait clock at the
+        // crash (its earlier wait and partial execution are already on the
+        // books); a task that never started keeps its original enqueue
+        // time, since its wait is only charged when it eventually starts
+        let enqueued = if interrupted { now } else { t.enqueued };
+        let task = {
+            let j = &self.jobs[t.job];
+            let app = &self.apps[&(j.tenant, j.app)];
+            StageTask {
+                job: t.job,
+                enqueued,
+                job_deadline: j.submitted + self.cfg.slo,
+                remaining_work: app.remaining_work[j.stage_pos],
+                retries,
+            }
+        };
+        self.stages[sidx].requeue(task);
+        self.pending_tasks += 1;
+        self.peak_queue_depth = self.peak_queue_depth.max(self.pending_tasks as u64);
+        self.dirty_stages.insert(sidx);
+        self.tasks_requeued += 1;
+        self.trace.requeued_tasks += 1;
+        self.trace.record(|| SimEvent::TaskRequeued {
+            at: now,
+            fault: kind,
+            job: t.job,
+            stage: sidx,
+            retries,
+        });
+    }
+
+    /// Abandons a job whose task exhausted the fault-retry budget. The job
+    /// produces no record; `jobs_dropped` keeps the drained-workload and
+    /// conservation accounting honest.
+    fn drop_job(&mut self, job: usize, now: SimTime, retries: u32) {
+        self.jobs[job].dropped = true;
+        self.jobs_dropped += 1;
+        self.trace.dropped_jobs += 1;
+        self.trace.record(|| SimEvent::JobDropped {
+            at: now,
+            job,
+            retries,
+        });
+        self.last_completion = self.last_completion.max(now);
+        if self.workload_drained() {
+            // the drop, not a completion, ended the workload
+            self.meter.sample(&self.cluster, now);
+        }
     }
 
     /// Evicts the least-recently-used idle container cluster-wide,

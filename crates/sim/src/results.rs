@@ -54,6 +54,26 @@ pub struct SimResult {
     pub blocking_cold_starts: u64,
     /// Spawn attempts rejected because the cluster was full.
     pub failed_spawns: u64,
+    /// Containers killed by injected faults (spawn faults, crashes, node
+    /// outages). 0 under [`FaultPlan::none`](crate::fault::FaultPlan).
+    pub container_failures: u64,
+    /// Tasks orphaned when a fault killed their container (each is then
+    /// requeued or dropped).
+    pub tasks_crashed: u64,
+    /// Orphaned tasks re-enqueued for another attempt.
+    pub tasks_requeued: u64,
+    /// Jobs dropped after a task exhausted the fault-retry budget.
+    pub jobs_dropped: u64,
+    /// Node outages that fired during the run.
+    pub node_outages: u64,
+    /// Invariant checks the auditor performed (0 when auditing is off).
+    /// Not serialized, so audited and unaudited runs of the same
+    /// configuration produce identical artifacts.
+    pub audit_checks: u64,
+    /// Invariant violations the auditor found; each message carries the
+    /// offending event's trace context. Always empty when auditing is off
+    /// — and must stay empty when it is on.
+    pub audit_violations: Vec<String>,
     /// Total cluster energy over the run, in joules.
     pub energy_joules: f64,
     /// Nodes hosting at least one pod, sampled at monitor ticks.
@@ -203,6 +223,20 @@ impl SimResult {
             self.blocking_cold_starts
         ));
         o.push_str(&format!("  \"failed_spawns\": {},\n", self.failed_spawns));
+        o.push_str(&format!(
+            "  \"container_failures\": {},\n",
+            self.container_failures
+        ));
+        o.push_str(&format!("  \"tasks_crashed\": {},\n", self.tasks_crashed));
+        o.push_str(&format!("  \"tasks_requeued\": {},\n", self.tasks_requeued));
+        o.push_str(&format!("  \"jobs_dropped\": {},\n", self.jobs_dropped));
+        o.push_str(&format!("  \"node_outages\": {},\n", self.node_outages));
+        // count only: the auditor is read-only and must not change the
+        // artifact of a clean run, audited or not
+        o.push_str(&format!(
+            "  \"audit_violations\": {},\n",
+            self.audit_violations.len()
+        ));
         o.push_str(&format!(
             "  \"energy_joules\": {},\n",
             json_f64(self.energy_joules)
@@ -408,6 +442,13 @@ mod tests {
             total_spawns: 3,
             blocking_cold_starts: 1,
             failed_spawns: 0,
+            container_failures: 0,
+            tasks_crashed: 0,
+            tasks_requeued: 0,
+            jobs_dropped: 0,
+            node_outages: 0,
+            audit_checks: 0,
+            audit_violations: Vec::new(),
             energy_joules: 1234.0,
             active_nodes: TimeSeries::new(),
             queue_depth: TimeSeries::new(),

@@ -33,6 +33,9 @@ pub struct StageTask {
     /// Estimated work remaining for the job (this stage onward) — used by
     /// Least-Slack-First.
     pub remaining_work: SimDuration,
+    /// How many times a fault has bounced this task back into a global
+    /// queue. 0 on the first attempt.
+    pub retries: u32,
 }
 
 impl StageTask {
@@ -247,6 +250,13 @@ pub struct StageRuntime {
     pub tasks_executed: u64,
     /// Containers ever spawned for this stage, cumulative.
     pub containers_spawned: u64,
+    /// Tasks re-enqueued after their container was killed by a fault,
+    /// cumulative. Not counted in `arrivals` (share estimation tracks
+    /// demand, not retries).
+    pub requeued: u64,
+    /// Tasks orphaned by faulted containers, cumulative (each is then
+    /// either requeued or, past the retry budget, dropped).
+    pub lost: u64,
 }
 
 impl StageRuntime {
@@ -277,12 +287,21 @@ impl StageRuntime {
             arrivals: 0,
             tasks_executed: 0,
             containers_spawned: 0,
+            requeued: 0,
+            lost: 0,
         }
     }
 
     /// Enqueues a task.
     pub fn enqueue(&mut self, task: StageTask) {
         self.arrivals += 1;
+        self.queue.push(task);
+    }
+
+    /// Re-enqueues a task bounced back by a fault. Counts as a requeue, not
+    /// an arrival — the demand already arrived once.
+    pub fn requeue(&mut self, task: StageTask) {
+        self.requeued += 1;
         self.queue.push(task);
     }
 
@@ -437,6 +456,7 @@ mod tests {
             enqueued: SimTime::from_secs(enq_s),
             job_deadline: SimTime::from_secs(enq_s + 1),
             remaining_work: ms(100),
+            retries: 0,
         }
     }
 
@@ -446,6 +466,19 @@ mod tests {
         s.enqueue(stage_task(1, 0));
         s.enqueue(stage_task(2, 0));
         assert_eq!(s.arrivals, 2);
+        assert_eq!(s.pending(), 2);
+    }
+
+    #[test]
+    fn requeue_counts_separately_from_arrivals() {
+        let mut s = stage();
+        s.enqueue(stage_task(1, 0));
+        s.requeue(StageTask {
+            retries: 1,
+            ..stage_task(1, 2)
+        });
+        assert_eq!(s.arrivals, 1, "a retry is not new demand");
+        assert_eq!(s.requeued, 1);
         assert_eq!(s.pending(), 2);
     }
 
@@ -559,6 +592,7 @@ mod tests {
             enqueued: SimTime::from_millis(enq_ms),
             job_deadline: SimTime::from_millis(deadline_ms),
             remaining_work: ms(work_ms),
+            retries: 0,
         }
     }
 

@@ -15,6 +15,7 @@
 //! With [`TraceConfig::jsonl`] set, the retained events are exported as
 //! JSON Lines at the end of the run.
 
+use crate::fault::FaultKind;
 use fifer_core::policy::DecisionCause;
 use fifer_metrics::SimTime;
 use serde::{Deserialize, Serialize};
@@ -95,6 +96,58 @@ pub enum SimEvent {
         /// recorded).
         tasks: usize,
     },
+    /// An injected fault killed a container.
+    ContainerFailed {
+        /// When the fault fired.
+        at: SimTime,
+        /// Which fault killed it.
+        fault: FaultKind,
+        /// The dead container's id.
+        container: u64,
+        /// Stage it served.
+        stage: usize,
+        /// Node it ran on.
+        node: usize,
+    },
+    /// An injected outage took a node down.
+    NodeDown {
+        /// When the outage started.
+        at: SimTime,
+        /// The failed node.
+        node: usize,
+        /// Containers the outage killed.
+        lost: usize,
+    },
+    /// A node recovered from an injected outage.
+    NodeUp {
+        /// When the node came back.
+        at: SimTime,
+        /// The recovered node.
+        node: usize,
+    },
+    /// A fault orphaned a task and the mechanism bounced it back into its
+    /// stage's global queue.
+    TaskRequeued {
+        /// When the fault fired.
+        at: SimTime,
+        /// Which fault orphaned the task.
+        fault: FaultKind,
+        /// The owning job (stream index).
+        job: usize,
+        /// Stage whose queue receives the task again.
+        stage: usize,
+        /// The task's retry count after this requeue.
+        retries: u32,
+    },
+    /// A task exhausted its retry budget and the owning job was dropped.
+    JobDropped {
+        /// When the final fault fired.
+        at: SimTime,
+        /// The dropped job (stream index).
+        job: usize,
+        /// Retries the task had already consumed.
+        retries: u32,
+    },
 }
 
 impl SimEvent {
@@ -147,6 +200,40 @@ impl SimEvent {
                 at.as_secs_f64(),
                 cause.as_str(),
             ),
+            SimEvent::ContainerFailed {
+                at,
+                fault,
+                container,
+                stage,
+                node,
+            } => format!(
+                "{{\"event\":\"container_failed\",\"at_s\":{},\"fault\":\"{}\",\"container\":{container},\"stage\":{stage},\"node\":{node}}}",
+                at.as_secs_f64(),
+                fault.as_str(),
+            ),
+            SimEvent::NodeDown { at, node, lost } => format!(
+                "{{\"event\":\"node_down\",\"at_s\":{},\"node\":{node},\"lost\":{lost}}}",
+                at.as_secs_f64(),
+            ),
+            SimEvent::NodeUp { at, node } => format!(
+                "{{\"event\":\"node_up\",\"at_s\":{},\"node\":{node}}}",
+                at.as_secs_f64(),
+            ),
+            SimEvent::TaskRequeued {
+                at,
+                fault,
+                job,
+                stage,
+                retries,
+            } => format!(
+                "{{\"event\":\"task_requeued\",\"at_s\":{},\"fault\":\"{}\",\"job\":{job},\"stage\":{stage},\"retries\":{retries}}}",
+                at.as_secs_f64(),
+                fault.as_str(),
+            ),
+            SimEvent::JobDropped { at, job, retries } => format!(
+                "{{\"event\":\"job_dropped\",\"at_s\":{},\"job\":{job},\"retries\":{retries}}}",
+                at.as_secs_f64(),
+            ),
         }
     }
 }
@@ -170,6 +257,13 @@ pub struct SimTrace {
     pub failed_spawns: u64,
     /// Lifetime tasks bound by dispatch passes.
     pub dispatched_tasks: u64,
+    /// Lifetime containers killed by injected faults (disjoint from
+    /// `kills`, which counts policy reclamations).
+    pub container_failures: u64,
+    /// Lifetime tasks bounced back into global queues by faults.
+    pub requeued_tasks: u64,
+    /// Lifetime jobs dropped after exhausting the retry budget.
+    pub dropped_jobs: u64,
 }
 
 impl SimTrace {
@@ -296,6 +390,58 @@ mod tests {
         assert_eq!(
             lines[1],
             "{\"event\":\"dispatch\",\"at_s\":2,\"cause\":\"arrival\",\"stage\":3,\"tasks\":4}"
+        );
+    }
+
+    #[test]
+    fn fault_events_serialize_with_fault_attribution() {
+        assert_eq!(
+            SimEvent::ContainerFailed {
+                at: SimTime::from_secs(3),
+                fault: FaultKind::Crash,
+                container: 7,
+                stage: 1,
+                node: 2,
+            }
+            .to_json(),
+            "{\"event\":\"container_failed\",\"at_s\":3,\"fault\":\"crash\",\"container\":7,\"stage\":1,\"node\":2}"
+        );
+        assert_eq!(
+            SimEvent::NodeDown {
+                at: SimTime::from_secs(4),
+                node: 2,
+                lost: 5,
+            }
+            .to_json(),
+            "{\"event\":\"node_down\",\"at_s\":4,\"node\":2,\"lost\":5}"
+        );
+        assert_eq!(
+            SimEvent::NodeUp {
+                at: SimTime::from_secs(9),
+                node: 2,
+            }
+            .to_json(),
+            "{\"event\":\"node_up\",\"at_s\":9,\"node\":2}"
+        );
+        assert_eq!(
+            SimEvent::TaskRequeued {
+                at: SimTime::from_secs(5),
+                fault: FaultKind::NodeOutage,
+                job: 11,
+                stage: 0,
+                retries: 2,
+            }
+            .to_json(),
+            "{\"event\":\"task_requeued\",\"at_s\":5,\"fault\":\"node_outage\",\"job\":11,\"stage\":0,\"retries\":2}"
+        );
+        assert_eq!(
+            SimEvent::JobDropped {
+                at: SimTime::from_secs(6),
+                job: 11,
+                retries: 3,
+            }
+            .to_json(),
+            "{\"event\":\"job_dropped\",\"at_s\":6,\"job\":11,\"retries\":3}"
         );
     }
 }

@@ -11,8 +11,9 @@
 //! only when a behaviour change is intentional, and say why in the commit.
 
 use fifer_core::rm::RmKind;
-use fifer_metrics::SimDuration;
+use fifer_metrics::{SimDuration, SimTime};
 use fifer_sim::driver::Simulation;
+use fifer_sim::fault::{FaultPlan, NodeOutage};
 use fifer_sim::results::Headline;
 use fifer_sim::SimConfig;
 use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
@@ -162,6 +163,57 @@ const GOLDEN: [(RmKind, f64, u64, u64, Headline); 10] = [
     ),
 ];
 
+/// The fault plan pinned by the faulted goldens below (kept in sync with
+/// `golden_fault_plan()` in `examples/golden_gen.rs`): every fault class
+/// at once — spawn faults, mid-task crashes, stragglers and one node
+/// outage — under fault seed 2024.
+fn golden_fault_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 2024,
+        spawn_fail_prob: 0.05,
+        spawn_fail_latency: SimDuration::from_millis(400),
+        crash_prob: 0.03,
+        straggler_prob: 0.10,
+        straggler_factor: 3.0,
+        max_retries: 16,
+        outages: vec![NodeOutage {
+            node: 1,
+            down_at: SimTime::from_secs(10),
+            up_at: SimTime::from_secs(20),
+        }],
+    }
+}
+
+/// Faulted golden fixtures: the exact headlines Bline and Fifer produce on
+/// stream seed 7 under [`golden_fault_plan`], auditor on. Pins the fault
+/// RNG's draw order — any change to how faults are drawn or applied shows
+/// up here even if the happy-path goldens still pass.
+#[allow(clippy::excessive_precision)]
+const GOLDEN_FAULTED: [(RmKind, Headline); 2] = [
+    (
+        RmKind::Bline,
+        Headline {
+            slo_violations: 0.21774193548387097,
+            avg_containers: 48.80709411099985,
+            median_ms: 310.719,
+            p99_ms: 8938.840559999999,
+            cold_starts: 92,
+            energy_joules: 15223.777,
+        },
+    ),
+    (
+        RmKind::Fifer,
+        Headline {
+            slo_violations: 0.6693548387096774,
+            avg_containers: 8.981333073555033,
+            median_ms: 5501.0995,
+            p99_ms: 17398.59491,
+            cold_starts: 30,
+            energy_joules: 15339.79,
+        },
+    ),
+];
+
 fn run(kind: RmKind, rate: f64, secs: u64, seed: u64) -> Headline {
     let stream = JobStream::generate(
         &PoissonTrace::new(rate),
@@ -181,6 +233,36 @@ fn headlines_match_pre_refactor_goldens() {
             got, expected,
             "{kind} @ rate={rate} secs={secs} seed={seed}: headline drifted from the \
              pre-refactor golden"
+        );
+    }
+}
+
+#[test]
+fn faulted_headlines_match_goldens() {
+    let stream = JobStream::generate(
+        &PoissonTrace::new(5.0),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(30),
+        7,
+    );
+    for (kind, expected) in GOLDEN_FAULTED {
+        let mut cfg = SimConfig::prototype(kind.config(), 5.0);
+        cfg.faults = golden_fault_plan();
+        cfg.audit = true;
+        let r = Simulation::new(cfg, &stream).run();
+        assert!(
+            r.audit_violations.is_empty(),
+            "{kind}: faulted golden run broke an invariant: {:?}",
+            r.audit_violations
+        );
+        assert!(
+            r.container_failures > 0,
+            "{kind}: the golden fault plan injected nothing"
+        );
+        assert_eq!(
+            r.headline(),
+            expected,
+            "{kind}: faulted headline drifted from the golden (fault seed 2024)"
         );
     }
 }

@@ -29,6 +29,8 @@ struct Args {
     early_exit: f64,
     tenants: usize,
     decision_trace: Option<String>,
+    faults: FaultPlan,
+    audit: bool,
 }
 
 fn usage() -> ! {
@@ -50,7 +52,10 @@ fn usage() -> ! {
          --save-workload <file.csv>                save the generated workload\n\
          --out <file.csv>                          write the summary row(s) as CSV\n\
          --json <file.json>                        dump the full SimResult of the last RM as JSON\n\
-         --decision-trace <file.jsonl>             export the last RM's scaling decisions as JSONL"
+         --decision-trace <file.jsonl>             export the last RM's scaling decisions as JSONL\n\
+         --faults <spec>                           seeded fault plan, e.g.\n\
+                                                   seed=7,spawn=0.05@500,crash=0.02,straggler=0.1x4,retries=8,outage=2@100+60\n\
+         --audit                                   run the invariant auditor at every event commit"
     );
     exit(2)
 }
@@ -72,6 +77,8 @@ fn parse_args() -> Args {
         early_exit: 0.0,
         tenants: 1,
         decision_trace: None,
+        faults: FaultPlan::none(),
+        audit: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -119,6 +126,13 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(value(&mut i)),
             "--json" => args.json = Some(value(&mut i)),
             "--decision-trace" => args.decision_trace = Some(value(&mut i)),
+            "--faults" => {
+                args.faults = FaultPlan::parse(&value(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    usage()
+                })
+            }
+            "--audit" => args.audit = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -196,6 +210,7 @@ fn main() {
     let mut csv = String::from(
         "rm,slo_violations_whole,slo_violations_steady,avg_containers,median_ms,p99_ms,spawns,energy_kj\n",
     );
+    let mut audit_failed = false;
     for kind in &args.rm {
         let mut cfg = if args.large {
             SimConfig::large_scale(kind.config(), avg_rate)
@@ -207,6 +222,8 @@ fn main() {
         cfg.idle_timeout = SimDuration::from_secs((secs / 6).clamp(60, 600));
         cfg.early_exit_prob = args.early_exit;
         cfg.tenants = args.tenants.max(1);
+        cfg.faults = args.faults.clone();
+        cfg.audit = args.audit;
         if let Some(path) = &args.decision_trace {
             // like --json, the last RM listed wins under --compare
             cfg.trace.capacity = 1 << 20;
@@ -247,6 +264,32 @@ fn main() {
             r.total_spawns,
             r.energy_joules / 1e3,
         ));
+        if args.faults.is_active() {
+            println!(
+                "         faults: {} container failures, {} tasks crashed, \
+                 {} requeued, {} jobs dropped, {} node outages",
+                r.container_failures,
+                r.tasks_crashed,
+                r.tasks_requeued,
+                r.jobs_dropped,
+                r.node_outages,
+            );
+        }
+        if args.audit {
+            if r.audit_violations.is_empty() {
+                println!("         audit: {} checks, no violations", r.audit_checks);
+            } else {
+                audit_failed = true;
+                eprintln!(
+                    "audit: {} INVARIANT VIOLATIONS in {} checks ({kind}):",
+                    r.audit_violations.len(),
+                    r.audit_checks
+                );
+                for v in &r.audit_violations {
+                    eprintln!("  {v}");
+                }
+            }
+        }
     }
     if let Some(path) = &args.out {
         if let Err(e) = fifer::metrics::report::write_file(path, &csv) {
@@ -254,5 +297,8 @@ fn main() {
             exit(1);
         }
         println!("\nsummary written to {path}");
+    }
+    if audit_failed {
+        exit(3);
     }
 }

@@ -46,7 +46,7 @@ pub mod prelude {
     pub use fifer_core::slack::{AppPlan, SlackPolicy};
     pub use fifer_metrics::{SimDuration, SimTime};
     pub use fifer_predict::{LoadPredictor, PredictorKind};
-    pub use fifer_sim::{SimConfig, SimResult, Simulation};
+    pub use fifer_sim::{FaultPlan, SimConfig, SimResult, Simulation};
     pub use fifer_workloads::{
         Application, JobStream, Microservice, PoissonTrace, TraceGenerator, WikiLikeTrace,
         WitsLikeTrace, WorkloadMix,

@@ -144,6 +144,46 @@ fn tenants_flag_is_accepted() {
 }
 
 #[test]
+fn faulted_audited_run_reports_counters_and_stays_clean() {
+    let out = fifer()
+        .args([
+            "--rm",
+            "bline",
+            "--rate",
+            "5",
+            "--secs",
+            "20",
+            "--seed",
+            "3",
+            "--faults",
+            "seed=7,crash=0.05,outage=1@5+5",
+            "--audit",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("faults:"), "{stdout}");
+    assert!(stdout.contains("node outages"), "{stdout}");
+    assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn malformed_fault_spec_is_rejected() {
+    let out = fifer()
+        .args(["--faults", "warp=0.5"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown fault key"), "{err}");
+}
+
+#[test]
 fn replay_of_missing_file_fails_cleanly() {
     let out = fifer()
         .args(["--replay", "/nonexistent/wl.csv"])

@@ -22,6 +22,39 @@ fn arbitrary_rm() -> impl Strategy<Value = RmKind> {
     ]
 }
 
+/// Random fault plans over every fault class the simulator injects;
+/// outage windows stay inside the short property-run horizons and on the
+/// 5-node prototype cluster.
+fn arbitrary_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1_000,
+        0.0f64..0.15,
+        0.0f64..0.10,
+        (0.0f64..0.20, 1.0f64..6.0),
+        0u32..8,
+        (any::<bool>(), 0usize..5, 2u64..15, 1u64..10),
+    )
+        .prop_map(
+            |(seed, spawn, crash, (strag_p, strag_f), retries, (outage, node, down, dur))| {
+                let mut plan = FaultPlan::none();
+                plan.seed = seed;
+                plan.spawn_fail_prob = spawn;
+                plan.crash_prob = crash;
+                plan.straggler_prob = strag_p;
+                plan.straggler_factor = strag_f;
+                plan.max_retries = retries;
+                if outage {
+                    plan.outages.push(fifer::sim::fault::NodeOutage {
+                        node,
+                        down_at: SimTime::from_secs(down),
+                        up_at: SimTime::from_secs(down + dur),
+                    });
+                }
+                plan
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -156,6 +189,80 @@ proptest! {
                 prop_assert!(r <= t.peak_rate() + 1e-9);
             }
         }
+    }
+
+    /// Any random fault plan, on any resource manager, with the invariant
+    /// auditor watching every event commit: conservation laws hold, every
+    /// job either completes with a full latency breakdown or is recorded
+    /// as dropped, and the run replays bit-for-bit.
+    #[test]
+    fn fault_plans_never_break_invariants(
+        seed in 0u64..500,
+        rate in 2.0f64..8.0,
+        rm in arbitrary_rm(),
+        plan in arbitrary_fault_plan(),
+    ) {
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mk = || {
+            let mut cfg = SimConfig::prototype(rm.config(), rate);
+            cfg.seed = seed;
+            cfg.faults = plan.clone();
+            cfg.audit = true;
+            Simulation::new(cfg, &stream).run()
+        };
+        let r = mk();
+        prop_assert!(
+            r.audit_violations.is_empty(),
+            "{rm} under {plan:?}: {:?}", r.audit_violations
+        );
+        prop_assert!(r.audit_checks > 0);
+        prop_assert_eq!(
+            r.records.len() as u64 + r.jobs_dropped,
+            stream.len() as u64,
+            "every job must complete or be dropped"
+        );
+        for rec in &r.records {
+            prop_assert_eq!(rec.breakdown.total(), rec.response_latency());
+        }
+        prop_assert!(r.tasks_crashed >= r.tasks_requeued);
+        // deterministic replay under the same plan and seeds
+        prop_assert_eq!(r.to_json(), mk().to_json(), "faulted run must replay");
+    }
+
+    /// A plan with all probabilities zero and no outages is not merely
+    /// "few faults" — it is byte-identical to the fault-free simulator,
+    /// with the auditor on or off.
+    #[test]
+    fn inactive_fault_plan_is_byte_identical(
+        seed in 0u64..500,
+        rate in 2.0f64..8.0,
+        fault_seed in 0u64..1_000,
+        rm in arbitrary_rm(),
+    ) {
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mk = |faults: FaultPlan, audit: bool| {
+            let mut cfg = SimConfig::prototype(rm.config(), rate);
+            cfg.seed = seed;
+            cfg.faults = faults;
+            cfg.audit = audit;
+            Simulation::new(cfg, &stream).run().to_json()
+        };
+        let baseline = mk(FaultPlan::none(), false);
+        // the fault seed is irrelevant while every probability is zero
+        let mut inert = FaultPlan::none();
+        inert.seed = fault_seed;
+        prop_assert_eq!(&baseline, &mk(inert.clone(), false));
+        prop_assert_eq!(&baseline, &mk(inert, true));
     }
 
     /// Scaling decisions never panic and never return absurd counts for
