@@ -1,26 +1,41 @@
 //! `bench` — perf-trajectory harness for the simulator hot path.
 //!
-//! Produces `BENCH_simulator.json` with two sections:
+//! Produces `BENCH_simulator.json` with three sections:
 //!
 //! 1. **dispatch** — drains a synthetic deep stage queue (default depth
 //!    10 000) through the indexed priority queue and through the
 //!    pre-overhaul linear scan, for LSF and EDF, and reports the speedup.
 //! 2. **replay** — replays a Table-4-scale trace-driven run (wiki-like
 //!    diurnal arrivals over the full application catalog) once per
-//!    resource manager and reports wall-clock, events/sec and peak queue
-//!    depth per RM.
+//!    resource manager. Predictor pre-training (a one-off offline cost,
+//!    §4.5.1) is timed separately from the event replay: `wall_clock_s`
+//!    is the sum, `pretrain_s`/`replay_s` the attribution, and
+//!    `events_per_sec` is computed against replay time only. RM
+//!    pre-training fans out across the thread pool; replays are timed
+//!    one at a time so wall-clocks stay uncontended.
+//! 3. **nn** — times the Fifer LSTM's pre-training and per-forecast cost
+//!    on the replay's own training series, on both the flat-workspace
+//!    path and the reference per-step-allocating path (bit-identical by
+//!    construction; the differential suites prove it), and reports the
+//!    speedups.
+//!
+//! `--validate` re-parses the written JSON and fails (exit 4) if the
+//! shape is wrong or a regression floor is crossed — the CI smoke lane.
 //!
 //! ```text
 //! bench                        # full run, writes BENCH_simulator.json
-//! bench --quick                # 1/6 horizon (CI smoke run)
+//! bench --quick --validate     # 1/6 horizon + floor checks (CI)
 //! bench --depth 50000 --out /tmp/b.json
 //! ```
 
+use fifer_bench::json::Json;
 use fifer_bench::perf::{deep_queue_tasks, drain_indexed, drain_linear, time_median};
 use fifer_bench::runner::{RunSpec, TraceKind};
 use fifer_core::rm::RmKind;
 use fifer_core::scheduling::SchedulingPolicy;
 use fifer_metrics::report::write_file;
+use fifer_predict::PredictorKind;
+use fifer_sim::driver::Simulation;
 use fifer_workloads::WorkloadMix;
 use std::hint::black_box;
 use std::time::Instant;
@@ -33,15 +48,33 @@ struct DispatchRow {
 
 struct ReplayRow {
     rm: String,
-    wall_s: f64,
+    pretrain_s: f64,
+    replay_s: f64,
     events: u64,
     peak_queue_depth: u64,
     jobs: usize,
     slo_violation_fraction: f64,
 }
 
+struct NnRow {
+    series_len: usize,
+    pretrain_ns: u128,
+    reference_pretrain_ns: u128,
+    forecast_calls: u32,
+    forecast_ns_per_call: f64,
+    reference_forecast_ns_per_call: f64,
+}
+
+/// Regression floors for `--validate`. Deliberately conservative — they
+/// catch an accidental return to the pre-overhaul implementations, not
+/// machine-to-machine noise.
+const MIN_DISPATCH_SPEEDUP: f64 = 1.5;
+const MIN_FIFER_EVENTS_PER_SEC: f64 = 200_000.0;
+const MIN_NN_PRETRAIN_SPEEDUP: f64 = 1.05;
+
 fn main() {
     let mut quick = false;
+    let mut validate_out = false;
     let mut out = "BENCH_simulator.json".to_string();
     let mut depth = 10_000usize;
     let mut reps = 3usize;
@@ -49,6 +82,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--validate" => validate_out = true,
             "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--depth" => {
                 depth = args
@@ -100,9 +134,7 @@ fn main() {
         "\n## trace replay: wiki trace, heavy mix, all RMs{}",
         if quick { " (quick)" } else { "" }
     );
-    let mut replay = Vec::new();
-    let mut horizon_s = 0.0;
-    for kind in RmKind::ALL {
+    let spec_for = |kind: RmKind| {
         let mut spec = RunSpec::large_scale(
             kind.to_string(),
             kind.config(),
@@ -112,21 +144,42 @@ fn main() {
         if quick {
             spec = spec.quick();
         }
-        horizon_s = spec.horizon.as_secs_f64();
+        spec
+    };
+    let horizon_s = spec_for(RmKind::Fifer).horizon.as_secs_f64();
+    // pre-train every RM's predictor in parallel (offline cost), then
+    // time each replay serially so wall-clocks don't contend
+    let prepared = fifer_bench::pool::execute(
+        RmKind::ALL.to_vec(),
+        fifer_bench::pool::default_workers(),
+        |kind: RmKind| {
+            let (cfg, stream) = spec_for(kind).build_parts();
+            let t0 = Instant::now();
+            let rm = cfg
+                .rm
+                .build_rm_with(cfg.seed, &cfg.pretrain_series, cfg.use_reference_nn);
+            (kind, cfg, stream, rm, t0.elapsed().as_secs_f64())
+        },
+    );
+    let mut replay = Vec::new();
+    for (kind, cfg, stream, rm, pretrain_s) in prepared {
+        let sim = Simulation::with_resource_manager(cfg, &stream, rm);
         let t0 = Instant::now();
-        let r = spec.execute();
-        let wall = t0.elapsed().as_secs_f64();
+        let r = sim.run();
+        let replay_s = t0.elapsed().as_secs_f64();
         println!(
-            "{kind}: {:.2} s wall, {} events ({:.0} events/s), peak queue {}, {} jobs",
-            wall,
+            "{kind}: pretrain {:.2} s, replay {:.2} s, {} events ({:.0} events/s), peak queue {}, {} jobs",
+            pretrain_s,
+            replay_s,
             r.events_processed,
-            r.events_processed as f64 / wall,
+            r.events_processed as f64 / replay_s,
             r.peak_queue_depth,
             r.records.len(),
         );
         replay.push(ReplayRow {
             rm: kind.to_string(),
-            wall_s: wall,
+            pretrain_s,
+            replay_s,
             events: r.events_processed,
             peak_queue_depth: r.peak_queue_depth,
             jobs: r.records.len(),
@@ -134,14 +187,87 @@ fn main() {
         });
     }
 
-    let json = render_json(quick, depth, reps, &dispatch, horizon_s, &replay);
+    println!("\n## nn: Fifer LSTM pretrain + forecast, optimized vs reference");
+    let nn = nn_bench(&spec_for(RmKind::Fifer));
+    println!(
+        "pretrain: optimized {:.2} s, reference {:.2} s, speedup {:.2}x ({} series points)",
+        nn.pretrain_ns as f64 / 1e9,
+        nn.reference_pretrain_ns as f64 / 1e9,
+        nn.reference_pretrain_ns as f64 / nn.pretrain_ns as f64,
+        nn.series_len,
+    );
+    println!(
+        "forecast: optimized {:.0} ns/call, reference {:.0} ns/call over {} calls",
+        nn.forecast_ns_per_call, nn.reference_forecast_ns_per_call, nn.forecast_calls,
+    );
+
+    let json = render_json(quick, depth, reps, &dispatch, horizon_s, &replay, &nn);
     if let Err(e) = write_file(&out, &json) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
     }
     println!("\nwritten to {out}");
+
+    if validate_out {
+        let body = std::fs::read_to_string(&out).unwrap_or_else(|e| {
+            eprintln!("error: cannot re-read {out}: {e}");
+            std::process::exit(4);
+        });
+        match validate(&body) {
+            Ok(()) => println!("validate: OK (shape + regression floors)"),
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("validate: {p}");
+                }
+                std::process::exit(4);
+            }
+        }
+    }
 }
 
+/// Times the Fifer LSTM on the replay run's own pre-training series:
+/// full pre-training on both NN paths, then the per-forecast cost at one
+/// forecast per monitor interval of the replay horizon.
+fn nn_bench(spec: &RunSpec) -> NnRow {
+    let (cfg, _stream) = spec.build_parts();
+    let series = &cfg.pretrain_series;
+    let forecast_calls =
+        (spec.horizon.as_secs_f64() / cfg.monitor_interval.as_secs_f64()).max(1.0) as u32;
+
+    let time_path = |reference: bool| -> (u128, f64) {
+        let mut p = PredictorKind::Lstm.build_with(cfg.seed, reference);
+        let t0 = Instant::now();
+        p.pretrain(series);
+        let pretrain_ns = t0.elapsed().as_nanos();
+        for &v in &series[series.len().saturating_sub(32)..] {
+            p.observe(v);
+        }
+        let t1 = Instant::now();
+        for i in 0..forecast_calls {
+            // one observe + forecast per monitor tick, like the live loop
+            let sample = series
+                .get(i as usize % series.len().max(1))
+                .copied()
+                .unwrap_or(1.0);
+            p.observe(sample);
+            black_box(p.forecast());
+        }
+        let per_call = t1.elapsed().as_nanos() as f64 / f64::from(forecast_calls);
+        (pretrain_ns, per_call)
+    };
+    let (pretrain_ns, forecast_ns_per_call) = time_path(false);
+    let (reference_pretrain_ns, reference_forecast_ns_per_call) = time_path(true);
+    NnRow {
+        series_len: series.len(),
+        pretrain_ns,
+        reference_pretrain_ns,
+        forecast_calls,
+        forecast_ns_per_call,
+        reference_forecast_ns_per_call,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
     depth: usize,
@@ -149,6 +275,7 @@ fn render_json(
     dispatch: &[DispatchRow],
     horizon_s: f64,
     replay: &[ReplayRow],
+    nn: &NnRow,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"simulator\",\n");
@@ -172,26 +299,113 @@ fn render_json(
         "  \"replay\": {{\n    \"trace\": \"wiki\",\n    \"mix\": \"heavy\",\n    \"horizon_s\": {horizon_s},\n    \"rms\": {{\n"
     ));
     for (i, r) in replay.iter().enumerate() {
+        let wall = r.pretrain_s + r.replay_s;
         s.push_str(&format!(
-            "      \"{}\": {{ \"wall_clock_s\": {:.3}, \"events_processed\": {}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}, \"jobs\": {}, \"slo_violation_fraction\": {:.6} }}{}\n",
+            "      \"{}\": {{ \"wall_clock_s\": {:.3}, \"pretrain_s\": {:.3}, \"replay_s\": {:.3}, \"events_processed\": {}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}, \"jobs\": {}, \"slo_violation_fraction\": {:.6} }}{}\n",
             r.rm,
-            r.wall_s,
+            wall,
+            r.pretrain_s,
+            r.replay_s,
             r.events,
-            r.events as f64 / r.wall_s,
+            r.events as f64 / r.replay_s,
             r.peak_queue_depth,
             r.jobs,
             r.slo_violation_fraction,
             if i + 1 < replay.len() { "," } else { "" },
         ));
     }
-    s.push_str("    }\n  }\n}\n");
+    s.push_str("    }\n  },\n");
+    s.push_str(&format!(
+        "  \"nn\": {{\n    \"model\": \"lstm\",\n    \"series_len\": {},\n    \"pretrain_ns\": {},\n    \"reference_pretrain_ns\": {},\n    \"pretrain_speedup\": {:.2},\n    \"forecast_calls\": {},\n    \"forecast_ns_per_call\": {:.0},\n    \"reference_forecast_ns_per_call\": {:.0},\n    \"forecast_speedup\": {:.2}\n  }}\n",
+        nn.series_len,
+        nn.pretrain_ns,
+        nn.reference_pretrain_ns,
+        nn.reference_pretrain_ns as f64 / nn.pretrain_ns.max(1) as f64,
+        nn.forecast_calls,
+        nn.forecast_ns_per_call,
+        nn.reference_forecast_ns_per_call,
+        nn.reference_forecast_ns_per_call / nn.forecast_ns_per_call.max(1.0),
+    ));
+    s.push_str("}\n");
     s
+}
+
+/// Shape + regression-floor validation of a rendered BENCH document.
+fn validate(body: &str) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let doc = match Json::parse(body) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("JSON does not parse: {e}")]),
+    };
+    fn num_at(doc: &Json, problems: &mut Vec<String>, path: &str) -> Option<f64> {
+        match doc.path(path).and_then(Json::as_f64) {
+            Some(v) => Some(v),
+            None => {
+                problems.push(format!("missing numeric field {path:?}"));
+                None
+            }
+        }
+    }
+    for policy in ["lsf", "edf"] {
+        if let Some(speedup) = num_at(
+            &doc,
+            &mut problems,
+            &format!("dispatch.policies.{policy}.speedup"),
+        ) {
+            if speedup < MIN_DISPATCH_SPEEDUP {
+                problems.push(format!(
+                    "dispatch {policy} speedup {speedup:.2} below floor {MIN_DISPATCH_SPEEDUP}"
+                ));
+            }
+        }
+    }
+    for kind in RmKind::ALL {
+        for field in [
+            "wall_clock_s",
+            "pretrain_s",
+            "replay_s",
+            "events_processed",
+            "events_per_sec",
+        ] {
+            num_at(&doc, &mut problems, &format!("replay.rms.{kind}.{field}"));
+        }
+    }
+    if let Some(eps) = num_at(&doc, &mut problems, "replay.rms.Fifer.events_per_sec") {
+        if eps < MIN_FIFER_EVENTS_PER_SEC {
+            problems.push(format!(
+                "Fifer replay {eps:.0} events/s below floor {MIN_FIFER_EVENTS_PER_SEC:.0}"
+            ));
+        }
+    }
+    for field in [
+        "series_len",
+        "pretrain_ns",
+        "reference_pretrain_ns",
+        "forecast_calls",
+        "forecast_ns_per_call",
+        "reference_forecast_ns_per_call",
+        "forecast_speedup",
+    ] {
+        num_at(&doc, &mut problems, &format!("nn.{field}"));
+    }
+    if let Some(speedup) = num_at(&doc, &mut problems, "nn.pretrain_speedup") {
+        if speedup < MIN_NN_PRETRAIN_SPEEDUP {
+            problems.push(format!(
+                "nn pretrain speedup {speedup:.2} below floor {MIN_NN_PRETRAIN_SPEEDUP}"
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if msg != "help" {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: bench [--quick] [--depth N] [--reps N] [--out FILE]");
+    eprintln!("usage: bench [--quick] [--validate] [--depth N] [--reps N] [--out FILE]");
     std::process::exit(2);
 }

@@ -59,6 +59,42 @@ fn evaluate(
     )
 }
 
+/// One predictor's Figure 6a evaluation outcome.
+#[derive(Debug, Clone)]
+pub struct PredictorEval {
+    /// Which model.
+    pub kind: PredictorKind,
+    /// RMSE on the 40% test split.
+    pub rmse: f64,
+    /// Direction-of-change accuracy on the test split.
+    pub accuracy: f64,
+    /// Mean wall-clock per forecast in ms (nondeterministic).
+    pub latency_ms: f64,
+    /// Per-step predictions over the test split.
+    pub preds: Vec<f64>,
+    /// The matching actuals.
+    pub actuals: Vec<f64>,
+}
+
+/// Evaluates all eight Figure 6a predictors over `series`, fanning the
+/// eight independent evaluations across `workers` pool threads. Every
+/// field except `latency_ms` (wall-clock) is deterministic: each model
+/// trains from its own seeded RNG on its own thread, so `workers = 1`
+/// and `workers = 8` produce bit-identical predictions.
+pub fn sweep(series: &[f64], quick: bool, workers: usize) -> Vec<PredictorEval> {
+    crate::pool::execute(PredictorKind::ALL.to_vec(), workers, |kind| {
+        let (rmse, accuracy, latency_ms, preds, actuals) = evaluate(kind, series, quick);
+        PredictorEval {
+            kind,
+            rmse,
+            accuracy,
+            latency_ms,
+            preds,
+            actuals,
+        }
+    })
+}
+
 fn build_quick(kind: PredictorKind) -> Box<dyn LoadPredictor + Send> {
     use fifer_predict::train::TrainConfig;
     let cfg = TrainConfig {
@@ -82,20 +118,45 @@ pub fn fig6(ctx: &Ctx) {
     let series = wits_series(ctx);
     let mut t = Table::new(vec!["model", "rmse", "accuracy", "latency_ms"]);
     let mut lstm_csv = String::from("step,actual,predicted\n");
-    for kind in PredictorKind::ALL {
-        let (e, acc, lat, preds, actuals) = evaluate(kind, &series, ctx.quick);
+    for eval in sweep(&series, ctx.quick, crate::pool::default_workers()) {
         t.row(vec![
-            kind.to_string(),
-            fmt_f64(e, 2),
-            fmt_f64(acc, 3),
-            fmt_f64(lat, 3),
+            eval.kind.to_string(),
+            fmt_f64(eval.rmse, 2),
+            fmt_f64(eval.accuracy, 3),
+            fmt_f64(eval.latency_ms, 3),
         ]);
-        if kind == PredictorKind::Lstm {
-            for (i, (a, p)) in actuals.iter().zip(&preds).enumerate() {
+        if eval.kind == PredictorKind::Lstm {
+            for (i, (a, p)) in eval.actuals.iter().zip(&eval.preds).enumerate() {
                 lstm_csv.push_str(&format!("{i},{a:.1},{p:.1}\n"));
             }
         }
     }
     ctx.emit("fig6a_predictor_bakeoff", &t);
     ctx.emit_raw("fig6b_lstm_accuracy", &lstm_csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pool-parallel eight-predictor sweep must be bit-identical to
+    /// the serial one on every deterministic field — each model owns its
+    /// seeded RNG, so thread scheduling cannot leak into the numbers.
+    /// Wall-clock latency is the one legitimately nondeterministic field.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let series: Vec<f64> = (0..70)
+            .map(|i| 40.0 + 18.0 * (i as f64 * 0.21).sin() + (i % 5) as f64)
+            .collect();
+        let serial = sweep(&series, true, 1);
+        let parallel = sweep(&series, true, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.kind, p.kind, "order must be preserved");
+            assert_eq!(s.rmse, p.rmse, "{}: rmse diverged", s.kind);
+            assert_eq!(s.accuracy, p.accuracy, "{}: accuracy diverged", s.kind);
+            assert_eq!(s.preds, p.preds, "{}: predictions diverged", s.kind);
+            assert_eq!(s.actuals, p.actuals, "{}: actuals diverged", s.kind);
+        }
+    }
 }

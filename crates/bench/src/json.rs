@@ -1,0 +1,333 @@
+//! Minimal JSON reader for validating the perf harness's own artifacts.
+//!
+//! `bench --validate` re-parses the `BENCH_simulator.json` it just wrote
+//! and checks shape and regression floors. The workspace vendors no JSON
+//! parser crate, so this implements the subset the harness emits —
+//! objects, arrays, strings, numbers, booleans, null — as a ~100-line
+//! recursive descent. It is a reader for our own well-formed output, not
+//! a general-purpose JSON library.
+
+/// A parsed JSON value. Object keys keep insertion order (the validator
+/// never needs hashing, and ordered keys make test failures readable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the harness emits nothing outside f64 range).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `src`, requiring exactly one value plus trailing whitespace.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup along a `.`-separated member path.
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        path.split('.').try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object's keys in source order, if this is an object.
+    pub fn keys(&self) -> Option<Vec<&str>> {
+        match self {
+            Json::Obj(members) => Some(members.iter().map(|(k, _)| k.as_str()).collect()),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.peek()?;
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    s.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!(
+                                "unsupported escape \\{} at byte {}",
+                                *other as char, self.pos
+                            ))
+                        }
+                    });
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // multi-byte UTF-8 sequences pass through byte by byte;
+                    // the source was a &str so the bytes are valid UTF-8
+                    let start = self.pos;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(
+            Json::parse(r#""a\nb\"c""#).unwrap(),
+            Json::Str("a\nb\"c".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures_and_paths() {
+        let v =
+            Json::parse(r#"{ "a": { "b": [1, 2, {"c": 3.5}] }, "quick": false, "name": "bench" }"#)
+                .unwrap();
+        assert_eq!(
+            v.path("a.b").unwrap(),
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Obj(vec![("c".into(), Json::Num(3.5))])
+            ])
+        );
+        assert_eq!(v.get("quick").unwrap(), &Json::Bool(false));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("bench"));
+        assert_eq!(v.keys().unwrap(), vec!["a", "quick", "name"]);
+        assert!(v.path("a.missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err(), "trailing data");
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(Json::parse("[ ]").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn round_trips_a_bench_shaped_document() {
+        let doc = r#"{
+  "bench": "simulator",
+  "quick": true,
+  "dispatch": { "depth": 10000, "policies": { "lsf": { "speedup": 27.31 } } },
+  "replay": { "rms": { "Fifer": { "wall_clock_s": 3.104, "events_per_sec": 2446102 } } }
+}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(
+            v.path("dispatch.policies.lsf.speedup").unwrap().as_f64(),
+            Some(27.31)
+        );
+        assert_eq!(
+            v.path("replay.rms.Fifer.events_per_sec").unwrap().as_f64(),
+            Some(2446102.0)
+        );
+    }
+}

@@ -8,9 +8,10 @@
 //! `results/`.
 
 pub mod figures;
+pub mod json;
 pub mod perf;
 pub mod plots;
 pub mod pool;
 pub mod runner;
 
-pub use runner::{Ctx, RunSpec, TraceKind};
+pub use runner::{Ctx, RunSpec, TimedRun, TraceKind};

@@ -359,11 +359,11 @@ struct LoadModel {
 }
 
 impl LoadModel {
-    fn build(choice: PredictorChoice, seed: u64, pretrain: &[f64]) -> Self {
+    fn build(choice: PredictorChoice, seed: u64, pretrain: &[f64], reference_nn: bool) -> Self {
         let predictor = match choice {
             PredictorChoice::None => None,
             PredictorChoice::Model(kind) => {
-                let mut p = kind.build(seed);
+                let mut p = kind.build_with(seed, reference_nn);
                 if !pretrain.is_empty() {
                     p.pretrain(pretrain);
                 }
@@ -729,7 +729,20 @@ impl RmConfig {
     /// predictor; `pretrain` optionally pre-trains it on a historical
     /// window-max rate series (§4.5.1).
     pub fn build_rm(&self, seed: u64, pretrain: &[f64]) -> Box<dyn ResourceManager> {
-        let load = LoadModel::build(self.predictor, seed, pretrain);
+        self.build_rm_with(seed, pretrain, false)
+    }
+
+    /// [`build_rm`](Self::build_rm) with an explicit NN-path selection:
+    /// `reference_nn` routes any neural predictor through the original
+    /// scalar implementation instead of the flat-workspace one
+    /// (bit-identical; for differential testing).
+    pub fn build_rm_with(
+        &self,
+        seed: u64,
+        pretrain: &[f64],
+        reference_nn: bool,
+    ) -> Box<dyn ResourceManager> {
+        let load = LoadModel::build(self.predictor, seed, pretrain, reference_nn);
         match self.scaling {
             ScalingMode::OnDemand => Box::new(BlinePolicy { load }),
             ScalingMode::FixedPool => Box::new(SBatchPolicy { load }),

@@ -24,6 +24,21 @@ pub struct DeepArPredictor {
     /// Forecast quantile expressed in standard deviations above μ; 0 means
     /// the mean forecast. Proactive provisioning can bias high.
     sigma_bias: f64,
+    /// Route through the original per-step-allocating NN path
+    /// (differential testing; bit-identical to the flat path).
+    use_reference_nn: bool,
+    /// Scratch: raw padded lag window.
+    raw_buf: Vec<f64>,
+    /// Scratch: normalized lag window.
+    norm_buf: Vec<f64>,
+    /// Reusable recurrent state.
+    state: LstmState,
+    /// Scratch: head output `(μ, log σ)`.
+    head_out: Vec<f64>,
+    /// Scratch: dL/dh at the last timestep.
+    dh_last: Vec<f64>,
+    /// Scratch: flat `steps × hidden` loss gradient.
+    dh_flat: Vec<f64>,
 }
 
 impl DeepArPredictor {
@@ -39,6 +54,13 @@ impl DeepArPredictor {
             trained: false,
             train_step: 0,
             sigma_bias: 0.0,
+            use_reference_nn: false,
+            raw_buf: Vec::new(),
+            norm_buf: Vec::new(),
+            state: LstmState::zeros(hidden),
+            head_out: vec![0.0; 2],
+            dh_last: vec![0.0; hidden],
+            dh_flat: Vec::new(),
         }
     }
 
@@ -51,6 +73,13 @@ impl DeepArPredictor {
     pub fn with_sigma_bias(mut self, sigmas: f64) -> Self {
         assert!(sigmas.is_finite(), "sigma bias must be finite");
         self.sigma_bias = sigmas;
+        self
+    }
+
+    /// Routes through the original per-step-allocating NN implementation.
+    /// Bit-identical to the default flat-workspace path.
+    pub fn with_reference_nn(mut self, reference: bool) -> Self {
+        self.use_reference_nn = reference;
         self
     }
 
@@ -70,6 +99,23 @@ impl DeepArPredictor {
         }
         (mu, sigma, h)
     }
+
+    /// Optimized forward: advances the reusable state through the flat
+    /// workspace and evaluates the head in place. Leaves the final hidden
+    /// vector in `self.state.h`. Bit-identical to [`run`](Self::run).
+    fn run_flat(&mut self, x: &[f64], for_training: bool) -> (f64, f64) {
+        self.state.reset();
+        for &v in x {
+            self.cell.forward_step_into(&[v], &mut self.state);
+        }
+        self.head.forward_into(&self.state.h, &mut self.head_out);
+        let mu = self.head_out[0];
+        let sigma = self.head_out[1].clamp(-6.0, 3.0).exp();
+        if !for_training {
+            self.cell.clear_cache();
+        }
+        (mu, sigma)
+    }
 }
 
 impl LoadPredictor for DeepArPredictor {
@@ -81,12 +127,24 @@ impl LoadPredictor for DeepArPredictor {
         if self.window.is_empty() {
             return 0.0;
         }
-        let raw = self.window.padded();
-        if !self.trained {
-            return *raw.last().expect("window is non-empty");
+        if self.use_reference_nn {
+            let raw = self.window.padded();
+            if !self.trained {
+                return *raw.last().expect("window is non-empty");
+            }
+            let x = self.scaler.transform_series(&raw);
+            let (mu, sigma, _) = self.run(&x, false);
+            return self.scaler.inverse(mu + self.sigma_bias * sigma).max(0.0);
         }
-        let x = self.scaler.transform_series(&raw);
-        let (mu, sigma, _) = self.run(&x, false);
+        self.window.padded_into(&mut self.raw_buf);
+        if !self.trained {
+            return *self.raw_buf.last().expect("window is non-empty");
+        }
+        self.scaler
+            .transform_series_into(&self.raw_buf, &mut self.norm_buf);
+        let x = std::mem::take(&mut self.norm_buf);
+        let (mu, sigma) = self.run_flat(&x, false);
+        self.norm_buf = x;
         self.scaler.inverse(mu + self.sigma_bias * sigma).max(0.0)
     }
 
@@ -97,17 +155,31 @@ impl LoadPredictor for DeepArPredictor {
         if pairs.is_empty() {
             return;
         }
+        let hidden = self.cell.hidden();
         for _ in 0..self.cfg.epochs {
             for (x, target) in &pairs {
-                let (mu, sigma, h) = self.run(x, true);
                 // Gaussian NLL: 0.5·((y−μ)/σ)² + ln σ
-                let z = (target - mu) / sigma;
-                let dmu = -z / sigma;
-                let dlog_sigma = 1.0 - z * z;
-                let dh = self.head.backward(&h, &[dmu, dlog_sigma]);
-                let mut dh_seq = vec![vec![0.0; self.cell.hidden()]; x.len()];
-                dh_seq[x.len() - 1] = dh;
-                self.cell.backward(&dh_seq);
+                if self.use_reference_nn {
+                    let (mu, sigma, h) = self.run(x, true);
+                    let z = (target - mu) / sigma;
+                    let dmu = -z / sigma;
+                    let dlog_sigma = 1.0 - z * z;
+                    let dh = self.head.backward(&h, &[dmu, dlog_sigma]);
+                    let mut dh_seq = vec![vec![0.0; hidden]; x.len()];
+                    dh_seq[x.len() - 1] = dh;
+                    self.cell.backward(&dh_seq);
+                } else {
+                    let (mu, sigma) = self.run_flat(x, true);
+                    let z = (target - mu) / sigma;
+                    let dmu = -z / sigma;
+                    let dlog_sigma = 1.0 - z * z;
+                    self.head
+                        .backward_into(&self.state.h, &[dmu, dlog_sigma], &mut self.dh_last);
+                    self.dh_flat.clear();
+                    self.dh_flat.resize(x.len() * hidden, 0.0);
+                    self.dh_flat[(x.len() - 1) * hidden..].copy_from_slice(&self.dh_last);
+                    self.cell.backward_flat(&self.dh_flat, None);
+                }
                 self.train_step += 1;
                 let t = self.train_step;
                 self.cell.apply_grads(t);
@@ -166,6 +238,25 @@ mod tests {
         }
         let f = p.forecast();
         assert!((f - 40.0).abs() < 10.0, "constant forecast {f}");
+    }
+
+    /// Optimized vs reference NN path: bit-identical forecasts after
+    /// pretraining on the same seed and data.
+    #[test]
+    fn reference_nn_path_is_bit_identical() {
+        let series: Vec<f64> = (0..120)
+            .map(|i| 40.0 + 25.0 * (i as f64 * 0.3).cos())
+            .collect();
+        let mut optimized = DeepArPredictor::new(TrainConfig::fast(), 8, 11);
+        let mut reference =
+            DeepArPredictor::new(TrainConfig::fast(), 8, 11).with_reference_nn(true);
+        optimized.pretrain(&series);
+        reference.pretrain(&series);
+        for &v in &series[series.len() - 12..] {
+            optimized.observe(v);
+            reference.observe(v);
+            assert_eq!(optimized.forecast(), reference.forecast());
+        }
     }
 
     #[test]

@@ -20,6 +20,23 @@ pub struct SimpleFfPredictor {
     /// Global Adam step, persisted across pretrain calls so optimizer
     /// moments and bias correction stay consistent on retraining.
     train_step: u64,
+    /// Route through the original per-call-allocating NN path
+    /// (differential testing; bit-identical to the scratch-buffer path).
+    use_reference_nn: bool,
+    /// Scratch: raw padded lag window.
+    raw_buf: Vec<f64>,
+    /// Scratch: normalized lag window.
+    norm_buf: Vec<f64>,
+    /// Scratch: hidden pre-activations.
+    h_pre: Vec<f64>,
+    /// Scratch: hidden post-tanh activations.
+    h: Vec<f64>,
+    /// Scratch: model output (length 1).
+    out: Vec<f64>,
+    /// Scratch: dL/dh.
+    dh: Vec<f64>,
+    /// Scratch: dL/dh before the tanh gate.
+    dh_pre: Vec<f64>,
 }
 
 impl SimpleFfPredictor {
@@ -34,6 +51,14 @@ impl SimpleFfPredictor {
             cfg,
             trained: false,
             train_step: 0,
+            use_reference_nn: false,
+            raw_buf: Vec::new(),
+            norm_buf: Vec::new(),
+            h_pre: vec![0.0; hidden],
+            h: vec![0.0; hidden],
+            out: vec![0.0; 1],
+            dh: vec![0.0; hidden],
+            dh_pre: vec![0.0; hidden],
         }
     }
 
@@ -48,9 +73,28 @@ impl SimpleFfPredictor {
         SimpleFfPredictor::new(cfg, 32, seed)
     }
 
+    /// Routes through the original per-call-allocating NN implementation.
+    /// Bit-identical to the default scratch-buffer path.
+    pub fn with_reference_nn(mut self, reference: bool) -> Self {
+        self.use_reference_nn = reference;
+        self
+    }
+
     fn predict_normalized(&self, x: &[f64]) -> f64 {
         let h: Vec<f64> = self.l1.forward(x).iter().map(|v| v.tanh()).collect();
         self.l2.forward(&h)[0]
+    }
+
+    /// Scratch-buffer forward; leaves hidden activations in `self.h` for
+    /// the backward pass. Bit-identical to
+    /// [`predict_normalized`](Self::predict_normalized).
+    fn predict_normalized_flat(&mut self, x: &[f64]) -> f64 {
+        self.l1.forward_into(x, &mut self.h_pre);
+        for (hv, pv) in self.h.iter_mut().zip(&self.h_pre) {
+            *hv = pv.tanh();
+        }
+        self.l2.forward_into(&self.h, &mut self.out);
+        self.out[0]
     }
 }
 
@@ -63,13 +107,25 @@ impl LoadPredictor for SimpleFfPredictor {
         if self.window.is_empty() {
             return 0.0;
         }
-        let raw = self.window.padded();
-        if !self.trained {
-            // untrained fallback: last observation
-            return *raw.last().expect("window is non-empty");
+        if self.use_reference_nn {
+            let raw = self.window.padded();
+            if !self.trained {
+                // untrained fallback: last observation
+                return *raw.last().expect("window is non-empty");
+            }
+            let x = self.scaler.transform_series(&raw);
+            return self.scaler.inverse(self.predict_normalized(&x)).max(0.0);
         }
-        let x = self.scaler.transform_series(&raw);
-        self.scaler.inverse(self.predict_normalized(&x)).max(0.0)
+        self.window.padded_into(&mut self.raw_buf);
+        if !self.trained {
+            return *self.raw_buf.last().expect("window is non-empty");
+        }
+        self.scaler
+            .transform_series_into(&self.raw_buf, &mut self.norm_buf);
+        let x = std::mem::take(&mut self.norm_buf);
+        let y = self.predict_normalized_flat(&x);
+        self.norm_buf = x;
+        self.scaler.inverse(y).max(0.0)
     }
 
     fn pretrain(&mut self, series: &[f64]) {
@@ -81,17 +137,29 @@ impl LoadPredictor for SimpleFfPredictor {
         }
         for _ in 0..self.cfg.epochs {
             for (x, y) in &pairs {
-                let h_pre = self.l1.forward(x);
-                let h: Vec<f64> = h_pre.iter().map(|v| v.tanh()).collect();
-                let out = self.l2.forward(&h)[0];
-                let dy = [2.0 * (out - y)];
-                let dh = self.l2.backward(&h, &dy);
-                let dh_pre: Vec<f64> = dh
-                    .iter()
-                    .zip(&h)
-                    .map(|(g, hv)| g * crate::nn::tanh_deriv(*hv))
-                    .collect();
-                self.l1.backward(x, &dh_pre);
+                if self.use_reference_nn {
+                    let h_pre = self.l1.forward(x);
+                    let h: Vec<f64> = h_pre.iter().map(|v| v.tanh()).collect();
+                    let out = self.l2.forward(&h)[0];
+                    let dy = [2.0 * (out - y)];
+                    let dh = self.l2.backward(&h, &dy);
+                    let dh_pre: Vec<f64> = dh
+                        .iter()
+                        .zip(&h)
+                        .map(|(g, hv)| g * crate::nn::tanh_deriv(*hv))
+                        .collect();
+                    self.l1.backward(x, &dh_pre);
+                } else {
+                    let out = self.predict_normalized_flat(x);
+                    let dy = [2.0 * (out - y)];
+                    self.l2.backward_into(&self.h, &dy, &mut self.dh);
+                    for (dp, (g, hv)) in self.dh_pre.iter_mut().zip(self.dh.iter().zip(&self.h)) {
+                        *dp = g * crate::nn::tanh_deriv(*hv);
+                    }
+                    // the reference path computes dL/dx here and discards
+                    // it — skip the matvec entirely
+                    self.l1.accumulate_grads(x, &self.dh_pre);
+                }
                 self.train_step += 1;
                 let t = self.train_step;
                 self.l1.apply_grads(t);
@@ -143,6 +211,25 @@ mod tests {
             p.observe(v);
         }
         assert!(p.forecast() >= 0.0);
+    }
+
+    /// Optimized vs reference NN path: bit-identical forecasts after
+    /// pretraining on the same seed and data.
+    #[test]
+    fn reference_nn_path_is_bit_identical() {
+        let series: Vec<f64> = (0..120)
+            .map(|i| 60.0 + 35.0 * (i as f64 * 0.25).sin())
+            .collect();
+        let mut optimized = SimpleFfPredictor::new(TrainConfig::fast(), 8, 13);
+        let mut reference =
+            SimpleFfPredictor::new(TrainConfig::fast(), 8, 13).with_reference_nn(true);
+        optimized.pretrain(&series);
+        reference.pretrain(&series);
+        for &v in &series[series.len() - 12..] {
+            optimized.observe(v);
+            reference.observe(v);
+            assert_eq!(optimized.forecast(), reference.forecast());
+        }
     }
 
     #[test]

@@ -33,6 +33,30 @@ pub struct LstmPredictor {
     observations: usize,
     /// Global Adam step across pretraining and retraining rounds.
     train_step: u64,
+    /// Route through the original per-step-allocating NN path instead of
+    /// the flat-workspace one (differential testing; both are
+    /// bit-identical).
+    use_reference_nn: bool,
+    /// Scratch: raw padded lag window.
+    raw_buf: Vec<f64>,
+    /// Scratch: normalized lag window.
+    norm_buf: Vec<f64>,
+    /// Scratch: current layer's input sequence, `steps × in_dim` flat.
+    in_flat: Vec<f64>,
+    /// Scratch: current layer's hidden sequence, ping-ponged with
+    /// `in_flat` between layers.
+    out_flat: Vec<f64>,
+    /// Scratch: flat `steps × hidden` loss gradient for the layer being
+    /// backpropagated.
+    dh_flat: Vec<f64>,
+    /// Scratch: flat input gradient, ping-ponged with `dh_flat`.
+    dx_flat: Vec<f64>,
+    /// Reusable per-layer recurrent states.
+    states: Vec<LstmState>,
+    /// Scratch: head output (length 1).
+    head_out: Vec<f64>,
+    /// Scratch: head input gradient (length `hidden`).
+    dh_last: Vec<f64>,
 }
 
 impl LstmPredictor {
@@ -51,6 +75,10 @@ impl LstmPredictor {
         }
         LstmPredictor {
             head: Dense::new(hidden, 1, cfg.lr, &mut rng),
+            states: layers
+                .iter()
+                .map(|c| LstmState::zeros(c.hidden()))
+                .collect(),
             layers,
             scaler: Scaler::fit(&[]),
             window: LagWindow::new(cfg.lags),
@@ -61,6 +89,15 @@ impl LstmPredictor {
             history: Vec::new(),
             observations: 0,
             train_step: 0,
+            use_reference_nn: false,
+            raw_buf: Vec::new(),
+            norm_buf: Vec::new(),
+            in_flat: Vec::new(),
+            out_flat: Vec::new(),
+            dh_flat: Vec::new(),
+            dx_flat: Vec::new(),
+            head_out: vec![0.0; 1],
+            dh_last: vec![0.0; hidden],
         }
     }
 
@@ -89,6 +126,14 @@ impl LstmPredictor {
         self
     }
 
+    /// Routes through the original per-step-allocating NN implementation.
+    /// Bit-identical to the default flat-workspace path; kept so the
+    /// differential suite (and skeptical users) can check that end to end.
+    pub fn with_reference_nn(mut self, reference: bool) -> Self {
+        self.use_reference_nn = reference;
+        self
+    }
+
     /// Runs `epochs` passes over `series` (normalized with the current
     /// scaler), continuing the global Adam schedule.
     fn train_epochs(&mut self, series: &[f64], epochs: usize) {
@@ -99,18 +144,24 @@ impl LstmPredictor {
         }
         for _ in 0..epochs {
             for (x, target) in &pairs {
-                let (per_layer_h, y) = self.run_stack(x, true);
-                let derr = 2.0 * (y - target);
-                let steps = x.len();
-                let top = self.layers.len() - 1;
-                let dh_last = self.head.backward(&per_layer_h[top][steps - 1], &[derr]);
-                let mut dh_seq = vec![vec![0.0; self.layers[top].hidden()]; steps];
-                dh_seq[steps - 1] = dh_last;
-                for l in (0..self.layers.len()).rev() {
-                    let dx_seq = self.layers[l].backward(&dh_seq);
-                    if l > 0 {
-                        dh_seq = dx_seq;
+                if self.use_reference_nn {
+                    let (per_layer_h, y) = self.run_stack(x, true);
+                    let derr = 2.0 * (y - target);
+                    let steps = x.len();
+                    let top = self.layers.len() - 1;
+                    let dh_last = self.head.backward(&per_layer_h[top][steps - 1], &[derr]);
+                    let mut dh_seq = vec![vec![0.0; self.layers[top].hidden()]; steps];
+                    dh_seq[steps - 1] = dh_last;
+                    for l in (0..self.layers.len()).rev() {
+                        let dx_seq = self.layers[l].backward(&dh_seq);
+                        if l > 0 {
+                            dh_seq = dx_seq;
+                        }
                     }
+                } else {
+                    let y = self.forward_flat(x, true);
+                    let derr = 2.0 * (y - target);
+                    self.backward_flat_stack(derr, x.len());
                 }
                 self.train_step += 1;
                 let t = self.train_step;
@@ -123,20 +174,26 @@ impl LstmPredictor {
         self.trained = true;
     }
 
-    /// Runs the stack over a normalized window; caches activations when
-    /// `for_training`, otherwise clears them. Returns per-layer hidden
-    /// sequences (needed for BPTT) and the final prediction.
+    /// Reference-path stack: runs over a normalized window; caches
+    /// activations when `for_training`, otherwise clears them. Returns
+    /// per-layer hidden sequences (needed for BPTT) and the final
+    /// prediction.
     fn run_stack(&mut self, x: &[f64], for_training: bool) -> (Vec<Vec<Vec<f64>>>, f64) {
         let mut inputs: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
-        let mut per_layer_h = Vec::with_capacity(self.layers.len());
-        for cell in self.layers.iter_mut() {
+        let num_layers = self.layers.len();
+        let mut per_layer_h = Vec::with_capacity(num_layers);
+        for (l, cell) in self.layers.iter_mut().enumerate() {
             let mut state = LstmState::zeros(cell.hidden());
             let mut hs = Vec::with_capacity(inputs.len());
             for step in &inputs {
                 state = cell.forward_step(step, &state);
                 hs.push(state.h.clone());
             }
-            inputs = hs.clone();
+            // the top layer's hidden sequence feeds no further layer —
+            // don't clone it just to discard it
+            if l + 1 < num_layers {
+                inputs = hs.clone();
+            }
             per_layer_h.push(hs);
         }
         let last_h = per_layer_h
@@ -151,6 +208,60 @@ impl LstmPredictor {
             }
         }
         (per_layer_h, y)
+    }
+
+    /// Optimized stack forward over the flat ping-pong buffers. Leaves the
+    /// top layer's hidden sequence in `in_flat` (`steps × hidden`) for
+    /// [`backward_flat_stack`](Self::backward_flat_stack). Allocation-free
+    /// in steady state; bit-identical to [`run_stack`](Self::run_stack).
+    fn forward_flat(&mut self, x: &[f64], for_training: bool) -> f64 {
+        let steps = x.len();
+        self.in_flat.clear();
+        self.in_flat.extend_from_slice(x);
+        for (l, cell) in self.layers.iter_mut().enumerate() {
+            let in_dim = cell.input();
+            let state = &mut self.states[l];
+            state.reset();
+            self.out_flat.clear();
+            for t in 0..steps {
+                cell.forward_step_into(&self.in_flat[t * in_dim..(t + 1) * in_dim], state);
+                self.out_flat.extend_from_slice(&state.h);
+            }
+            std::mem::swap(&mut self.in_flat, &mut self.out_flat);
+        }
+        let hidden = self.states.last().map_or(0, |s| s.h.len());
+        let last_h = &self.in_flat[(steps - 1) * hidden..steps * hidden];
+        self.head.forward_into(last_h, &mut self.head_out);
+        let y = self.head_out[0];
+        if !for_training {
+            for cell in self.layers.iter_mut() {
+                cell.clear_cache();
+            }
+        }
+        y
+    }
+
+    /// Optimized stack BPTT: seeds the loss at the last timestep of the
+    /// top layer (whose hidden sequence [`forward_flat`](Self::forward_flat)
+    /// left in `in_flat`), then chains `backward_flat` down the stack,
+    /// ping-ponging the flat gradient buffers. The bottom layer skips the
+    /// dL/dx matvec entirely — the reference path computes and discards it.
+    fn backward_flat_stack(&mut self, derr: f64, steps: usize) {
+        let top = self.layers.len() - 1;
+        let hidden = self.layers[top].hidden();
+        let last_h = &self.in_flat[(steps - 1) * hidden..steps * hidden];
+        self.head.backward_into(last_h, &[derr], &mut self.dh_last);
+        self.dh_flat.clear();
+        self.dh_flat.resize(steps * hidden, 0.0);
+        self.dh_flat[(steps - 1) * hidden..].copy_from_slice(&self.dh_last);
+        for l in (0..self.layers.len()).rev() {
+            if l > 0 {
+                self.layers[l].backward_flat(&self.dh_flat, Some(&mut self.dx_flat));
+                std::mem::swap(&mut self.dh_flat, &mut self.dx_flat);
+            } else {
+                self.layers[l].backward_flat(&self.dh_flat, None);
+            }
+        }
     }
 }
 
@@ -191,12 +302,24 @@ impl LoadPredictor for LstmPredictor {
         if self.window.is_empty() {
             return 0.0;
         }
-        let raw = self.window.padded();
-        if !self.trained {
-            return *raw.last().expect("window is non-empty");
+        if self.use_reference_nn {
+            let raw = self.window.padded();
+            if !self.trained {
+                return *raw.last().expect("window is non-empty");
+            }
+            let x = self.scaler.transform_series(&raw);
+            let (_, y) = self.run_stack(&x, false);
+            return self.scaler.inverse(y).max(0.0);
         }
-        let x = self.scaler.transform_series(&raw);
-        let (_, y) = self.run_stack(&x, false);
+        self.window.padded_into(&mut self.raw_buf);
+        if !self.trained {
+            return *self.raw_buf.last().expect("window is non-empty");
+        }
+        self.scaler
+            .transform_series_into(&self.raw_buf, &mut self.norm_buf);
+        let x = std::mem::take(&mut self.norm_buf);
+        let y = self.forward_flat(&x, false);
+        self.norm_buf = x;
         self.scaler.inverse(y).max(0.0)
     }
 
@@ -260,6 +383,25 @@ mod tests {
         let _ = p.forecast();
         for cell in &p.layers {
             assert_eq!(cell.cached_steps(), 0);
+        }
+    }
+
+    /// Optimized vs reference NN path: same seed and data must produce
+    /// bit-identical forecasts after pretraining.
+    #[test]
+    fn reference_nn_path_is_bit_identical() {
+        let series: Vec<f64> = (0..120)
+            .map(|i| 50.0 + 30.0 * (i as f64 * 0.2).sin())
+            .collect();
+        let mut optimized = LstmPredictor::new(TrainConfig::fast(), 8, 9, 2);
+        let mut reference =
+            LstmPredictor::new(TrainConfig::fast(), 8, 9, 2).with_reference_nn(true);
+        optimized.pretrain(&series);
+        reference.pretrain(&series);
+        for &v in &series[series.len() - 12..] {
+            optimized.observe(v);
+            reference.observe(v);
+            assert_eq!(optimized.forecast(), reference.forecast());
         }
     }
 

@@ -47,12 +47,18 @@ impl LagWindow {
     /// value (or zeros when empty) so models always see `lags` inputs.
     pub(crate) fn padded(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.lags);
-        let pad = self.values.front().copied().unwrap_or(0.0);
-        for _ in 0..self.lags - self.values.len() {
-            out.push(pad);
-        }
-        out.extend(self.values.iter());
+        self.padded_into(&mut out);
         out
+    }
+
+    /// Write-into form of [`padded`](Self::padded): fills `out` with the
+    /// fixed-length window without allocating (satellite of the NN
+    /// vectorization PR — `forecast()` calls this every monitor tick).
+    pub(crate) fn padded_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        let pad = self.values.front().copied().unwrap_or(0.0);
+        out.resize(self.lags - self.values.len(), pad);
+        out.extend(self.values.iter());
     }
 
     pub(crate) fn is_empty(&self) -> bool {

@@ -35,6 +35,29 @@ pub struct WeaveNetPredictor {
     /// Global Adam step, persisted across pretrain calls so optimizer
     /// moments and bias correction stay consistent on retraining.
     train_step: u64,
+    /// Route through the original `Vec<Vec>` NN path (differential
+    /// testing; bit-identical to the flat path).
+    use_reference_nn: bool,
+    /// Scratch: raw padded lag window.
+    raw_buf: Vec<f64>,
+    /// Scratch: normalized lag window.
+    norm_buf: Vec<f64>,
+    /// Scratch: current layer input, `steps × ch` flat.
+    feat_flat: Vec<f64>,
+    /// Scratch: conv pre-activation output.
+    conv_out: Vec<f64>,
+    /// Per-layer post-ReLU activations, `steps × ch` flat each
+    /// (fixed count — one reused buffer per conv layer).
+    acts_flat: Vec<Vec<f64>>,
+    /// Scratch: head output (length 1).
+    head_out: Vec<f64>,
+    /// Scratch: head input gradient (top channel count).
+    dlast: Vec<f64>,
+    /// Scratch: flat `steps × ch` loss gradient for the layer being
+    /// backpropagated.
+    dy_flat: Vec<f64>,
+    /// Scratch: flat input gradient, ping-ponged with `dy_flat`.
+    dx_flat: Vec<f64>,
 }
 
 impl WeaveNetPredictor {
@@ -60,12 +83,22 @@ impl WeaveNetPredictor {
         }
         WeaveNetPredictor {
             head: Dense::new(channels, 1, cfg.lr, &mut rng),
+            acts_flat: vec![Vec::new(); convs.len()],
             convs,
             scaler: Scaler::fit(&[]),
             window: LagWindow::new(cfg.lags),
             cfg,
             trained: false,
             train_step: 0,
+            use_reference_nn: false,
+            raw_buf: Vec::new(),
+            norm_buf: Vec::new(),
+            feat_flat: Vec::new(),
+            conv_out: Vec::new(),
+            head_out: vec![0.0; 1],
+            dlast: vec![0.0; channels],
+            dy_flat: Vec::new(),
+            dx_flat: Vec::new(),
         }
     }
 
@@ -96,6 +129,58 @@ impl WeaveNetPredictor {
         let y = self.head.forward(&last)[0];
         (activations, y)
     }
+
+    /// Routes through the original `Vec<Vec>` NN implementation.
+    /// Bit-identical to the default flat-layout path.
+    pub fn with_reference_nn(mut self, reference: bool) -> Self {
+        self.use_reference_nn = reference;
+        self
+    }
+
+    /// Flat-layout forward: leaves each layer's post-ReLU activations in
+    /// `acts_flat` for the backward pass. Bit-identical to
+    /// [`run`](Self::run); allocation-free in steady state.
+    fn run_flat(&mut self, x: &[f64]) -> f64 {
+        let steps = x.len();
+        self.feat_flat.clear();
+        self.feat_flat.extend_from_slice(x);
+        for (l, conv) in self.convs.iter_mut().enumerate() {
+            conv.forward_flat(&self.feat_flat, &mut self.conv_out);
+            let act = &mut self.acts_flat[l];
+            act.clear();
+            act.extend(self.conv_out.iter().map(|&v| leaky_relu(v)));
+            self.feat_flat.clear();
+            self.feat_flat.extend_from_slice(act);
+        }
+        let top_ch = self.convs.last().expect("non-empty stack").out_ch();
+        let last = &self.acts_flat[self.convs.len() - 1][(steps - 1) * top_ch..steps * top_ch];
+        self.head.forward_into(last, &mut self.head_out);
+        self.head_out[0]
+    }
+
+    /// Flat-layout BPTT mirror of the reference training step: seeds the
+    /// gradient at the final timestep of the top layer, applies the
+    /// leaky-ReLU gate per layer, and chains `backward_flat` down the
+    /// stack ping-ponging the flat gradient buffers.
+    fn backward_flat_stack(&mut self, derr: f64, steps: usize) {
+        let top = self.convs.len() - 1;
+        let top_ch = self.convs[top].out_ch();
+        let last = &self.acts_flat[top][(steps - 1) * top_ch..steps * top_ch];
+        self.head.backward_into(last, &[derr], &mut self.dlast);
+        self.dy_flat.clear();
+        self.dy_flat.resize(steps * top_ch, 0.0);
+        self.dy_flat[(steps - 1) * top_ch..].copy_from_slice(&self.dlast);
+        for l in (0..self.convs.len()).rev() {
+            // leaky-ReLU gate: damp gradient on the negative branch
+            for (dv, &av) in self.dy_flat.iter_mut().zip(&self.acts_flat[l]) {
+                if av < 0.0 {
+                    *dv *= LEAK;
+                }
+            }
+            self.convs[l].backward_flat(&self.dy_flat, &mut self.dx_flat);
+            std::mem::swap(&mut self.dy_flat, &mut self.dx_flat);
+        }
+    }
 }
 
 impl LoadPredictor for WeaveNetPredictor {
@@ -107,12 +192,24 @@ impl LoadPredictor for WeaveNetPredictor {
         if self.window.is_empty() {
             return 0.0;
         }
-        let raw = self.window.padded();
-        if !self.trained {
-            return *raw.last().expect("window is non-empty");
+        if self.use_reference_nn {
+            let raw = self.window.padded();
+            if !self.trained {
+                return *raw.last().expect("window is non-empty");
+            }
+            let x = self.scaler.transform_series(&raw);
+            let (_, y) = self.run(&x);
+            return self.scaler.inverse(y).max(0.0);
         }
-        let x = self.scaler.transform_series(&raw);
-        let (_, y) = self.run(&x);
+        self.window.padded_into(&mut self.raw_buf);
+        if !self.trained {
+            return *self.raw_buf.last().expect("window is non-empty");
+        }
+        self.scaler
+            .transform_series_into(&self.raw_buf, &mut self.norm_buf);
+        let x = std::mem::take(&mut self.norm_buf);
+        let y = self.run_flat(&x);
+        self.norm_buf = x;
         self.scaler.inverse(y).max(0.0)
     }
 
@@ -125,25 +222,31 @@ impl LoadPredictor for WeaveNetPredictor {
         }
         for _ in 0..self.cfg.epochs {
             for (x, target) in &pairs {
-                let (activations, y) = self.run(x);
-                let derr = 2.0 * (y - target);
-                let steps = x.len();
-                let top_act = activations.last().expect("at least one conv layer");
-                let dlast = self.head.backward(&top_act[steps - 1], &[derr]);
-                // seed gradient only at the final timestep of the top layer
-                let top_ch = self.convs.last().expect("non-empty stack").out_ch();
-                let mut dy: Vec<Vec<f64>> = vec![vec![0.0; top_ch]; steps];
-                dy[steps - 1] = dlast;
-                for l in (0..self.convs.len()).rev() {
-                    // leaky-ReLU gate: damp gradient on the negative branch
-                    for (dt, at) in dy.iter_mut().zip(&activations[l]) {
-                        for (dv, &av) in dt.iter_mut().zip(at) {
-                            if av < 0.0 {
-                                *dv *= LEAK;
+                if self.use_reference_nn {
+                    let (activations, y) = self.run(x);
+                    let derr = 2.0 * (y - target);
+                    let steps = x.len();
+                    let top_act = activations.last().expect("at least one conv layer");
+                    let dlast = self.head.backward(&top_act[steps - 1], &[derr]);
+                    // seed gradient only at the final timestep of the top layer
+                    let top_ch = self.convs.last().expect("non-empty stack").out_ch();
+                    let mut dy: Vec<Vec<f64>> = vec![vec![0.0; top_ch]; steps];
+                    dy[steps - 1] = dlast;
+                    for l in (0..self.convs.len()).rev() {
+                        // leaky-ReLU gate: damp gradient on the negative branch
+                        for (dt, at) in dy.iter_mut().zip(&activations[l]) {
+                            for (dv, &av) in dt.iter_mut().zip(at) {
+                                if av < 0.0 {
+                                    *dv *= LEAK;
+                                }
                             }
                         }
+                        dy = self.convs[l].backward(&dy);
                     }
-                    dy = self.convs[l].backward(&dy);
+                } else {
+                    let y = self.run_flat(x);
+                    let derr = 2.0 * (y - target);
+                    self.backward_flat_stack(derr, x.len());
                 }
                 self.train_step += 1;
                 let t = self.train_step;
@@ -194,6 +297,25 @@ mod tests {
         }
         let f = p.forecast();
         assert!((f - 70.0).abs() < 14.0, "constant forecast {f}");
+    }
+
+    /// Optimized vs reference NN path: bit-identical forecasts after
+    /// pretraining on the same seed and data.
+    #[test]
+    fn reference_nn_path_is_bit_identical() {
+        let series: Vec<f64> = (0..120)
+            .map(|i| 45.0 + 28.0 * (i as f64 * 0.22).sin())
+            .collect();
+        let mut optimized = WeaveNetPredictor::new(TrainConfig::fast(), 4, 17);
+        let mut reference =
+            WeaveNetPredictor::new(TrainConfig::fast(), 4, 17).with_reference_nn(true);
+        optimized.pretrain(&series);
+        reference.pretrain(&series);
+        for &v in &series[series.len() - 12..] {
+            optimized.observe(v);
+            reference.observe(v);
+            assert_eq!(optimized.forecast(), reference.forecast());
+        }
     }
 
     #[test]

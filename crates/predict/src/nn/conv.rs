@@ -30,6 +30,11 @@ pub struct CausalConv1d {
     opt_b: Adam,
     /// Cached input of the latest forward pass.
     cache: Option<Vec<Vec<f64>>>,
+    /// Flat-path cache: input of the latest [`forward_flat`](Self::forward_flat)
+    /// as `steps × in_ch`.
+    cache_flat: Vec<f64>,
+    /// Timesteps in `cache_flat` (0 = no flat forward pending).
+    cache_steps: usize,
 }
 
 impl CausalConv1d {
@@ -58,7 +63,14 @@ impl CausalConv1d {
             opt_w: Adam::new(out_ch * 2 * in_ch, lr),
             opt_b: Adam::new(out_ch, lr),
             cache: None,
+            cache_flat: Vec::new(),
+            cache_steps: 0,
         }
+    }
+
+    /// Input channel count.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
     }
 
     /// This layer's dilation.
@@ -131,6 +143,92 @@ impl CausalConv1d {
             }
         }
         dx
+    }
+
+    /// Flat-layout forward pass: `x` is `steps × in_ch` row-major, output
+    /// written into `y` as `steps × out_ch`. Bit-identical to
+    /// [`forward`](Self::forward) (same tap order per output element) and
+    /// allocation-free once `y` and the cache have grown to the longest
+    /// sequence seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of the input channel count.
+    pub fn forward_flat(&mut self, x: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(x.len() % self.in_ch, 0, "channel count mismatch");
+        let steps = x.len() / self.in_ch;
+        let d = self.dilation;
+        y.clear();
+        y.resize(steps * self.out_ch, 0.0);
+        for t in 0..steps {
+            let xt = &x[t * self.in_ch..(t + 1) * self.in_ch];
+            let yt = &mut y[t * self.out_ch..(t + 1) * self.out_ch];
+            yt.copy_from_slice(&self.b);
+            let past = t
+                .checked_sub(d)
+                .map(|p| &x[p * self.in_ch..(p + 1) * self.in_ch]);
+            for (o, yv) in yt.iter_mut().enumerate() {
+                let row = &self.w[o * 2 * self.in_ch..(o + 1) * 2 * self.in_ch];
+                if let Some(xp) = past {
+                    for (wv, xv) in row[..self.in_ch].iter().zip(xp) {
+                        *yv += wv * xv;
+                    }
+                }
+                for (wv, xv) in row[self.in_ch..].iter().zip(xt) {
+                    *yv += wv * xv;
+                }
+            }
+        }
+        self.cache_flat.clear();
+        self.cache_flat.extend_from_slice(x);
+        self.cache_steps = steps;
+    }
+
+    /// Flat-layout backward pass over the input cached by
+    /// [`forward_flat`](Self::forward_flat): accumulates weight gradients
+    /// and writes dL/dx (`steps × in_ch`) into `dx`. Bit-identical to
+    /// [`backward`](Self::backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flat forward pass is cached or `dy` has the wrong
+    /// length.
+    pub fn backward_flat(&mut self, dy: &[f64], dx: &mut Vec<f64>) {
+        let steps = self.cache_steps;
+        assert!(steps > 0, "backward without forward");
+        assert_eq!(
+            dy.len(),
+            steps * self.out_ch,
+            "gradient sequence length mismatch"
+        );
+        let d = self.dilation;
+        dx.clear();
+        dx.resize(steps * self.in_ch, 0.0);
+        for t in 0..steps {
+            let dyt = &dy[t * self.out_ch..(t + 1) * self.out_ch];
+            let past_t = t.checked_sub(d);
+            for (o, &g) in dyt.iter().enumerate() {
+                self.db[o] += g;
+                let row_off = o * 2 * self.in_ch;
+                if let Some(p) = past_t {
+                    for c in 0..self.in_ch {
+                        self.dw[row_off + c] += g * self.cache_flat[p * self.in_ch + c];
+                        dx[p * self.in_ch + c] += g * self.w[row_off + c];
+                    }
+                }
+                for c in 0..self.in_ch {
+                    self.dw[row_off + self.in_ch + c] += g * self.cache_flat[t * self.in_ch + c];
+                    dx[t * self.in_ch + c] += g * self.w[row_off + self.in_ch + c];
+                }
+            }
+        }
+        self.cache_steps = 0;
+    }
+
+    /// Read-only view of the trainable parameters `(w, b)` — used by the
+    /// reference-vs-optimized differential tests.
+    pub fn weights(&self) -> (&[f64], &[f64]) {
+        (&self.w, &self.b)
     }
 
     /// Applies accumulated gradients with Adam and zeroes accumulators.
@@ -234,6 +332,32 @@ mod tests {
         }
         assert!((conv.w[0] - (-1.0)).abs() < 0.1, "past tap {}", conv.w[0]);
         assert!((conv.w[1] - 1.0).abs() < 0.1, "current tap {}", conv.w[1]);
+    }
+
+    /// The flat-layout path must match the `Vec<Vec>` reference path bit
+    /// for bit through forward, backward and an optimizer step.
+    #[test]
+    fn flat_path_bit_identical_to_reference() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let mut reference = CausalConv1d::new(2, 3, 2, 0.01, &mut r1);
+        let mut optimized = CausalConv1d::new(2, 3, 2, 0.01, &mut r2);
+        let x: Vec<Vec<f64>> = (0..5)
+            .map(|t| vec![(t as f64 * 0.9).sin(), (t as f64 * 0.4).cos()])
+            .collect();
+        let x_flat: Vec<f64> = x.concat();
+        let y_ref = reference.forward(&x);
+        let mut y_flat = Vec::new();
+        optimized.forward_flat(&x_flat, &mut y_flat);
+        assert_eq!(y_flat, y_ref.concat());
+        let dy: Vec<Vec<f64>> = (0..5).map(|t| vec![0.1 * t as f64; 3]).collect();
+        let dx_ref = reference.backward(&dy);
+        let mut dx_flat = Vec::new();
+        optimized.backward_flat(&dy.concat(), &mut dx_flat);
+        assert_eq!(dx_flat, dx_ref.concat());
+        reference.apply_grads(1);
+        optimized.apply_grads(1);
+        assert_eq!(optimized.weights(), reference.weights());
     }
 
     #[test]

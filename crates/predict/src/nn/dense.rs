@@ -1,7 +1,9 @@
 //! A fully connected layer with gradient accumulation and an Adam step.
 
 use crate::nn::adam::Adam;
-use crate::nn::linalg::{matvec, matvec_transposed, outer_accumulate, xavier};
+use crate::nn::linalg::{
+    matvec, matvec_into, matvec_transposed, matvec_transposed_into, outer_accumulate, xavier,
+};
 use rand::Rng;
 
 /// Dense layer `y = W·x + b` at batch size 1.
@@ -60,6 +62,19 @@ impl Dense {
         y
     }
 
+    /// Write-into forward pass — bit-identical to [`Dense::forward`],
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != out_dim`.
+    pub fn forward_into(&self, x: &[f64], y: &mut [f64]) {
+        matvec_into(&self.w, self.out_dim, self.in_dim, x, y);
+        for (yv, bv) in y.iter_mut().zip(&self.b) {
+            *yv += bv;
+        }
+    }
+
     /// Backward pass: accumulates dW, db and returns dL/dx. `x` must be the
     /// input used for the corresponding forward pass.
     pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
@@ -69,6 +84,36 @@ impl Dense {
             *d += g;
         }
         matvec_transposed(&self.w, self.out_dim, self.in_dim, dy)
+    }
+
+    /// Accumulates dW/db without computing dL/dx — for input layers whose
+    /// input gradient feeds nothing (the reference path computes and
+    /// discards it; skipping it changes no trained weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len() != out_dim`.
+    pub fn accumulate_grads(&mut self, x: &[f64], dy: &[f64]) {
+        assert_eq!(dy.len(), self.out_dim, "output gradient length mismatch");
+        outer_accumulate(&mut self.dw, dy, x);
+        for (d, g) in self.db.iter_mut().zip(dy) {
+            *d += g;
+        }
+    }
+
+    /// Write-into backward pass — bit-identical to [`Dense::backward`],
+    /// writing dL/dx into `dx` instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on gradient/output length mismatches.
+    pub fn backward_into(&mut self, x: &[f64], dy: &[f64], dx: &mut [f64]) {
+        assert_eq!(dy.len(), self.out_dim, "output gradient length mismatch");
+        outer_accumulate(&mut self.dw, dy, x);
+        for (d, g) in self.db.iter_mut().zip(dy) {
+            *d += g;
+        }
+        matvec_transposed_into(&self.w, self.out_dim, self.in_dim, dy, dx);
     }
 
     /// Applies accumulated gradients with Adam (global step `t`) and zeroes
@@ -137,6 +182,28 @@ mod tests {
                 dx[i]
             );
         }
+    }
+
+    /// The write-into forms must match the allocating forms bit for bit.
+    #[test]
+    fn into_forms_bit_identical() {
+        let mut r1 = StdRng::seed_from_u64(8);
+        let mut r2 = StdRng::seed_from_u64(8);
+        let mut a = Dense::new(5, 3, 0.01, &mut r1);
+        let mut b = Dense::new(5, 3, 0.01, &mut r2);
+        let x = [0.4, -1.2, 0.07, 3.5, -0.9];
+        let dy = [0.3, -0.8, 1.1];
+        let y_ref = a.forward(&x);
+        let mut y = vec![0.0; 3];
+        b.forward_into(&x, &mut y);
+        assert_eq!(y, y_ref);
+        let dx_ref = a.backward(&x, &dy);
+        let mut dx = vec![0.0; 5];
+        b.backward_into(&x, &dy, &mut dx);
+        assert_eq!(dx, dx_ref);
+        a.apply_grads(1);
+        b.apply_grads(1);
+        assert_eq!(a.weights(), b.weights());
     }
 
     #[test]

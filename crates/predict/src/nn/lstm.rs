@@ -7,7 +7,10 @@
 
 use crate::nn::adam::Adam;
 use crate::nn::dense::clip;
-use crate::nn::linalg::{matvec, matvec_transposed, outer_accumulate, xavier};
+use crate::nn::linalg::{
+    matvec, matvec_colmajor_into, matvec_transposed, matvec_transposed_into, outer_accumulate,
+    transpose_into, xavier,
+};
 use crate::nn::{sigmoid, sigmoid_deriv, tanh_deriv};
 use rand::Rng;
 
@@ -28,6 +31,12 @@ impl LstmState {
             c: vec![0.0; hidden],
         }
     }
+
+    /// Zeroes the state in place (sequence restart without reallocation).
+    pub fn reset(&mut self) {
+        self.h.iter_mut().for_each(|v| *v = 0.0);
+        self.c.iter_mut().for_each(|v| *v = 0.0);
+    }
 }
 
 /// Cached activations for one timestep, needed by the backward pass.
@@ -45,6 +54,23 @@ struct StepCache {
 
 /// A single LSTM layer (batch size 1) with trainable input, recurrent and
 /// bias parameters, stacked gate-major: `[i, f, g, o]`.
+///
+/// Two forward/backward APIs share the same weights:
+///
+/// - the **reference** path ([`forward_step`](Self::forward_step) /
+///   [`backward`](Self::backward)) — the original per-step-allocating
+///   implementation, kept verbatim for the `use_reference_nn`
+///   differential flag;
+/// - the **optimized** path ([`forward_step_into`](Self::forward_step_into)
+///   / [`backward_flat`](Self::backward_flat)) — flat preallocated
+///   workspace buffers, column-major weight mirrors for the forward
+///   matvecs, and zero heap allocation once the workspace has grown to
+///   the longest sequence seen.
+///
+/// Both produce bit-identical numbers: every output element accumulates
+/// the same ordered sequence of IEEE-754 operations (see `nn::linalg`).
+/// A cell instance should stick to one path per sequence — activations
+/// cached by one are invisible to the other.
 #[derive(Debug, Clone)]
 pub struct LstmCell {
     input: usize,
@@ -63,6 +89,39 @@ pub struct LstmCell {
     opt_wh: Adam,
     opt_b: Adam,
     cache: Vec<StepCache>,
+    /// Column-major mirror of `wx` (refreshed after every optimizer step)
+    /// so the forward matvec runs as contiguous per-column axpys.
+    wx_t: Vec<f64>,
+    /// Column-major mirror of `wh`.
+    wh_t: Vec<f64>,
+    /// Timesteps currently cached in the flat workspace.
+    steps: usize,
+    /// Flat inputs, `steps × input`.
+    xs: Vec<f64>,
+    /// Flat hidden states, `(steps+1) × hidden`; row `t` is h *before*
+    /// step `t` (so row 0 is the initial state).
+    hs: Vec<f64>,
+    /// Flat cell states, same layout as `hs`.
+    cs: Vec<f64>,
+    /// Flat post-activation gates, `steps × 4·hidden`, gate-major
+    /// `[i, f, g, o]` within each row.
+    gate_acts: Vec<f64>,
+    /// Flat `tanh(c_t)`, `steps × hidden`.
+    tanh_cs: Vec<f64>,
+    /// Scratch: gate pre-activations (`4·hidden`).
+    z: Vec<f64>,
+    /// Scratch: recurrent half of the pre-activation (`4·hidden`).
+    zh: Vec<f64>,
+    /// Scratch: dL/dh at the current timestep (`hidden`).
+    dh: Vec<f64>,
+    /// Scratch: dL/dc at the current timestep (`hidden`).
+    dc: Vec<f64>,
+    /// Scratch: gate pre-activation gradients (`4·hidden`).
+    dz: Vec<f64>,
+    /// Scratch: dL/dh carried to timestep t-1 (`hidden`).
+    dh_next: Vec<f64>,
+    /// Scratch: dL/dc carried to timestep t-1 (`hidden`).
+    dc_next: Vec<f64>,
 }
 
 impl LstmCell {
@@ -78,11 +137,17 @@ impl LstmCell {
         for v in b.iter_mut().take(2 * hidden).skip(hidden) {
             *v = 1.0; // forget gate bias
         }
+        let wx = xavier(gates, input, rng);
+        let wh = xavier(gates, hidden, rng);
+        let mut wx_t = vec![0.0; gates * input];
+        transpose_into(&wx, gates, input, &mut wx_t);
+        let mut wh_t = vec![0.0; gates * hidden];
+        transpose_into(&wh, gates, hidden, &mut wh_t);
         LstmCell {
             input,
             hidden,
-            wx: xavier(gates, input, rng),
-            wh: xavier(gates, hidden, rng),
+            wx,
+            wh,
             b,
             dwx: vec![0.0; gates * input],
             dwh: vec![0.0; gates * hidden],
@@ -91,6 +156,21 @@ impl LstmCell {
             opt_wh: Adam::new(gates * hidden, lr),
             opt_b: Adam::new(gates, lr),
             cache: Vec::new(),
+            wx_t,
+            wh_t,
+            steps: 0,
+            xs: Vec::new(),
+            hs: Vec::new(),
+            cs: Vec::new(),
+            gate_acts: Vec::new(),
+            tanh_cs: Vec::new(),
+            z: vec![0.0; gates],
+            zh: vec![0.0; gates],
+            dh: vec![0.0; hidden],
+            dc: vec![0.0; hidden],
+            dz: vec![0.0; gates],
+            dh_next: vec![0.0; hidden],
+            dc_next: vec![0.0; hidden],
         }
     }
 
@@ -200,6 +280,152 @@ impl LstmCell {
         dx_seq
     }
 
+    /// Optimized forward step: advances `state` in place, caching
+    /// activations in the flat workspace for [`backward_flat`](Self::backward_flat).
+    ///
+    /// Bit-identical to [`forward_step`](Self::forward_step) — the matvecs
+    /// run over the column-major mirrors (same per-element accumulation
+    /// order, see [`matvec_colmajor_into`]) and every scalar expression is
+    /// written in the reference's order. Allocation-free once the
+    /// workspace has grown to the longest sequence seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn forward_step_into(&mut self, x: &[f64], state: &mut LstmState) {
+        assert_eq!(x.len(), self.input, "input width mismatch");
+        assert_eq!(state.h.len(), self.hidden, "state width mismatch");
+        let h = self.hidden;
+        let gates = 4 * h;
+        let t = self.steps;
+        if t == 0 {
+            self.xs.clear();
+            self.hs.clear();
+            self.cs.clear();
+            self.gate_acts.clear();
+            self.tanh_cs.clear();
+            self.hs.extend_from_slice(&state.h);
+            self.cs.extend_from_slice(&state.c);
+        } else {
+            // row t was written by the previous step; refresh from the
+            // caller's state so injected state edits keep reference
+            // semantics
+            self.hs[t * h..(t + 1) * h].copy_from_slice(&state.h);
+            self.cs[t * h..(t + 1) * h].copy_from_slice(&state.c);
+        }
+        self.xs.extend_from_slice(x);
+        // z = Wx·x + (Wh·h_prev + b), grouped exactly as the reference
+        matvec_colmajor_into(&self.wx_t, gates, self.input, x, &mut self.z);
+        matvec_colmajor_into(&self.wh_t, gates, h, &state.h, &mut self.zh);
+        for ((zv, zhv), bv) in self.z.iter_mut().zip(&self.zh).zip(&self.b) {
+            *zv += zhv + bv;
+        }
+        let g0 = self.gate_acts.len();
+        self.gate_acts.resize(g0 + gates, 0.0);
+        {
+            let gr = &mut self.gate_acts[g0..];
+            for k in 0..h {
+                gr[k] = sigmoid(self.z[k]);
+                gr[h + k] = sigmoid(self.z[h + k]);
+                gr[2 * h + k] = self.z[2 * h + k].tanh();
+                gr[3 * h + k] = sigmoid(self.z[3 * h + k]);
+            }
+        }
+        let gr = &self.gate_acts[g0..];
+        let c0 = self.cs.len();
+        self.cs.resize(c0 + h, 0.0);
+        for k in 0..h {
+            self.cs[c0 + k] = gr[h + k] * state.c[k] + gr[k] * gr[2 * h + k];
+        }
+        let tc0 = self.tanh_cs.len();
+        self.tanh_cs.resize(tc0 + h, 0.0);
+        let h0 = self.hs.len();
+        self.hs.resize(h0 + h, 0.0);
+        for k in 0..h {
+            let tc = self.cs[c0 + k].tanh();
+            self.tanh_cs[tc0 + k] = tc;
+            self.hs[h0 + k] = gr[3 * h + k] * tc;
+        }
+        state.h.copy_from_slice(&self.hs[h0..]);
+        state.c.copy_from_slice(&self.cs[c0..]);
+        self.steps = t + 1;
+    }
+
+    /// Optimized BPTT over the flat workspace filled by
+    /// [`forward_step_into`](Self::forward_step_into).
+    ///
+    /// `dh_seq` is the flat `steps × hidden` loss gradient (row `t` is
+    /// dL/dh at timestep `t`). When `dx_seq` is `Some`, it is resized to
+    /// `steps × input` and receives dL/dx (stacked models need it;
+    /// bottom layers pass `None` and skip the work the reference path
+    /// always did). Accumulates weight gradients and resets the
+    /// workspace. Bit-identical to [`backward`](Self::backward);
+    /// allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh_seq.len()` is not `steps × hidden`.
+    pub fn backward_flat(&mut self, dh_seq: &[f64], mut dx_seq: Option<&mut Vec<f64>>) {
+        let h = self.hidden;
+        let gates = 4 * h;
+        let steps = self.steps;
+        assert_eq!(dh_seq.len(), steps * h, "need one dh per cached timestep");
+        if let Some(dx) = dx_seq.as_deref_mut() {
+            dx.clear();
+            dx.resize(steps * self.input, 0.0);
+        }
+        self.dh_next.iter_mut().for_each(|v| *v = 0.0);
+        self.dc_next.iter_mut().for_each(|v| *v = 0.0);
+        for t in (0..steps).rev() {
+            let gr = &self.gate_acts[t * gates..(t + 1) * gates];
+            let tc = &self.tanh_cs[t * h..(t + 1) * h];
+            // rows t of hs/cs are the states *entering* step t
+            let c_prev = &self.cs[t * h..(t + 1) * h];
+            let h_prev = &self.hs[t * h..(t + 1) * h];
+            let x_t = &self.xs[t * self.input..(t + 1) * self.input];
+            self.dh.copy_from_slice(&dh_seq[t * h..(t + 1) * h]);
+            for (a, b) in self.dh.iter_mut().zip(&self.dh_next) {
+                *a += b;
+            }
+            // dL/dc through h = o * tanh(c), plus carry from t+1
+            self.dc.copy_from_slice(&self.dc_next);
+            for k in 0..h {
+                self.dc[k] += self.dh[k] * gr[3 * h + k] * tanh_deriv(tc[k]);
+            }
+            // gate pre-activation gradients, stacked [i, f, g, o]
+            for k in 0..h {
+                self.dz[k] = self.dc[k] * gr[2 * h + k] * sigmoid_deriv(gr[k]);
+                self.dz[h + k] = self.dc[k] * c_prev[k] * sigmoid_deriv(gr[h + k]);
+                self.dz[2 * h + k] = self.dc[k] * gr[k] * tanh_deriv(gr[2 * h + k]);
+                self.dz[3 * h + k] = self.dh[k] * tc[k] * sigmoid_deriv(gr[3 * h + k]);
+            }
+            outer_accumulate(&mut self.dwx, &self.dz, x_t);
+            outer_accumulate(&mut self.dwh, &self.dz, h_prev);
+            for (d, g) in self.db.iter_mut().zip(&self.dz) {
+                *d += g;
+            }
+            if let Some(dx) = dx_seq.as_deref_mut() {
+                matvec_transposed_into(
+                    &self.wx,
+                    gates,
+                    self.input,
+                    &self.dz,
+                    &mut dx[t * self.input..(t + 1) * self.input],
+                );
+            }
+            matvec_transposed_into(&self.wh, gates, h, &self.dz, &mut self.dh_next);
+            for k in 0..h {
+                self.dc_next[k] = self.dc[k] * gr[h + k];
+            }
+        }
+        self.steps = 0;
+        self.xs.clear();
+        self.hs.clear();
+        self.cs.clear();
+        self.gate_acts.clear();
+        self.tanh_cs.clear();
+    }
+
     /// Applies accumulated gradients with Adam and zeroes accumulators.
     pub fn apply_grads(&mut self, t: u64) {
         clip(&mut self.dwx, 5.0);
@@ -211,16 +437,33 @@ impl LstmCell {
         self.dwx.iter_mut().for_each(|v| *v = 0.0);
         self.dwh.iter_mut().for_each(|v| *v = 0.0);
         self.db.iter_mut().for_each(|v| *v = 0.0);
+        let gates = 4 * self.hidden;
+        transpose_into(&self.wx, gates, self.input, &mut self.wx_t);
+        transpose_into(&self.wh, gates, self.hidden, &mut self.wh_t);
     }
 
     /// Discards cached timesteps without applying gradients (inference).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.steps = 0;
+        self.xs.clear();
+        self.hs.clear();
+        self.cs.clear();
+        self.gate_acts.clear();
+        self.tanh_cs.clear();
     }
 
-    /// Number of cached (not yet backpropagated) timesteps.
+    /// Number of cached (not yet backpropagated) timesteps, whichever
+    /// path cached them.
     pub fn cached_steps(&self) -> usize {
-        self.cache.len()
+        self.cache.len().max(self.steps)
+    }
+
+    /// Read-only view of the trainable parameters `(wx, wh, b)` — used by
+    /// the reference-vs-optimized differential tests to assert bit
+    /// identity after training.
+    pub fn weights(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.wx, &self.wh, &self.b)
     }
 }
 
@@ -344,6 +587,70 @@ mod tests {
         cell.forward_step(&[1.0], &s);
         cell.clear_cache();
         assert_eq!(cell.cached_steps(), 0);
+    }
+
+    /// The optimized flat-workspace path must match the reference path
+    /// bit for bit — hidden states, input gradients and post-update
+    /// weights compared with `==` across several training rounds.
+    #[test]
+    fn flat_path_bit_identical_to_reference() {
+        for seed in [11u64, 42, 303] {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let mut reference = LstmCell::new(2, 8, 0.01, &mut r1);
+            let mut optimized = LstmCell::new(2, 8, 0.01, &mut r2);
+            let seq: Vec<[f64; 2]> = (0..6)
+                .map(|i| [(i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()])
+                .collect();
+            let mut dx_flat = Vec::new();
+            for round in 1..=5u64 {
+                let mut s_ref = LstmState::zeros(8);
+                let mut s_opt = LstmState::zeros(8);
+                for x in &seq {
+                    s_ref = reference.forward_step(x, &s_ref);
+                    optimized.forward_step_into(x, &mut s_opt);
+                    assert_eq!(s_opt.h, s_ref.h, "h drift seed={seed} round={round}");
+                    assert_eq!(s_opt.c, s_ref.c, "c drift seed={seed} round={round}");
+                }
+                // seed the loss at the last step only, like the models do
+                let mut dh_seq = vec![vec![0.0; 8]; seq.len()];
+                dh_seq[seq.len() - 1] = (0..8).map(|k| 0.1 * (k as f64 + 1.0)).collect();
+                let dh_flat: Vec<f64> = dh_seq.concat();
+                let dx_ref = reference.backward(&dh_seq);
+                optimized.backward_flat(&dh_flat, Some(&mut dx_flat));
+                assert_eq!(dx_flat, dx_ref.concat(), "dx drift seed={seed}");
+                reference.apply_grads(round);
+                optimized.apply_grads(round);
+                assert_eq!(
+                    optimized.weights(),
+                    reference.weights(),
+                    "weight drift seed={seed} round={round}"
+                );
+            }
+        }
+    }
+
+    /// `backward_flat(None)` must accumulate the same weight gradients as
+    /// with a dx output buffer — the skipped dx matvec feeds nothing else.
+    #[test]
+    fn backward_flat_without_dx_matches() {
+        let mut r1 = StdRng::seed_from_u64(6);
+        let mut r2 = StdRng::seed_from_u64(6);
+        let mut a = LstmCell::new(1, 4, 0.01, &mut r1);
+        let mut b = LstmCell::new(1, 4, 0.01, &mut r2);
+        let mut sa = LstmState::zeros(4);
+        let mut sb = LstmState::zeros(4);
+        for &x in &[0.2, -0.4, 0.6] {
+            a.forward_step_into(&[x], &mut sa);
+            b.forward_step_into(&[x], &mut sb);
+        }
+        let dh = vec![0.25; 12];
+        let mut dx = Vec::new();
+        a.backward_flat(&dh, Some(&mut dx));
+        b.backward_flat(&dh, None);
+        a.apply_grads(1);
+        b.apply_grads(1);
+        assert_eq!(a.weights(), b.weights());
     }
 
     #[test]

@@ -83,6 +83,15 @@ impl PredictorKind {
     /// Instantiates the predictor with its paper-default configuration and
     /// the given weight-initialization seed.
     pub fn build(self, seed: u64) -> Box<dyn LoadPredictor + Send> {
+        self.build_with(seed, false)
+    }
+
+    /// [`build`](Self::build) with an explicit NN-path selection: when
+    /// `reference_nn` is true the four neural models route through the
+    /// original per-step-allocating implementation instead of the flat
+    /// workspace one (bit-identical; exists for differential testing).
+    /// Classical models have a single implementation and ignore the flag.
+    pub fn build_with(self, seed: u64, reference_nn: bool) -> Box<dyn LoadPredictor + Send> {
         match self {
             PredictorKind::Mwa => Box::new(crate::classic::MovingWindowAverage::paper_default()),
             PredictorKind::Ewma => Box::new(crate::classic::Ewma::paper_default()),
@@ -92,14 +101,20 @@ impl PredictorKind {
             PredictorKind::LogisticRegression => {
                 Box::new(crate::classic::LogisticTrend::paper_default())
             }
-            PredictorKind::SimpleFeedForward => {
-                Box::new(crate::models::SimpleFfPredictor::paper_default(seed))
-            }
-            PredictorKind::WeaveNet => {
-                Box::new(crate::models::WeaveNetPredictor::paper_default(seed))
-            }
-            PredictorKind::DeepAr => Box::new(crate::models::DeepArPredictor::paper_default(seed)),
-            PredictorKind::Lstm => Box::new(crate::models::LstmPredictor::paper_default(seed)),
+            PredictorKind::SimpleFeedForward => Box::new(
+                crate::models::SimpleFfPredictor::paper_default(seed)
+                    .with_reference_nn(reference_nn),
+            ),
+            PredictorKind::WeaveNet => Box::new(
+                crate::models::WeaveNetPredictor::paper_default(seed)
+                    .with_reference_nn(reference_nn),
+            ),
+            PredictorKind::DeepAr => Box::new(
+                crate::models::DeepArPredictor::paper_default(seed).with_reference_nn(reference_nn),
+            ),
+            PredictorKind::Lstm => Box::new(
+                crate::models::LstmPredictor::paper_default(seed).with_reference_nn(reference_nn),
+            ),
         }
     }
 }

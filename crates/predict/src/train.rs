@@ -55,6 +55,14 @@ impl Scaler {
     pub fn transform_series(&self, series: &[f64]) -> Vec<f64> {
         series.iter().map(|&v| self.transform(v)).collect()
     }
+
+    /// Write-into form of [`transform_series`](Self::transform_series):
+    /// reuses the caller's buffer so per-forecast normalization stays
+    /// allocation-free.
+    pub fn transform_series_into(&self, series: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(series.iter().map(|&v| self.transform(v)));
+    }
 }
 
 /// Splits a series at the paper's 60% train boundary.

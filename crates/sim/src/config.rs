@@ -110,6 +110,12 @@ pub struct SimConfig {
     /// skeptical users) can check that end to end. Slower — O(Q) per
     /// dispatched task — and off by default.
     pub use_reference_scheduler: bool,
+    /// Build any neural predictor on the original per-step-allocating NN
+    /// implementation instead of the flat-workspace one. The two are
+    /// required to produce bit-identical runs; this flag exists so
+    /// differential tests (and skeptical users) can check that end to
+    /// end. Slower — per-timestep heap allocation — and off by default.
+    pub use_reference_nn: bool,
     /// Structured decision trace (ring capacity + optional JSONL export).
     /// Disabled by default; see [`crate::trace`].
     pub trace: TraceConfig,
@@ -150,6 +156,7 @@ impl SimConfig {
             min_warm_pool: 0,
             seed: 1,
             use_reference_scheduler: false,
+            use_reference_nn: false,
             trace: TraceConfig::default(),
             faults: FaultPlan::none(),
             audit: false,

@@ -134,7 +134,9 @@ impl<'a> Simulation<'a> {
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: SimConfig, stream: &'a JobStream) -> Self {
-        let rm = cfg.rm.build_rm(cfg.seed, &cfg.pretrain_series);
+        let rm = cfg
+            .rm
+            .build_rm_with(cfg.seed, &cfg.pretrain_series, cfg.use_reference_nn);
         Self::with_resource_manager(cfg, stream, rm)
     }
 
