@@ -1,6 +1,6 @@
 //! `bench` — perf-trajectory harness for the simulator hot path.
 //!
-//! Produces `BENCH_simulator.json` with three sections:
+//! Produces `BENCH_simulator.json` with four sections:
 //!
 //! 1. **dispatch** — drains a synthetic deep stage queue (default depth
 //!    10 000) through the indexed priority queue and through the
@@ -13,7 +13,14 @@
 //!    `events_per_sec` is computed against replay time only. RM
 //!    pre-training fans out across the thread pool; replays are timed
 //!    one at a time so wall-clocks stay uncontended.
-//! 3. **nn** — times the Fifer LSTM's pre-training and per-forecast cost
+//! 3. **sharded** — replays the same Table-4-scale run on the reference
+//!    serial event engine and on the sharded engine at shard counts
+//!    {1, 2, 4, 8, N} (N = one shard per core), reporting events/s, the
+//!    speedup over serial, and whether each sharded run's headline JSON
+//!    digest matched the serial baseline (it must — the engines are
+//!    bit-identical by construction). Bline is the measured RM so the
+//!    numbers isolate the event engine from predictor cost.
+//! 4. **nn** — times the Fifer LSTM's pre-training and per-forecast cost
 //!    on the replay's own training series, on both the flat-workspace
 //!    path and the reference per-step-allocating path (bit-identical by
 //!    construction; the differential suites prove it), and reports the
@@ -56,6 +63,23 @@ struct ReplayRow {
     slo_violation_fraction: f64,
 }
 
+struct ShardedRow {
+    shards: usize,
+    replay_s: f64,
+    events: u64,
+    digest: u64,
+    identical: bool,
+}
+
+struct ShardedSection {
+    rm: &'static str,
+    workers_available: usize,
+    serial_replay_s: f64,
+    serial_events: u64,
+    serial_digest: u64,
+    rows: Vec<ShardedRow>,
+}
+
 struct NnRow {
     series_len: usize,
     pretrain_ns: u128,
@@ -71,6 +95,11 @@ struct NnRow {
 const MIN_DISPATCH_SPEEDUP: f64 = 1.5;
 const MIN_FIFER_EVENTS_PER_SEC: f64 = 200_000.0;
 const MIN_NN_PRETRAIN_SPEEDUP: f64 = 1.05;
+/// Sharded-engine speedup over serial at 4 shards — enforced only when
+/// the machine actually has ≥ 4 cores (`workers_available`); the engine
+/// commits in one total order either way, so on smaller hosts the section
+/// still validates bit-identity, just not the scaling.
+const MIN_SHARDED_SPEEDUP_AT_4: f64 = 2.0;
 
 fn main() {
     let mut quick = false;
@@ -187,6 +216,28 @@ fn main() {
         });
     }
 
+    println!("\n## sharded engine: serial baseline vs shard counts (Bline replay)");
+    let sharded = sharded_bench(&spec_for(RmKind::Bline));
+    println!(
+        "serial: {:.2} s ({:.0} events/s)",
+        sharded.serial_replay_s,
+        sharded.serial_events as f64 / sharded.serial_replay_s,
+    );
+    for row in &sharded.rows {
+        println!(
+            "{:>2} shards: {:.2} s ({:.0} events/s, {:.2}x vs serial){}",
+            row.shards,
+            row.replay_s,
+            row.events as f64 / row.replay_s,
+            sharded.serial_replay_s / row.replay_s,
+            if row.identical {
+                ""
+            } else {
+                "  ** DIVERGED FROM SERIAL **"
+            },
+        );
+    }
+
     println!("\n## nn: Fifer LSTM pretrain + forecast, optimized vs reference");
     let nn = nn_bench(&spec_for(RmKind::Fifer));
     println!(
@@ -201,7 +252,9 @@ fn main() {
         nn.forecast_ns_per_call, nn.reference_forecast_ns_per_call, nn.forecast_calls,
     );
 
-    let json = render_json(quick, depth, reps, &dispatch, horizon_s, &replay, &nn);
+    let json = render_json(
+        quick, depth, reps, &dispatch, horizon_s, &replay, &sharded, &nn,
+    );
     if let Err(e) = write_file(&out, &json) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
@@ -222,6 +275,69 @@ fn main() {
                 std::process::exit(4);
             }
         }
+    }
+}
+
+/// FNV-1a over the headline JSON: a cheap, stable digest for the
+/// "identical to serial" check (full byte equality is what the
+/// differential test suites assert; the bench only needs a fingerprint).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Replays one spec on the serial engine and then on the sharded engine
+/// at shard counts {1, 2, 4, 8, one-per-core}, timing each replay and
+/// digesting each headline JSON against the serial baseline.
+fn sharded_bench(spec: &RunSpec) -> ShardedSection {
+    let run_engine = |serial: bool, shards: usize| -> (f64, u64, u64) {
+        let (mut cfg, stream) = spec.build_parts();
+        cfg.use_serial_engine = serial;
+        cfg.shards = shards;
+        let rm = cfg
+            .rm
+            .build_rm_with(cfg.seed, &cfg.pretrain_series, cfg.use_reference_nn);
+        let sim = Simulation::with_resource_manager(cfg, &stream, rm);
+        let t0 = Instant::now();
+        let r = sim.run();
+        (
+            t0.elapsed().as_secs_f64(),
+            r.events_processed,
+            fnv1a(r.to_json().as_bytes()),
+        )
+    };
+    let (serial_replay_s, serial_events, serial_digest) = run_engine(true, 0);
+    let mut counts: Vec<usize> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| fifer_sim::engine::resolve_shards(n))
+        .collect();
+    counts.push(fifer_sim::engine::resolve_shards(0)); // one per core
+    counts.sort_unstable();
+    counts.dedup();
+    let rows = counts
+        .into_iter()
+        .map(|shards| {
+            let (replay_s, events, digest) = run_engine(false, shards);
+            ShardedRow {
+                shards,
+                replay_s,
+                events,
+                digest,
+                identical: digest == serial_digest && events == serial_events,
+            }
+        })
+        .collect();
+    ShardedSection {
+        rm: "Bline",
+        workers_available: fifer_bench::pool::default_workers(),
+        serial_replay_s,
+        serial_events,
+        serial_digest,
+        rows,
     }
 }
 
@@ -275,6 +391,7 @@ fn render_json(
     dispatch: &[DispatchRow],
     horizon_s: f64,
     replay: &[ReplayRow],
+    sharded: &ShardedSection,
     nn: &NnRow,
 ) -> String {
     let mut s = String::from("{\n");
@@ -312,6 +429,29 @@ fn render_json(
             r.jobs,
             r.slo_violation_fraction,
             if i + 1 < replay.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    }\n  },\n");
+    s.push_str(&format!(
+        "  \"sharded\": {{\n    \"rm\": \"{}\",\n    \"workers_available\": {},\n    \"serial\": {{ \"replay_s\": {:.3}, \"events_processed\": {}, \"events_per_sec\": {:.0}, \"digest\": \"{:016x}\" }},\n    \"shard_counts\": {{\n",
+        sharded.rm,
+        sharded.workers_available,
+        sharded.serial_replay_s,
+        sharded.serial_events,
+        sharded.serial_events as f64 / sharded.serial_replay_s,
+        sharded.serial_digest,
+    ));
+    for (i, row) in sharded.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      \"{}\": {{ \"replay_s\": {:.3}, \"events_processed\": {}, \"events_per_sec\": {:.0}, \"speedup_vs_serial\": {:.2}, \"digest\": \"{:016x}\", \"identical_to_serial\": {} }}{}\n",
+            row.shards,
+            row.replay_s,
+            row.events,
+            row.events as f64 / row.replay_s,
+            sharded.serial_replay_s / row.replay_s,
+            row.digest,
+            row.identical,
+            if i + 1 < sharded.rows.len() { "," } else { "" },
         ));
     }
     s.push_str("    }\n  },\n");
@@ -376,6 +516,42 @@ fn validate(body: &str) -> Result<(), Vec<String>> {
                 "Fifer replay {eps:.0} events/s below floor {MIN_FIFER_EVENTS_PER_SEC:.0}"
             ));
         }
+    }
+    // sharded section: bit-identity is enforced unconditionally; the
+    // scaling floor only where the hardware can express it
+    let workers = num_at(&doc, &mut problems, "sharded.workers_available");
+    num_at(&doc, &mut problems, "sharded.serial.events_per_sec");
+    match doc.path("sharded.shard_counts") {
+        Some(counts @ Json::Obj(_)) => {
+            for key in counts.keys().unwrap_or_default() {
+                num_at(
+                    &doc,
+                    &mut problems,
+                    &format!("sharded.shard_counts.{key}.events_per_sec"),
+                );
+                match counts.path(&format!("{key}.identical_to_serial")) {
+                    Some(Json::Bool(true)) => {}
+                    other => problems.push(format!(
+                        "sharded run at {key} shards is not identical to serial (got {other:?})"
+                    )),
+                }
+            }
+            if workers.is_some_and(|w| w >= 4.0) {
+                match counts.path("4.speedup_vs_serial").and_then(Json::as_f64) {
+                    Some(speedup) if speedup < MIN_SHARDED_SPEEDUP_AT_4 => {
+                        problems.push(format!(
+                            "sharded speedup at 4 shards {speedup:.2} below floor {MIN_SHARDED_SPEEDUP_AT_4}"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => problems.push(
+                        "missing sharded.shard_counts.4.speedup_vs_serial on a >=4-core host"
+                            .to_string(),
+                    ),
+                }
+            }
+        }
+        _ => problems.push("missing object sharded.shard_counts".to_string()),
     }
     for field in [
         "series_len",

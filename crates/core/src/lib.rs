@@ -20,7 +20,10 @@
 //!   (`RmKind::build() -> Box<dyn ResourceManager>`), the read-only
 //!   [`policy::ClusterView`]/[`policy::StageView`] snapshots they consume,
 //!   and the typed [`policy::Decision`]s they emit,
-//! * [`features`] — the Table 6 feature matrix versus related work.
+//! * [`features`] — the Table 6 feature matrix versus related work,
+//! * [`pool`] — a std-only work-stealing thread pool shared by the
+//!   experiment runner (whole-simulation sweeps) and the simulator's
+//!   sharded event engine (intra-run phase work).
 //!
 //! The event-driven cluster substrate that executes these policies lives in
 //! the `fifer-sim` crate; keeping the policies pure makes every decision
@@ -42,6 +45,7 @@
 pub mod features;
 pub mod met;
 pub mod policy;
+pub mod pool;
 pub mod rm;
 pub mod scaling;
 pub mod scheduling;

@@ -25,17 +25,27 @@
 //!   (spawns, kills, failures, requeues, drops) reconcile with the
 //!   driver's totals that end up in the [`SimResult`](crate::SimResult).
 //!
-//! Cheap O(stages + nodes) checks run on every event; the full
-//! container-table scan runs every [`DEEP_SCAN_PERIOD`]th event and once
-//! more at the end of the run.
+//! Cheap O(stages + nodes) checks run on every event. The full
+//! container-table scan runs every [`DEEP_SCAN_PERIOD`]th event on the
+//! reference serial engine; on the sharded engine it runs at **epoch
+//! barriers** — monitor-tick commits, where all phase work has settled —
+//! which keeps `--audit` usable at the 50k-core scale (a per-64-event
+//! full scan over a 100k-container table would dominate the run). Both
+//! cadences deep-scan once more after the queue drains, and a clean run
+//! reports zero violations under either. Large deep scans are partitioned
+//! into contiguous container/stage ranges checked in parallel (per-shard
+//! local conservation) and merged in index order, so the worker count
+//! never changes the violation list.
 
-use crate::container::ContainerState;
+use crate::container::{Container, ContainerState};
 use crate::driver::Simulation;
-use crate::engine::Event;
+use crate::engine::{partition_ranges, EngineQueue, Event};
+use crate::stage::StageRuntime;
 use fifer_metrics::SimTime;
 
-/// Deep scans run every this-many audited events; cheap conservation
-/// checks run on every one. The final commit always deep-scans.
+/// On the serial engine, deep scans run every this-many audited events;
+/// cheap conservation checks run on every one. The final commit always
+/// deep-scans.
 const DEEP_SCAN_PERIOD: u64 = 64;
 
 /// Violation messages retained verbatim; past this only the count grows
@@ -69,7 +79,14 @@ impl Simulation<'_> {
         audit.checks += 1;
         let mut msgs = Vec::new();
         self.check_cheap(&mut msgs);
-        if audit.checks.is_multiple_of(DEEP_SCAN_PERIOD) {
+        // Serial engine: deep-scan on a fixed event cadence. Sharded
+        // engine: deep-scan at epoch barriers (monitor-tick commits),
+        // where every shard's queues and phase work have settled.
+        let deep = match &self.queue {
+            EngineQueue::Serial(_) => audit.checks.is_multiple_of(DEEP_SCAN_PERIOD),
+            EngineQueue::Sharded(_) => matches!(event, Event::MonitorTick),
+        };
+        if deep {
             self.check_deep(&mut msgs);
         }
         if !msgs.is_empty() {
@@ -173,44 +190,39 @@ impl Simulation<'_> {
 
     /// Full scan over the container table: per-node and per-stage resource
     /// accounting, dispatch safety, and request conservation.
+    ///
+    /// Large tables are scanned as contiguous id ranges checked in
+    /// parallel; partial tallies and messages merge in range order, so the
+    /// output is identical to a serial scan regardless of worker count.
     fn check_deep(&self, out: &mut Vec<String>) {
         let nodes = self.cluster.nodes();
-        let mut pods = vec![0usize; nodes.len()];
-        let mut executing = vec![0usize; nodes.len()];
-        let mut alive = 0usize;
-        let mut bound_total = 0usize;
+        let par = self.par_workers > 1 && self.containers.len() >= crate::accounting::PAR_SCAN_MIN;
 
-        for c in &self.containers {
-            match c.state {
-                ContainerState::Dead => {
-                    if c.executing.is_some() || !c.local_queue.is_empty() {
-                        out.push(format!("dead container {} still holds tasks", c.id));
-                    }
-                    continue;
-                }
-                ContainerState::ColdStarting { .. } => {
-                    if c.executing.is_some() {
-                        out.push(format!("container {} executes while cold-starting", c.id));
-                    }
-                }
-                ContainerState::Warm => {}
-            }
-            alive += 1;
-            pods[c.node] += 1;
-            bound_total += c.local_queue.len() + usize::from(c.executing.is_some());
-            if c.executing.is_some() {
-                executing[c.node] += 1;
-            }
-            if c.executing.is_some() != c.exec_until.is_some() {
-                out.push(format!(
-                    "container {}: exec_until out of sync with executing task",
-                    c.id
-                ));
-            }
-            if c.local_queue.len() + usize::from(c.executing.is_some()) > c.batch_size {
-                out.push(format!("container {} overfilled past its batch", c.id));
-            }
-        }
+        let scan = if par {
+            let containers = &self.containers;
+            let num_nodes = nodes.len();
+            let ranges = partition_ranges(containers.len(), self.par_workers);
+            let parts = fifer_core::pool::execute(ranges, self.par_workers, |r| {
+                scan_containers(&containers[r], num_nodes)
+            });
+            parts
+                .into_iter()
+                .reduce(|mut acc, p| {
+                    acc.merge(p);
+                    acc
+                })
+                .unwrap_or_else(|| ContainerScan::new(num_nodes))
+        } else {
+            scan_containers(&self.containers, nodes.len())
+        };
+        let ContainerScan {
+            msgs,
+            pods,
+            executing,
+            alive,
+            bound: bound_total,
+        } = scan;
+        out.extend(msgs);
 
         if alive != self.live_count {
             out.push(format!(
@@ -240,58 +252,24 @@ impl Simulation<'_> {
             }
         }
 
-        let mut listed = 0usize;
-        for (sidx, s) in self.stages.iter().enumerate() {
-            let mut free = 0usize;
-            let mut stage_exec = 0usize;
-            let mut seen = std::collections::BTreeSet::new();
-            for &id in &s.containers {
-                if !seen.insert(id) {
-                    out.push(format!("stage {sidx} lists container {id} twice"));
-                }
-                let c = &self.containers[id as usize];
-                if !c.is_alive() || c.stage != sidx {
-                    out.push(format!(
-                        "stage {sidx} lists container {id} that is dead or foreign"
-                    ));
-                    continue;
-                }
-                free += c.free_slots();
-                stage_exec += usize::from(c.executing.is_some());
+        let listed = if par {
+            let stages = &self.stages;
+            let containers = &self.containers;
+            let ranges = partition_ranges(stages.len(), self.par_workers);
+            let parts = fifer_core::pool::execute(ranges, self.par_workers, |r| {
+                scan_stages(&stages[r.clone()], r.start, containers)
+            });
+            let mut listed = 0usize;
+            for (msgs, n) in parts {
+                out.extend(msgs);
+                listed += n;
             }
-            listed += s.containers.len();
-            if free != s.total_free_slots() {
-                out.push(format!(
-                    "stage {sidx}: free-slot index {} != scan {}",
-                    s.total_free_slots(),
-                    free
-                ));
-            }
-            if stage_exec != s.executing {
-                out.push(format!(
-                    "stage {sidx}: executing counter {} != scan {}",
-                    s.executing, stage_exec
-                ));
-            }
-            // per-stage task ledger: everything that entered the queue is
-            // pending, bound, executed, or was lost to a fault
-            let bound_in_stage: usize = s
-                .containers
-                .iter()
-                .map(|&id| {
-                    let c = &self.containers[id as usize];
-                    c.local_queue.len() + usize::from(c.executing.is_some())
-                })
-                .sum();
-            let entered = s.arrivals + s.requeued;
-            let accounted = s.tasks_executed + s.lost + s.pending() as u64 + bound_in_stage as u64;
-            if entered != accounted {
-                out.push(format!(
-                    "stage {sidx}: {} tasks entered but {} accounted",
-                    entered, accounted
-                ));
-            }
-        }
+            listed
+        } else {
+            let (msgs, listed) = scan_stages(&self.stages, 0, &self.containers);
+            out.extend(msgs);
+            listed
+        };
         if listed != alive {
             out.push(format!(
                 "stage container lists hold {listed} entries but {alive} containers are alive"
@@ -313,6 +291,149 @@ impl Simulation<'_> {
             ));
         }
     }
+}
+
+/// Tallies from one contiguous slice of the container table. Partials
+/// from different slices merge by elementwise addition (and message
+/// concatenation in slice order), so any partition of the table yields
+/// the same whole.
+struct ContainerScan {
+    msgs: Vec<String>,
+    pods: Vec<usize>,
+    executing: Vec<usize>,
+    alive: usize,
+    bound: usize,
+}
+
+impl ContainerScan {
+    fn new(num_nodes: usize) -> Self {
+        ContainerScan {
+            msgs: Vec::new(),
+            pods: vec![0; num_nodes],
+            executing: vec![0; num_nodes],
+            alive: 0,
+            bound: 0,
+        }
+    }
+
+    fn merge(&mut self, other: ContainerScan) {
+        self.msgs.extend(other.msgs);
+        for (a, b) in self.pods.iter_mut().zip(other.pods) {
+            *a += b;
+        }
+        for (a, b) in self.executing.iter_mut().zip(other.executing) {
+            *a += b;
+        }
+        self.alive += other.alive;
+        self.bound += other.bound;
+    }
+}
+
+/// Dispatch-safety and per-node tallies over one slice of the container
+/// table (messages reference container ids, so slicing never changes
+/// them).
+fn scan_containers(containers: &[Container], num_nodes: usize) -> ContainerScan {
+    let mut scan = ContainerScan::new(num_nodes);
+    for c in containers {
+        match c.state {
+            ContainerState::Dead => {
+                if c.executing.is_some() || !c.local_queue.is_empty() {
+                    scan.msgs
+                        .push(format!("dead container {} still holds tasks", c.id));
+                }
+                continue;
+            }
+            ContainerState::ColdStarting { .. } => {
+                if c.executing.is_some() {
+                    scan.msgs
+                        .push(format!("container {} executes while cold-starting", c.id));
+                }
+            }
+            ContainerState::Warm => {}
+        }
+        scan.alive += 1;
+        scan.pods[c.node] += 1;
+        scan.bound += c.local_queue.len() + usize::from(c.executing.is_some());
+        if c.executing.is_some() {
+            scan.executing[c.node] += 1;
+        }
+        if c.executing.is_some() != c.exec_until.is_some() {
+            scan.msgs.push(format!(
+                "container {}: exec_until out of sync with executing task",
+                c.id
+            ));
+        }
+        if c.local_queue.len() + usize::from(c.executing.is_some()) > c.batch_size {
+            scan.msgs
+                .push(format!("container {} overfilled past its batch", c.id));
+        }
+    }
+    scan
+}
+
+/// Per-stage index/ledger checks over `stages[base..base + stages.len()]`
+/// of the stage table; returns the violation messages and the number of
+/// stage-listed containers seen.
+fn scan_stages(
+    stages: &[StageRuntime],
+    base: usize,
+    containers: &[Container],
+) -> (Vec<String>, usize) {
+    let mut out = Vec::new();
+    let mut listed = 0usize;
+    for (off, s) in stages.iter().enumerate() {
+        let sidx = base + off;
+        let mut free = 0usize;
+        let mut stage_exec = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in &s.containers {
+            if !seen.insert(id) {
+                out.push(format!("stage {sidx} lists container {id} twice"));
+            }
+            let c = &containers[id as usize];
+            if !c.is_alive() || c.stage != sidx {
+                out.push(format!(
+                    "stage {sidx} lists container {id} that is dead or foreign"
+                ));
+                continue;
+            }
+            free += c.free_slots();
+            stage_exec += usize::from(c.executing.is_some());
+        }
+        listed += s.containers.len();
+        if free != s.total_free_slots() {
+            out.push(format!(
+                "stage {sidx}: free-slot index {} != scan {}",
+                s.total_free_slots(),
+                free
+            ));
+        }
+        if stage_exec != s.executing {
+            out.push(format!(
+                "stage {sidx}: executing counter {} != scan {}",
+                s.executing, stage_exec
+            ));
+        }
+        // per-stage task ledger: everything that entered the queue is
+        // pending, bound, executed, or was lost to a fault
+        let bound_in_stage: usize = s
+            .containers
+            .iter()
+            .map(|&id| {
+                let c = &containers[id as usize];
+                c.local_queue.len() + usize::from(c.executing.is_some())
+            })
+            .sum();
+        let entered = s.arrivals + s.requeued;
+        let accounted = s.tasks_executed + s.lost + s.pending() as u64 + bound_in_stage as u64;
+        if entered != accounted {
+            out.push(format!(
+                "stage {sidx}: {} tasks entered but {} accounted",
+                entered, accounted
+            ));
+        }
+    }
+    (out, listed)
 }
 
 #[cfg(test)]

@@ -120,31 +120,27 @@ impl Cluster {
     /// no node fits. Does not allocate; call [`Cluster::place`] with the
     /// returned index.
     pub fn select_node(&self, placement: NodePlacement) -> Option<usize> {
-        let fits =
-            |n: &&(usize, &Node)| n.1.up && n.1.fits(self.container_cpu, self.container_mem_gb);
-        let indexed: Vec<(usize, &Node)> = self.nodes.iter().enumerate().collect();
-        match placement {
-            NodePlacement::GreedyBinPack => indexed
-                .iter()
-                .filter(fits)
-                .min_by(|a, b| {
-                    a.1.available_cpu()
-                        .partial_cmp(&b.1.available_cpu())
-                        .expect("finite cpu")
-                        .then(a.0.cmp(&b.0))
-                })
-                .map(|(i, _)| *i),
-            NodePlacement::Spread => indexed
-                .iter()
-                .filter(fits)
-                .max_by(|a, b| {
-                    a.1.available_cpu()
-                        .partial_cmp(&b.1.available_cpu())
-                        .expect("finite cpu")
-                        .then(b.0.cmp(&a.0))
-                })
-                .map(|(i, _)| *i),
+        // allocation-free scan: this runs on every spawn, which at the
+        // 50k-core scale means thousands of nodes visited millions of
+        // times. Ties on available CPU break toward the lowest index for
+        // both policies (keep-first below), matching the reference
+        // min/max-with-index-tie-break semantics exactly.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.up || !n.fits(self.container_cpu, self.container_mem_gb) {
+                continue;
+            }
+            let cpu = n.available_cpu();
+            let better = match (placement, best) {
+                (_, None) => true,
+                (NodePlacement::GreedyBinPack, Some((b, _))) => cpu < b,
+                (NodePlacement::Spread, Some((b, _))) => cpu > b,
+            };
+            if better {
+                best = Some((cpu, i));
+            }
         }
+        best.map(|(_, i)| i)
     }
 
     /// Allocates one container on `node`.

@@ -116,6 +116,21 @@ pub struct SimConfig {
     /// differential tests (and skeptical users) can check that end to
     /// end. Slower — per-timestep heap allocation — and off by default.
     pub use_reference_nn: bool,
+    /// Event-engine shard count: `0` (the default) auto-sizes to one shard
+    /// per available core; any other value is clamped to
+    /// `[1, MAX_SHARDS]`(crate::engine::MAX_SHARDS). Shards partition the
+    /// pending-event set and bound the worker count for parallel phase
+    /// work (idle scans, audit deep scans); every shard count produces
+    /// bit-identical results — the engine commits events in one global
+    /// `(time, seq)` total order regardless. See [`crate::engine`].
+    pub shards: usize,
+    /// Run on the reference serial event engine
+    /// ([`EventQueue`](crate::engine::EventQueue)) instead of the sharded
+    /// one. The two are required to produce bit-identical runs; this flag
+    /// exists so differential tests (and skeptical users) can check that
+    /// end to end, mirroring `use_reference_scheduler`/`use_reference_nn`.
+    /// Off by default.
+    pub use_serial_engine: bool,
     /// Structured decision trace (ring capacity + optional JSONL export).
     /// Disabled by default; see [`crate::trace`].
     pub trace: TraceConfig,
@@ -157,6 +172,8 @@ impl SimConfig {
             seed: 1,
             use_reference_scheduler: false,
             use_reference_nn: false,
+            shards: 0,
+            use_serial_engine: false,
             trace: TraceConfig::default(),
             faults: FaultPlan::none(),
             audit: false,
@@ -231,6 +248,16 @@ mod tests {
     fn large_scale_is_about_2500_cores() {
         let c = ClusterConfig::large_scale();
         assert!((2400.0..=2600.0).contains(&c.total_cores()));
+    }
+
+    #[test]
+    fn engine_knobs_default_to_auto_sharded() {
+        let cfg = SimConfig::prototype(RmKind::Bline.config(), 50.0);
+        assert_eq!(cfg.shards, 0, "0 means one shard per core");
+        assert!(!cfg.use_serial_engine, "sharded engine is the default");
+        let large = SimConfig::large_scale(RmKind::Fifer.config(), 50.0);
+        assert_eq!(large.shards, 0);
+        assert!(!large.use_serial_engine);
     }
 
     #[test]

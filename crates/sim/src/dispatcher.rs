@@ -181,7 +181,8 @@ impl Simulation<'_> {
             // the crash lands partway through the execution, replacing the
             // finish event outright (the task never completes here)
             let frac = self.fault_rng.gen_range(0.05..0.95);
-            self.queue.schedule(
+            self.queue.schedule_owned(
+                cid as usize,
                 now + exec.mul_f64(frac),
                 Event::ContainerCrash {
                     container: cid,
@@ -189,8 +190,11 @@ impl Simulation<'_> {
                 },
             );
         } else {
-            self.queue
-                .schedule(now + exec, Event::TaskFinish { container: cid });
+            self.queue.schedule_owned(
+                cid as usize,
+                now + exec,
+                Event::TaskFinish { container: cid },
+            );
         }
     }
 }

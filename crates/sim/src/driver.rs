@@ -33,7 +33,7 @@ use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::container::Container;
 use crate::energy::{EnergyMeter, PowerModel};
-use crate::engine::{Event, EventQueue};
+use crate::engine::{resolve_shards, EngineQueue, Event, EventQueue, ShardedEventQueue};
 use crate::fault::FaultKind;
 use crate::results::SimResult;
 use crate::stage::{StageRuntime, StageTask};
@@ -53,7 +53,13 @@ pub use crate::accounting::window_max_series;
 pub struct Simulation<'a> {
     pub(crate) cfg: SimConfig,
     pub(crate) stream: &'a JobStream,
-    pub(crate) queue: EventQueue,
+    pub(crate) queue: EngineQueue,
+    /// Worker threads for parallel phase work (idle scans, audit deep
+    /// scans): the shard count capped by available cores, 1 on the serial
+    /// engine. Purely a performance knob — partitioned phases merge their
+    /// results in deterministic index order, so any worker count produces
+    /// identical output.
+    pub(crate) par_workers: usize,
     pub(crate) rng: StdRng,
     /// Separate RNG for fault draws, so the workload's stochastic path
     /// (exec jitter, early exits) is bit-identical with and without an
@@ -187,10 +193,21 @@ impl<'a> Simulation<'a> {
         let slo = SloAccountant::new(cfg.slo);
         let slo_whole_run = SloAccountant::new(cfg.slo);
         let trace = SimTrace::new(cfg.trace.capacity);
+        let (queue, par_workers) = if cfg.use_serial_engine {
+            (EngineQueue::Serial(EventQueue::new()), 1)
+        } else {
+            let shards = resolve_shards(cfg.shards);
+            let workers = shards.min(fifer_core::pool::default_workers());
+            (
+                EngineQueue::Sharded(ShardedEventQueue::new(shards)),
+                workers,
+            )
+        };
         Simulation {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xF1FE_F1FE),
             fault_rng: StdRng::seed_from_u64(cfg.faults.seed ^ cfg.seed ^ 0xFA17_FA17),
-            queue: EventQueue::new(),
+            queue,
+            par_workers,
             cluster,
             containers: Vec::new(),
             stages,
@@ -264,9 +281,12 @@ impl<'a> Simulation<'a> {
         self.stage_views = views;
         self.decisions = out;
 
+        // arrivals are a static, time-ordered run: the sharded engine
+        // stores them as per-shard sorted slabs read through cursors (O(1)
+        // per event) instead of heaping the entire stream up front
         for (i, job) in self.stream.iter().enumerate() {
             self.queue
-                .schedule(job.arrival, Event::JobArrival { job: i });
+                .preload_arrival(job.arrival, Event::JobArrival { job: i });
         }
         if !self.stream.is_empty() {
             if self.rm.wants_reactive_ticks() {
@@ -455,8 +475,11 @@ impl<'a> Simulation<'a> {
             // part of the chain's runtime, not queuing
             j.breakdown.exec += overhead;
             self.in_transition += 1;
-            self.queue
-                .schedule(now + overhead, Event::StageEnqueue { job: task.job });
+            self.queue.schedule_owned(
+                task.job,
+                now + overhead,
+                Event::StageEnqueue { job: task.job },
+            );
         }
 
         // keep the container busy: its local queue first (mechanism), then

@@ -1,10 +1,38 @@
 //! The discrete-event engine: a time-ordered event queue with a
-//! deterministic tie-break sequence number.
+//! deterministic tie-break sequence number, in two interchangeable
+//! implementations.
+//!
+//! [`EventQueue`] is the reference serial engine: one binary heap over
+//! every pending event. [`ShardedEventQueue`] partitions the pending set
+//! across shards — each shard owns a pre-sorted arrival run (consumed by
+//! cursor, so the bulk of a replay never touches a heap) plus a small heap
+//! for dynamically scheduled events — and commits events by merging the
+//! shard heads in `(time, seq)` order. Sequence numbers are assigned from
+//! one global counter at schedule time, so the merged order is the *exact*
+//! total order the serial engine produces: every run is bit-identical
+//! across engines and shard counts by construction (see DESIGN.md §12 for
+//! the determinism argument). Cross-shard schedules land in the owning
+//! shard's exchange heap and are counted, never reordered.
 
 use crate::fault::FaultKind;
 use fifer_metrics::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Hard cap on the shard count: beyond this the per-event head merge
+/// costs more than any queue-locality win.
+pub const MAX_SHARDS: usize = 64;
+
+/// Resolves a configured shard count: `0` (auto) means one shard per
+/// available core, clamped to `[1, MAX_SHARDS]`.
+pub fn resolve_shards(requested: usize) -> usize {
+    let n = if requested == 0 {
+        fifer_core::pool::default_workers()
+    } else {
+        requested
+    };
+    n.clamp(1, MAX_SHARDS)
+}
 
 /// Events the simulator processes. Variants carry indices into the
 /// driver's tables rather than references, keeping the queue `'static`.
@@ -139,6 +167,331 @@ impl EventQueue {
     }
 }
 
+/// Splits `len` items into at most `parts` contiguous, near-equal ranges.
+/// Deterministic in its inputs: phase scans partitioned this way merge
+/// their per-range results back in index order, so the worker count never
+/// changes the merged output.
+pub(crate) fn partition_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Which shard owns an event. Routing affects only *where* a pending
+/// event is stored (queue locality), never *when* it commits — the merge
+/// is a total order over `(time, seq)` regardless — so a cheap modulo
+/// over the event's subject is enough: jobs, containers and nodes spread
+/// round-robin, engine ticks live on shard 0.
+fn owner_shard(event: &Event, shards: usize) -> usize {
+    match *event {
+        Event::JobArrival { job } | Event::StageEnqueue { job } => job % shards,
+        Event::TaskFinish { container }
+        | Event::ContainerWarm { container }
+        | Event::ContainerCrash { container, .. } => container as usize % shards,
+        Event::NodeDown { node } | Event::NodeUp { node } => node % shards,
+        Event::ReactiveTick | Event::MonitorTick => 0,
+    }
+}
+
+/// One shard's pending events: the static arrival run (pre-sorted, read
+/// through a cursor in O(1) per event) and the dynamic exchange heap that
+/// receives everything scheduled mid-run.
+#[derive(Debug, Default)]
+struct ShardQueue {
+    arrivals: Vec<Scheduled>,
+    cursor: usize,
+    heap: BinaryHeap<Scheduled>,
+}
+
+impl ShardQueue {
+    /// The shard-local minimum `(time, seq)` key, if any event is pending.
+    fn head_key(&self) -> Option<(SimTime, u64)> {
+        let a = self.arrivals.get(self.cursor).map(|s| (s.at, s.seq));
+        let h = self.heap.peek().map(|s| (s.at, s.seq));
+        match (a, h) {
+            (Some(a), Some(h)) => Some(a.min(h)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// Pops the shard-local earliest event.
+    fn pop_head(&mut self) -> Option<Scheduled> {
+        let from_arrivals = match (self.arrivals.get(self.cursor), self.heap.peek()) {
+            (Some(a), Some(h)) => (a.at, a.seq) < (h.at, h.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if from_arrivals {
+            let s = self.arrivals[self.cursor];
+            self.cursor += 1;
+            Some(s)
+        } else {
+            self.heap.pop()
+        }
+    }
+}
+
+/// The sharded event engine: per-shard queues committed in one global
+/// `(time, seq)` total order.
+///
+/// Bit-identity with [`EventQueue`] holds by construction: sequence
+/// numbers come from a single counter shared by every shard, assigned in
+/// schedule-call order — which the serialized commit loop makes identical
+/// across engines — and [`ShardedEventQueue::pop`] always yields the
+/// global minimum over the shard heads. The shard count therefore changes
+/// the storage layout and the available phase parallelism, never a single
+/// simulation outcome.
+#[derive(Debug)]
+pub struct ShardedEventQueue {
+    shards: Vec<ShardQueue>,
+    next_seq: u64,
+    now: SimTime,
+    len: usize,
+    /// Shard of the most recently committed event (`None` before the
+    /// first pop, i.e. during startup scheduling).
+    draining: Option<usize>,
+    cross_shard_events: u64,
+}
+
+impl ShardedEventQueue {
+    /// Creates an empty engine with `shards` shards (clamped to at least
+    /// one) at time zero.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        ShardedEventQueue {
+            shards: (0..shards).map(|_| ShardQueue::default()).collect(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            len: 0,
+            draining: None,
+            cross_shard_events: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events scheduled while a *different* shard's event was committing —
+    /// the cross-shard exchange traffic (job handoffs across stage shards,
+    /// tick-driven spawns, fault events landing on remote containers).
+    pub fn cross_shard_events(&self) -> u64 {
+        self.cross_shard_events
+    }
+
+    /// Appends one event to its owner shard's static arrival run. Only
+    /// valid before the first [`Self::pop`], and calls must come in
+    /// non-decreasing time order (job streams are arrival-ordered), which
+    /// keeps each shard's run sorted by `(time, seq)` as a subsequence of
+    /// the global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after draining started or out of time order.
+    pub fn preload_arrival(&mut self, at: SimTime, event: Event) {
+        assert!(
+            self.draining.is_none(),
+            "arrival preload after draining started"
+        );
+        let shard = owner_shard(&event, self.shards.len());
+        let run = &mut self.shards[shard].arrivals;
+        assert!(
+            run.last().is_none_or(|p| p.at <= at),
+            "arrival preload out of time order"
+        );
+        run.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    /// Schedules `event` at absolute time `at`, routing it to its owner
+    /// shard's exchange heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let shard = owner_shard(&event, self.shards.len());
+        self.push_dynamic(shard, at, event);
+    }
+
+    /// Schedules `event` on the shard owning subject id `owner` (container
+    /// id, job index, node index) — the fast path for call sites that
+    /// already know the owner and need not re-derive it from the event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_owned(&mut self, owner: usize, at: SimTime, event: Event) {
+        let shard = owner % self.shards.len();
+        debug_assert_eq!(shard, owner_shard(&event, self.shards.len()));
+        self.push_dynamic(shard, at, event);
+    }
+
+    fn push_dynamic(&mut self, shard: usize, at: SimTime, event: Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.shards[shard].heap.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+        self.len += 1;
+        if self.draining.is_some_and(|d| d != shard) {
+            self.cross_shard_events += 1;
+        }
+    }
+
+    /// Pops the globally earliest event — the minimum `(time, seq)` over
+    /// every shard head — advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (i, sq) in self.shards.iter().enumerate() {
+            if let Some(k) = sq.head_key() {
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let (shard, _) = best?;
+        let s = self.shards[shard].pop_head().expect("head key was present");
+        debug_assert!(s.at >= self.now, "shard yielded an out-of-order event");
+        self.now = s.at;
+        self.len -= 1;
+        self.draining = Some(shard);
+        Some((s.at, s.event))
+    }
+
+    /// Number of pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The engine behind one simulation run: the reference serial heap or the
+/// sharded queue set. The driver talks to this enum only; the
+/// [`SimConfig::use_serial_engine`](crate::config::SimConfig) differential
+/// flag picks the variant.
+#[derive(Debug)]
+pub enum EngineQueue {
+    /// The reference single-heap engine.
+    Serial(EventQueue),
+    /// The sharded engine (any shard count, including 1).
+    Sharded(ShardedEventQueue),
+}
+
+impl EngineQueue {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            EngineQueue::Serial(q) => q.now(),
+            EngineQueue::Sharded(q) => q.now(),
+        }
+    }
+
+    /// Schedules `event` at `at` (routing by event content when sharded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        match self {
+            EngineQueue::Serial(q) => q.schedule(at, event),
+            EngineQueue::Sharded(q) => q.schedule(at, event),
+        }
+    }
+
+    /// Schedules `event` with a known owner subject id (ignored by the
+    /// serial engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_owned(&mut self, owner: usize, at: SimTime, event: Event) {
+        match self {
+            EngineQueue::Serial(q) => q.schedule(at, event),
+            EngineQueue::Sharded(q) => q.schedule_owned(owner, at, event),
+        }
+    }
+
+    /// Preloads one arrival (sorted-run fast path when sharded, a plain
+    /// schedule when serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order preloads (sharded) or past times.
+    pub fn preload_arrival(&mut self, at: SimTime, event: Event) {
+        match self {
+            EngineQueue::Serial(q) => q.schedule(at, event),
+            EngineQueue::Sharded(q) => q.preload_arrival(at, event),
+        }
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            EngineQueue::Serial(q) => q.pop(),
+            EngineQueue::Sharded(q) => q.pop(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EngineQueue::Serial(q) => q.len(),
+            EngineQueue::Sharded(q) => q.len(),
+        }
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard count (1 for the serial engine).
+    pub fn shards(&self) -> usize {
+        match self {
+            EngineQueue::Serial(_) => 1,
+            EngineQueue::Sharded(q) => q.shards(),
+        }
+    }
+
+    /// Cross-shard exchange events (0 for the serial engine).
+    pub fn cross_shard_events(&self) -> u64 {
+        match self {
+            EngineQueue::Serial(_) => 0,
+            EngineQueue::Sharded(q) => q.cross_shard_events(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +561,154 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    /// A deterministic but irregular schedule workload: preloaded arrivals
+    /// plus dynamic events scheduled while draining (some into the future,
+    /// some at `now`), exercising ties and cross-shard pushes.
+    fn drive<S, P, D>(mut schedule: S, mut preload: P, mut pop: D) -> Vec<(SimTime, Event)>
+    where
+        S: FnMut(SimTime, Event),
+        P: FnMut(SimTime, Event),
+        D: FnMut() -> Option<(SimTime, Event)>,
+    {
+        for j in 0..40usize {
+            preload(
+                SimTime::from_millis(100 * (j as u64 / 4)),
+                Event::JobArrival { job: j },
+            );
+        }
+        schedule(SimTime::from_millis(250), Event::ReactiveTick);
+        schedule(SimTime::from_millis(500), Event::MonitorTick);
+        let mut order = Vec::new();
+        let mut spawned = 0u64;
+        while let Some((t, e)) = pop() {
+            order.push((t, e));
+            if let Event::JobArrival { job } = e {
+                // fan out: each arrival schedules work owned by another id
+                schedule(
+                    t + fifer_metrics::SimDuration::from_millis(37 * (job as u64 % 5) + 1),
+                    Event::TaskFinish {
+                        container: spawned * 3 + 1,
+                    },
+                );
+                spawned += 1;
+                if job % 7 == 0 {
+                    schedule(t, Event::ContainerWarm { container: spawned });
+                }
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn sharded_commit_order_is_bit_identical_to_serial_at_any_shard_count() {
+        let serial = {
+            let mut q = EventQueue::new();
+            let qs = std::cell::RefCell::new(&mut q);
+            drive(
+                |t, e| qs.borrow_mut().schedule(t, e),
+                |t, e| qs.borrow_mut().schedule(t, e),
+                || qs.borrow_mut().pop(),
+            )
+        };
+        for shards in [1, 2, 3, 7, MAX_SHARDS] {
+            let mut q = ShardedEventQueue::new(shards);
+            let qs = std::cell::RefCell::new(&mut q);
+            let order = drive(
+                |t, e| qs.borrow_mut().schedule(t, e),
+                |t, e| qs.borrow_mut().preload_arrival(t, e),
+                || qs.borrow_mut().pop(),
+            );
+            assert_eq!(order, serial, "{shards} shards must replay serial order");
+        }
+    }
+
+    #[test]
+    fn sharded_counts_cross_shard_exchange() {
+        let mut q = ShardedEventQueue::new(4);
+        q.preload_arrival(secs(1), Event::JobArrival { job: 0 }); // shard 0
+        assert_eq!(q.cross_shard_events(), 0, "preloads are not exchanges");
+        q.pop();
+        // draining shard 0: same-shard push is free, remote push is counted
+        q.schedule(secs(2), Event::TaskFinish { container: 4 }); // shard 0
+        assert_eq!(q.cross_shard_events(), 0);
+        q.schedule(secs(2), Event::TaskFinish { container: 5 }); // shard 1
+        assert_eq!(q.cross_shard_events(), 1);
+        q.schedule_owned(7, secs(2), Event::ContainerWarm { container: 7 });
+        assert_eq!(q.cross_shard_events(), 2);
+    }
+
+    #[test]
+    fn sharded_len_tracks_all_shards() {
+        let mut q = ShardedEventQueue::new(3);
+        assert!(q.is_empty());
+        q.preload_arrival(secs(1), Event::JobArrival { job: 0 });
+        q.preload_arrival(secs(1), Event::JobArrival { job: 1 });
+        q.schedule(secs(3), Event::MonitorTick);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0, secs(1));
+        assert_eq!(q.len(), 2);
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn sharded_rejects_scheduling_into_the_past() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule(secs(5), Event::MonitorTick);
+        q.pop();
+        q.schedule(secs(1), Event::ReactiveTick);
+    }
+
+    #[test]
+    #[should_panic(expected = "preload after draining")]
+    fn sharded_rejects_late_preloads() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule(secs(1), Event::MonitorTick);
+        q.pop();
+        q.preload_arrival(secs(2), Event::JobArrival { job: 0 });
+    }
+
+    #[test]
+    fn partition_ranges_cover_exactly_once() {
+        for (len, parts) in [(0, 4), (1, 4), (7, 3), (100, 8), (5, 64)] {
+            let ranges = partition_ranges(len, parts);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "ranges must be contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "ranges must cover every index");
+            assert!(ranges.len() <= parts.max(1));
+        }
+    }
+
+    #[test]
+    fn resolve_shards_clamps_and_autodetects() {
+        assert!(resolve_shards(0) >= 1);
+        assert!(resolve_shards(0) <= MAX_SHARDS);
+        assert_eq!(resolve_shards(3), 3);
+        assert_eq!(resolve_shards(1_000_000), MAX_SHARDS);
+    }
+
+    #[test]
+    fn engine_queue_dispatches_to_both_variants() {
+        for mut q in [
+            EngineQueue::Serial(EventQueue::new()),
+            EngineQueue::Sharded(ShardedEventQueue::new(2)),
+        ] {
+            q.preload_arrival(secs(1), Event::JobArrival { job: 3 });
+            q.schedule(secs(2), Event::MonitorTick);
+            q.schedule_owned(9, secs(2), Event::TaskFinish { container: 9 });
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop(), Some((secs(1), Event::JobArrival { job: 3 })));
+            assert_eq!(q.now(), secs(1));
+            assert!(!q.is_empty());
+            assert!(q.shards() >= 1);
+            let _ = q.cross_shard_events();
+        }
     }
 }

@@ -9,6 +9,13 @@
 //! they always reconcile with [`SimResult`](crate::results::SimResult)
 //! totals even after the ring wraps.
 //!
+//! Every recorded event carries a **global sequence number** assigned at
+//! commit time from one monotonic counter. Because the engine commits
+//! events in a single `(time, seq)` total order regardless of shard
+//! count, the sequence numbers — and therefore the JSONL export — are
+//! stable across the serial engine and every sharded configuration: a
+//! merged trace replays in exactly one deterministic order.
+//!
 //! Tracing is configured via [`TraceConfig`] on
 //! [`SimConfig`](crate::config::SimConfig) and is zero-cost when disabled:
 //! `SimTrace::record` takes a closure and returns before evaluating it.
@@ -246,7 +253,11 @@ impl SimEvent {
 pub struct SimTrace {
     enabled: bool,
     capacity: usize,
-    ring: VecDeque<SimEvent>,
+    ring: VecDeque<(u64, SimEvent)>,
+    /// Commit-ordered sequence number for the next recorded event. Never
+    /// reset, so retained events keep their global position even after
+    /// the ring wraps.
+    next_seq: u64,
     /// Events evicted from the ring after it filled.
     pub dropped: u64,
     /// Lifetime container spawns (reconciles with `SimResult::total_spawns`).
@@ -284,8 +295,9 @@ impl SimTrace {
         self.enabled
     }
 
-    /// Records an event. The closure is only evaluated when tracing is
-    /// enabled, so disabled runs pay one branch per call site.
+    /// Records an event, stamping it with the next global sequence
+    /// number. The closure is only evaluated when tracing is enabled, so
+    /// disabled runs pay one branch per call site.
     #[inline]
     pub(crate) fn record(&mut self, event: impl FnOnce() -> SimEvent) {
         if !self.enabled {
@@ -295,12 +307,20 @@ impl SimTrace {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(event());
+        self.ring.push_back((self.next_seq, event()));
+        self.next_seq += 1;
     }
 
     /// Retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
-        self.ring.iter()
+        self.ring.iter().map(|(_, e)| e)
+    }
+
+    /// Retained events with their global commit sequence numbers, oldest
+    /// first. Sequence numbers are stable across engine variants and
+    /// shard counts.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &SimEvent)> {
+        self.ring.iter().map(|(s, e)| (*s, e))
     }
 
     /// Number of retained events (≤ capacity).
@@ -313,11 +333,13 @@ impl SimTrace {
         self.ring.is_empty()
     }
 
-    /// The retained events as JSON Lines (one object per line).
+    /// The retained events as JSON Lines (one object per line), each
+    /// prefixed with its global commit sequence number.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for e in &self.ring {
-            out.push_str(&e.to_json());
+        for (seq, e) in &self.ring {
+            let body = e.to_json();
+            out.push_str(&format!("{{\"seq\":{seq},{}", &body[1..]));
             out.push('\n');
         }
         out
@@ -385,12 +407,25 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"event\":\"spawn\",\"at_s\":1,\"cause\":\"reactive_tick\",\"container\":0,\"stage\":0,\"node\":1}"
+            "{\"seq\":0,\"event\":\"spawn\",\"at_s\":1,\"cause\":\"reactive_tick\",\"container\":0,\"stage\":0,\"node\":1}"
         );
         assert_eq!(
             lines[1],
-            "{\"event\":\"dispatch\",\"at_s\":2,\"cause\":\"arrival\",\"stage\":3,\"tasks\":4}"
+            "{\"seq\":1,\"event\":\"dispatch\",\"at_s\":2,\"cause\":\"arrival\",\"stage\":3,\"tasks\":4}"
         );
+    }
+
+    #[test]
+    fn sequence_numbers_survive_ring_wrap() {
+        let mut t = SimTrace::new(2);
+        for i in 0..5 {
+            t.record(|| spawn_at(i, i));
+        }
+        // the ring kept the last two events, still carrying their global
+        // commit positions (3 and 4), not ring-local indices
+        let seqs: Vec<u64> = t.entries().map(|(s, _)| s).collect();
+        assert_eq!(seqs, [3, 4]);
+        assert!(t.to_jsonl().starts_with("{\"seq\":3,"));
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Differential tests for the two event engines: the sharded parallel
+//! engine (`use_serial_engine = false`, the default) must replay the
+//! reference serial engine exactly — byte-identical headline JSON,
+//! decision-trace JSONL (including the global sequence numbers) and audit
+//! outcomes — at every shard count, for every resource manager, with and
+//! without injected faults. The engine commits events in one global
+//! `(time, seq)` total order regardless of how the pending set is
+//! partitioned, so equality here is byte equality on the serialized
+//! artifacts, not a tolerance.
+
+use fifer_core::rm::RmKind;
+use fifer_metrics::{SimDuration, SimTime};
+use fifer_sim::config::{ClusterConfig, SimConfig};
+use fifer_sim::driver::{window_max_series, Simulation};
+use fifer_sim::engine::MAX_SHARDS;
+use fifer_sim::fault::FaultPlan;
+use fifer_workloads::{JobStream, PoissonTrace, WitsLikeTrace, WorkloadMix};
+
+fn stream(rate: f64, secs: u64, seed: u64) -> JobStream {
+    JobStream::generate(
+        &PoissonTrace::new(rate),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(secs),
+        seed,
+    )
+}
+
+/// Enough points to form training pairs, so the proactive RMs pre-train
+/// and the runs exercise forecast-driven scaling.
+fn pretrain_series() -> Vec<f64> {
+    (0..44)
+        .map(|i| 6.0 + 3.0 * (i as f64 * 0.3).sin())
+        .collect()
+}
+
+/// One run's full observable surface: headline JSON and the decision
+/// trace as seq-numbered JSONL.
+fn artifacts(mut cfg: SimConfig, s: &JobStream) -> (String, String) {
+    cfg.pretrain_series = pretrain_series();
+    cfg.trace.capacity = 100_000;
+    let (r, trace) = Simulation::new(cfg, s).run_with_trace();
+    (r.to_json(), trace.to_jsonl())
+}
+
+/// Every RM, serial engine vs sharded at 1, 3 and MAX_SHARDS shards: the
+/// headline JSON and the decision-trace JSONL must be byte-identical.
+#[test]
+fn every_rm_is_bit_identical_across_engines_and_shard_counts() {
+    let s = stream(5.0, 45, 17);
+    for kind in RmKind::ALL {
+        let mut serial_cfg = SimConfig::prototype(kind.config(), 5.0);
+        serial_cfg.use_serial_engine = true;
+        let (json, jsonl) = artifacts(serial_cfg, &s);
+        assert!(!jsonl.is_empty(), "{kind}: trace must not be empty");
+        for shards in [1, 3, MAX_SHARDS] {
+            let mut cfg = SimConfig::prototype(kind.config(), 5.0);
+            cfg.shards = shards;
+            let (sh_json, sh_jsonl) = artifacts(cfg, &s);
+            assert_eq!(
+                json, sh_json,
+                "{kind} @ {shards} shards: headline JSON diverged from serial"
+            );
+            assert_eq!(
+                jsonl, sh_jsonl,
+                "{kind} @ {shards} shards: decision-trace JSONL diverged from serial"
+            );
+        }
+    }
+}
+
+/// Sampled fault plans (spawn faults, crashes, stragglers, outages plus
+/// one hand-written outage window): the faulted replay is byte-identical
+/// across engines and shard counts too.
+#[test]
+fn faulted_runs_are_bit_identical_across_engines() {
+    let s = stream(6.0, 40, 29);
+    let mut plans: Vec<FaultPlan> = (0..4).map(|i| FaultPlan::sampled(i, 5, 40)).collect();
+    let mut outage = FaultPlan::none();
+    outage.crash_prob = 0.05;
+    outage.outages.push(fifer_sim::fault::NodeOutage {
+        node: 1,
+        down_at: SimTime::from_secs(8),
+        up_at: SimTime::from_secs(20),
+    });
+    plans.push(outage);
+    for (i, plan) in plans.iter().enumerate() {
+        for kind in [RmKind::Bline, RmKind::Fifer] {
+            let run = |serial: bool, shards: usize| {
+                let mut cfg = SimConfig::prototype(kind.config(), 6.0);
+                cfg.use_serial_engine = serial;
+                cfg.shards = shards;
+                cfg.faults = plan.clone();
+                artifacts(cfg, &s)
+            };
+            let serial = run(true, 0);
+            assert_eq!(
+                serial,
+                run(false, 1),
+                "{kind} plan {i}: sharded(1) diverged from serial"
+            );
+            assert_eq!(
+                serial,
+                run(false, 3),
+                "{kind} plan {i}: sharded(3) diverged from serial"
+            );
+        }
+    }
+}
+
+/// With the invariant auditor on: both engines stay clean, audit the same
+/// number of commit points, and still produce identical artifacts — the
+/// sharded engine deep-scans at epoch barriers instead of every 64th
+/// event, which must not change any outcome on a clean run.
+#[test]
+fn audited_runs_agree_and_stay_clean_on_both_engines() {
+    let s = stream(5.0, 45, 11);
+    let run = |serial: bool| {
+        let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), 5.0);
+        cfg.pretrain_series = pretrain_series();
+        cfg.use_serial_engine = serial;
+        cfg.audit = true;
+        cfg.faults = FaultPlan::sampled(7, 5, 45);
+        Simulation::new(cfg, &s).run()
+    };
+    let sharded = run(false);
+    let serial = run(true);
+    assert!(
+        serial.audit_violations.is_empty(),
+        "serial: {:?}",
+        serial.audit_violations
+    );
+    assert!(
+        sharded.audit_violations.is_empty(),
+        "sharded: {:?}",
+        sharded.audit_violations
+    );
+    assert_eq!(serial.audit_checks, sharded.audit_checks);
+    assert_eq!(serial.to_json(), sharded.to_json());
+}
+
+/// The sharded engine reports its shape through the (unserialized) result
+/// fields: the shard count it resolved and how many events crossed shard
+/// boundaries; the serial engine reports one shard and zero crossings.
+#[test]
+fn engine_shape_is_observable_but_never_serialized() {
+    let s = stream(5.0, 30, 3);
+    let run = |serial: bool, shards: usize| {
+        let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 5.0);
+        cfg.use_serial_engine = serial;
+        cfg.shards = shards;
+        Simulation::new(cfg, &s).run()
+    };
+    let serial = run(true, 0);
+    assert_eq!(serial.engine_shards, 1);
+    assert_eq!(serial.cross_shard_events, 0);
+    let sharded = run(false, 4);
+    assert_eq!(sharded.engine_shards, 4);
+    assert!(
+        sharded.cross_shard_events > 0,
+        "a multi-stage workload must exchange events across shards"
+    );
+    // the shape fields are diagnostics, not results: the serialized
+    // artifact stays byte-identical across engine shapes
+    assert_eq!(serial.to_json(), sharded.to_json());
+    assert!(!serial.to_json().contains("engine_shards"));
+    assert!(!serial.to_json().contains("cross_shard_events"));
+}
+
+/// Full-scale twin (slow lane, `--ignored`): a 50k-core cluster under a
+/// 10× WITS burst. The sharded engine must (a) replay the serial engine
+/// byte-for-byte and (b) finish the sharded run in single-digit seconds.
+#[test]
+#[ignore = "full-scale: ~50k cores, 10x WITS burst; run with --ignored"]
+fn burst_50k_cores_is_identical_and_single_digit_seconds() {
+    // a two-minute burst window: 3125 nodes x 16 cores = 50k cores; 10x
+    // the paper-scale WITS average (240 req/s) is a 2400 req/s burst
+    let horizon = SimDuration::from_secs(120);
+    let s = JobStream::generate(
+        &WitsLikeTrace::scaled(10.0, horizon, 42),
+        WorkloadMix::Heavy,
+        horizon,
+        42,
+    );
+    assert!(s.len() > 400_000, "burst stream too small: {}", s.len());
+    let avg_rate = s.len() as f64 / horizon.as_secs_f64();
+    let mk = |serial: bool| {
+        let mut cfg = SimConfig::large_scale(RmKind::Fifer.config(), avg_rate);
+        cfg.cluster = ClusterConfig {
+            nodes: 3125,
+            cores_per_node: 16.0,
+            mem_per_node_gb: 192.0,
+        };
+        cfg.use_serial_engine = serial;
+        // no warmup: records then cover every job, so the completion
+        // accounting below is exact
+        cfg.warmup = SimDuration::ZERO;
+        let cut = (s.len() * 6 / 10).max(1);
+        let arrivals: Vec<SimTime> = s.iter().take(cut).map(|j| j.arrival).collect();
+        cfg.pretrain_series = window_max_series(&arrivals, 5);
+        cfg
+    };
+    let t0 = std::time::Instant::now();
+    let sharded = Simulation::new(mk(false), &s).run();
+    let elapsed = t0.elapsed();
+    println!(
+        "50k-core burst: {} jobs, {} events in {:.2}s ({:.0} events/s, {} shards)",
+        s.len(),
+        sharded.events_processed,
+        elapsed.as_secs_f64(),
+        sharded.events_processed as f64 / elapsed.as_secs_f64(),
+        sharded.engine_shards,
+    );
+    assert_eq!(
+        sharded.records.len() as u64 + sharded.jobs_dropped,
+        s.len() as u64
+    );
+    assert!(
+        elapsed.as_secs_f64() < 10.0,
+        "50k-core burst took {elapsed:?}, want single-digit seconds"
+    );
+    let serial = Simulation::new(mk(true), &s).run();
+    assert_eq!(
+        serial.to_json(),
+        sharded.to_json(),
+        "full-scale sharded run diverged from serial"
+    );
+}

@@ -31,6 +31,8 @@ struct Args {
     decision_trace: Option<String>,
     faults: FaultPlan,
     audit: bool,
+    shards: usize,
+    serial_engine: bool,
 }
 
 fn usage() -> ! {
@@ -55,7 +57,10 @@ fn usage() -> ! {
          --decision-trace <file.jsonl>             export the last RM's scaling decisions as JSONL\n\
          --faults <spec>                           seeded fault plan, e.g.\n\
                                                    seed=7,spawn=0.05@500,crash=0.02,straggler=0.1x4,retries=8,outage=2@100+60\n\
-         --audit                                   run the invariant auditor at every event commit"
+         --audit                                   run the invariant auditor at every event commit\n\
+         --shards <n>                              event-engine shards (default 0 = one per core);\n\
+                                                   results are bit-identical at every shard count\n\
+         --serial-engine                           use the reference serial event engine"
     );
     exit(2)
 }
@@ -79,6 +84,8 @@ fn parse_args() -> Args {
         decision_trace: None,
         faults: FaultPlan::none(),
         audit: false,
+        shards: 0,
+        serial_engine: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -133,6 +140,8 @@ fn parse_args() -> Args {
                 })
             }
             "--audit" => args.audit = true,
+            "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--serial-engine" => args.serial_engine = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -224,6 +233,8 @@ fn main() {
         cfg.tenants = args.tenants.max(1);
         cfg.faults = args.faults.clone();
         cfg.audit = args.audit;
+        cfg.shards = args.shards;
+        cfg.use_serial_engine = args.serial_engine;
         if let Some(path) = &args.decision_trace {
             // like --json, the last RM listed wins under --compare
             cfg.trace.capacity = 1 << 20;
