@@ -1,6 +1,6 @@
 //! `bench` — perf-trajectory harness for the simulator hot path.
 //!
-//! Produces `BENCH_simulator.json` with four sections:
+//! Produces `BENCH_simulator.json` with five sections:
 //!
 //! 1. **dispatch** — drains a synthetic deep stage queue (default depth
 //!    10 000) through the indexed priority queue and through the
@@ -25,6 +25,12 @@
 //!    path and the reference per-step-allocating path (bit-identical by
 //!    construction; the differential suites prove it), and reports the
 //!    speedups.
+//! 5. **utilization** — the resource-accounting view of the same replay
+//!    runs: allocated vs used core-hours per RM, the waste
+//!    (allocated-but-unused core-hours), the harvested core-hours, and
+//!    the lease counters. `--validate` enforces that Harvest cuts waste
+//!    to ≤ 90% of Bline's without raising the SLO violation fraction by
+//!    more than one point — the headline claim of the harvesting layer.
 //!
 //! `--validate` re-parses the written JSON and fails (exit 4) if the
 //! shape is wrong or a regression floor is crossed — the CI smoke lane.
@@ -80,6 +86,19 @@ struct ShardedSection {
     rows: Vec<ShardedRow>,
 }
 
+struct UtilRow {
+    rm: String,
+    alloc_core_hours: f64,
+    used_core_hours: f64,
+    waste_core_hours: f64,
+    harvested_core_hours: f64,
+    slo_violation_fraction: f64,
+    harvest_spawns: u64,
+    leases_created: u64,
+    leases_ended: u64,
+    containers_preempted: u64,
+}
+
 struct NnRow {
     series_len: usize,
     pretrain_ns: u128,
@@ -100,6 +119,11 @@ const MIN_NN_PRETRAIN_SPEEDUP: f64 = 1.05;
 /// commits in one total order either way, so on smaller hosts the section
 /// still validates bit-identity, just not the scaling.
 const MIN_SHARDED_SPEEDUP_AT_4: f64 = 2.0;
+/// Harvesting must cut allocated-but-unused core-hours to at most this
+/// fraction of Bline's waste on the same replay…
+const MAX_HARVEST_WASTE_VS_BLINE: f64 = 0.9;
+/// …without raising the SLO violation fraction by more than one point.
+const MAX_HARVEST_SLO_DELTA: f64 = 0.01;
 
 fn main() {
     let mut quick = false;
@@ -191,6 +215,7 @@ fn main() {
         },
     );
     let mut replay = Vec::new();
+    let mut utilization = Vec::new();
     for (kind, cfg, stream, rm, pretrain_s) in prepared {
         let sim = Simulation::with_resource_manager(cfg, &stream, rm);
         let t0 = Instant::now();
@@ -214,6 +239,37 @@ fn main() {
             jobs: r.records.len(),
             slo_violation_fraction: r.slo_violation_fraction(),
         });
+        utilization.push(UtilRow {
+            rm: kind.to_string(),
+            alloc_core_hours: r.alloc_core_hours,
+            used_core_hours: r.used_core_hours,
+            waste_core_hours: r.alloc_core_hours - r.used_core_hours,
+            harvested_core_hours: r.harvested_core_hours,
+            slo_violation_fraction: r.slo_violation_fraction(),
+            harvest_spawns: r.harvest_spawns,
+            leases_created: r.leases_created,
+            leases_ended: r.leases_ended,
+            containers_preempted: r.containers_preempted,
+        });
+    }
+    println!("\n## utilization: allocated vs used core-hours per RM");
+    for u in &utilization {
+        println!(
+            "{}: alloc {:.2} core-h, used {:.2} core-h, waste {:.2} core-h, harvested {:.2} core-h{}",
+            u.rm,
+            u.alloc_core_hours,
+            u.used_core_hours,
+            u.waste_core_hours,
+            u.harvested_core_hours,
+            if u.harvest_spawns > 0 {
+                format!(
+                    " ({} harvest spawns, {} leases, {} preemptions)",
+                    u.harvest_spawns, u.leases_created, u.containers_preempted
+                )
+            } else {
+                String::new()
+            },
+        );
     }
 
     println!("\n## sharded engine: serial baseline vs shard counts (Bline replay)");
@@ -253,7 +309,15 @@ fn main() {
     );
 
     let json = render_json(
-        quick, depth, reps, &dispatch, horizon_s, &replay, &sharded, &nn,
+        quick,
+        depth,
+        reps,
+        &dispatch,
+        horizon_s,
+        &replay,
+        &sharded,
+        &nn,
+        &utilization,
     );
     if let Err(e) = write_file(&out, &json) {
         eprintln!("error: cannot write {out}: {e}");
@@ -393,6 +457,7 @@ fn render_json(
     replay: &[ReplayRow],
     sharded: &ShardedSection,
     nn: &NnRow,
+    utilization: &[UtilRow],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"simulator\",\n");
@@ -456,7 +521,7 @@ fn render_json(
     }
     s.push_str("    }\n  },\n");
     s.push_str(&format!(
-        "  \"nn\": {{\n    \"model\": \"lstm\",\n    \"series_len\": {},\n    \"pretrain_ns\": {},\n    \"reference_pretrain_ns\": {},\n    \"pretrain_speedup\": {:.2},\n    \"forecast_calls\": {},\n    \"forecast_ns_per_call\": {:.0},\n    \"reference_forecast_ns_per_call\": {:.0},\n    \"forecast_speedup\": {:.2}\n  }}\n",
+        "  \"nn\": {{\n    \"model\": \"lstm\",\n    \"series_len\": {},\n    \"pretrain_ns\": {},\n    \"reference_pretrain_ns\": {},\n    \"pretrain_speedup\": {:.2},\n    \"forecast_calls\": {},\n    \"forecast_ns_per_call\": {:.0},\n    \"reference_forecast_ns_per_call\": {:.0},\n    \"forecast_speedup\": {:.2}\n  }},\n",
         nn.series_len,
         nn.pretrain_ns,
         nn.reference_pretrain_ns,
@@ -466,6 +531,24 @@ fn render_json(
         nn.reference_forecast_ns_per_call,
         nn.reference_forecast_ns_per_call / nn.forecast_ns_per_call.max(1.0),
     ));
+    s.push_str("  \"utilization\": {\n    \"rms\": {\n");
+    for (i, u) in utilization.iter().enumerate() {
+        s.push_str(&format!(
+            "      \"{}\": {{ \"alloc_core_hours\": {:.6}, \"used_core_hours\": {:.6}, \"waste_core_hours\": {:.6}, \"harvested_core_hours\": {:.6}, \"slo_violation_fraction\": {:.6}, \"harvest_spawns\": {}, \"leases_created\": {}, \"leases_ended\": {}, \"containers_preempted\": {} }}{}\n",
+            u.rm,
+            u.alloc_core_hours,
+            u.used_core_hours,
+            u.waste_core_hours,
+            u.harvested_core_hours,
+            u.slo_violation_fraction,
+            u.harvest_spawns,
+            u.leases_created,
+            u.leases_ended,
+            u.containers_preempted,
+            if i + 1 < utilization.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    }\n  }\n");
     s.push_str("}\n");
     s
 }
@@ -568,6 +651,67 @@ fn validate(body: &str) -> Result<(), Vec<String>> {
         if speedup < MIN_NN_PRETRAIN_SPEEDUP {
             problems.push(format!(
                 "nn pretrain speedup {speedup:.2} below floor {MIN_NN_PRETRAIN_SPEEDUP}"
+            ));
+        }
+    }
+    // utilization section: exact-accounting sanity per RM, then the
+    // harvesting headline claim against the Bline baseline
+    for kind in RmKind::ALL {
+        let alloc = num_at(
+            &doc,
+            &mut problems,
+            &format!("utilization.rms.{kind}.alloc_core_hours"),
+        );
+        let used = num_at(
+            &doc,
+            &mut problems,
+            &format!("utilization.rms.{kind}.used_core_hours"),
+        );
+        num_at(
+            &doc,
+            &mut problems,
+            &format!("utilization.rms.{kind}.waste_core_hours"),
+        );
+        num_at(
+            &doc,
+            &mut problems,
+            &format!("utilization.rms.{kind}.harvested_core_hours"),
+        );
+        num_at(
+            &doc,
+            &mut problems,
+            &format!("utilization.rms.{kind}.slo_violation_fraction"),
+        );
+        if let (Some(alloc), Some(used)) = (alloc, used) {
+            // the integrals come from exact integer ledgers; used can
+            // never exceed allocated (auditor invariant), so a violation
+            // here means the accounting layer broke
+            if used > alloc {
+                problems.push(format!(
+                    "utilization {kind}: used {used:.3} core-h exceeds allocated {alloc:.3}"
+                ));
+            }
+        }
+    }
+    let waste_of = |doc: &Json, rm: &str| -> Option<f64> {
+        doc.path(&format!("utilization.rms.{rm}.waste_core_hours"))
+            .and_then(Json::as_f64)
+    };
+    let slo_of = |doc: &Json, rm: &str| -> Option<f64> {
+        doc.path(&format!("utilization.rms.{rm}.slo_violation_fraction"))
+            .and_then(Json::as_f64)
+    };
+    if let (Some(bw), Some(hw)) = (waste_of(&doc, "Bline"), waste_of(&doc, "Harvest")) {
+        if hw > MAX_HARVEST_WASTE_VS_BLINE * bw {
+            problems.push(format!(
+                "Harvest waste {hw:.3} core-h above {MAX_HARVEST_WASTE_VS_BLINE} x Bline's {bw:.3}"
+            ));
+        }
+    }
+    if let (Some(bs), Some(hs)) = (slo_of(&doc, "Bline"), slo_of(&doc, "Harvest")) {
+        if hs > bs + MAX_HARVEST_SLO_DELTA {
+            problems.push(format!(
+                "Harvest SLO violation fraction {hs:.4} exceeds Bline's {bs:.4} + {MAX_HARVEST_SLO_DELTA}"
             ));
         }
     }

@@ -46,12 +46,16 @@ pub mod features;
 pub mod met;
 pub mod policy;
 pub mod pool;
+pub mod resources;
 pub mod rm;
 pub mod scaling;
 pub mod scheduling;
 pub mod slack;
 
 pub use policy::{ClusterView, ContainerView, Decision, DecisionCause, ResourceManager, StageView};
-pub use rm::{BatchingMode, NodePlacement, PredictorChoice, RmConfig, RmKind, ScalingMode};
+pub use resources::ResourceVec;
+pub use rm::{
+    BatchingMode, HarvestConfig, NodePlacement, PredictorChoice, RmConfig, RmKind, ScalingMode,
+};
 pub use scheduling::{ContainerSelection, SchedulingPolicy};
 pub use slack::{AppPlan, SlackPolicy, StagePlan};

@@ -41,13 +41,14 @@
 //! applied after the hook returns, so a policy never observes its own
 //! half-applied output.
 
-use crate::rm::{PredictorChoice, RmConfig, RmKind, ScalingMode};
+use crate::resources::ResourceVec;
+use crate::rm::{HarvestConfig, PredictorChoice, RmConfig, RmKind, ScalingMode};
 use crate::scaling::{
     proactive_containers_needed, reactive_containers_needed, static_pool_size, ProactiveInputs,
     ReactiveInputs,
 };
 use fifer_metrics::{SimDuration, SimTime};
-use fifer_predict::LoadPredictor;
+use fifer_predict::{LoadPredictor, RightSizer};
 use std::cmp::Reverse;
 
 /// Read-only snapshot of one stage, passed to decision hooks.
@@ -80,6 +81,12 @@ pub struct StageView {
     /// Static fraction of workload-mix arrivals that reach this stage's
     /// microservice (used to size fixed pools offline, §5.3).
     pub mix_share: f64,
+    /// Resources currently allocated to this stage's containers (primary
+    /// allocations; harvested backing is counted cluster-wide instead).
+    pub allocated: ResourceVec,
+    /// Resources this stage's containers are actually using right now —
+    /// the allocation/usage split the underutilization story turns on.
+    pub used: ResourceVec,
 }
 
 /// Read-only snapshot of one container, passed to
@@ -122,6 +129,18 @@ pub struct ClusterView<'a> {
     pub min_warm_pool: usize,
     /// Idle-container reclamation timeout (§4.4.1).
     pub idle_timeout: SimDuration,
+    /// The default container allocation (paper Table 2: 0.5 core, 1 GB) —
+    /// the ceiling for [`Decision::Resize`] recommendations.
+    pub container_alloc: ResourceVec,
+    /// Total cluster capacity across up nodes.
+    pub capacity: ResourceVec,
+    /// Primary allocations across the cluster.
+    pub allocated: ResourceVec,
+    /// Resources actually in use across the cluster.
+    pub used: ResourceVec,
+    /// Resources backed by harvest leases (lent idle headroom) rather than
+    /// primary allocation.
+    pub harvested: ResourceVec,
     /// Stage snapshots (see the struct-level note on hook dependence).
     pub stages: &'a [StageView],
 }
@@ -154,6 +173,29 @@ pub enum Decision {
     Requeue {
         /// Stage whose tasks stay queued.
         stage: usize,
+    },
+    /// Spawn up to `count` containers for `stage`, preferring to back them
+    /// with idle headroom lent by warm-idle containers on the same node (a
+    /// Freyr-style harvest lease) and falling back to a primary allocation
+    /// when no lender fits. Only meaningful when
+    /// [`HarvestConfig::enabled`](crate::rm::HarvestConfig) is set; the
+    /// mechanism treats it as [`Decision::SpawnContainer`] otherwise.
+    Harvest {
+        /// Target stage.
+        stage: usize,
+        /// Containers to add.
+        count: usize,
+    },
+    /// Shrink the allocation of *future* spawns for `stage` to `alloc`.
+    /// The mechanism clamps the request into the safe band: never above
+    /// the configured default shape, never below the container's sampled
+    /// busy-usage peak (so `usage ≤ allocation` cannot be violated by a
+    /// bad recommendation). Running containers are not resized.
+    Resize {
+        /// Target stage.
+        stage: usize,
+        /// Recommended per-container allocation.
+        alloc: ResourceVec,
     },
     /// Explicit no-op (useful for hook defaults and tracing).
     Noop,
@@ -190,6 +232,12 @@ pub enum DecisionCause {
     /// Mechanism: the fault-recovery valve respawned capacity for a stage
     /// whose entire pool was lost to faults.
     FaultRecovery,
+    /// `on_usage_sample` (right-sizing from usage telemetry).
+    UsageSample,
+    /// Mechanism: a harvest lease was settled because its lender needed
+    /// the headroom back (or died) — re-backed from free capacity or the
+    /// borrower was preempted.
+    HarvestReclaim,
 }
 
 impl DecisionCause {
@@ -209,6 +257,8 @@ impl DecisionCause {
             DecisionCause::ContainerFailure => "container_failure",
             DecisionCause::NodeFailure => "node_failure",
             DecisionCause::FaultRecovery => "fault_recovery",
+            DecisionCause::UsageSample => "usage_sample",
+            DecisionCause::HarvestReclaim => "harvest_reclaim",
         }
     }
 }
@@ -285,6 +335,15 @@ pub trait ResourceManager: Send {
     /// monitor's window-max arrival rate when
     /// [`observes_load`](Self::observes_load) is true.
     fn on_monitor_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        let _ = (view, out);
+    }
+
+    /// Usage telemetry: fires right after
+    /// [`on_monitor_tick`](Self::on_monitor_tick) with the same view,
+    /// whose per-stage [`StageView::allocated`]/[`StageView::used`]
+    /// aggregates carry the sampled allocation-vs-usage split. Policies
+    /// that right-size emit [`Decision::Resize`] here. Default: no-op.
+    fn on_usage_sample(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
         let _ = (view, out);
     }
 
@@ -717,6 +776,87 @@ impl ResourceManager for FiferPolicy {
     }
 }
 
+/// Harvest (ROADMAP item 3): the Bline baseline plus Freyr-style idle-
+/// resource harvesting and Sizeless-style right-sizing. Deliberately
+/// Bline-shaped in everything else — no batching, on-demand capacity,
+/// timeout reclamation — so that utilization deltas against the baseline
+/// are attributable to harvesting alone. A blocked queue answers with
+/// [`Decision::Harvest`] (spawn backed by lent idle headroom where
+/// possible); usage samples feed a per-stage [`RightSizer`] whose
+/// recommendations shrink future spawns via [`Decision::Resize`].
+pub struct HarvestPolicy {
+    load: LoadModel,
+    cfg: HarvestConfig,
+    /// Per-stage right-sizers, lazily grown to the stage-table size.
+    sizers: Vec<RightSizer>,
+    /// Last recommendation emitted per stage (suppresses redundant
+    /// `Resize` decisions between samples).
+    emitted: Vec<Option<ResourceVec>>,
+}
+
+impl ResourceManager for HarvestPolicy {
+    fn name(&self) -> &'static str {
+        "Harvest"
+    }
+
+    fn observes_load(&self) -> bool {
+        self.load.present()
+    }
+
+    fn on_queue_blocked(&mut self, _view: &ClusterView, stage: &StageView) -> Decision {
+        Decision::Harvest {
+            stage: stage.stage,
+            count: 1,
+        }
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, _out: &mut Vec<Decision>) {
+        self.load.observe(view.global_rate);
+    }
+
+    fn on_usage_sample(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        if !self.cfg.rightsize {
+            return;
+        }
+        if self.sizers.len() < view.stages.len() {
+            self.sizers
+                .resize_with(view.stages.len(), RightSizer::paper_default);
+            self.emitted.resize(view.stages.len(), None);
+        }
+        for s in view.stages {
+            if s.num_containers == 0 {
+                continue; // no running containers → no usage signal
+            }
+            let n = s.num_containers as f64;
+            let sizer = &mut self.sizers[s.stage];
+            sizer.observe(s.used.cpu_milli as f64 / n, s.used.mem_mb as f64 / n);
+            let Some(rec) = sizer.recommend() else {
+                continue;
+            };
+            // recommendations only ever shrink the default shape; the
+            // mechanism additionally floors them at each spawn's sampled
+            // busy-usage peak
+            let alloc = ResourceVec::new(rec.cpu_milli, rec.mem_mb).min(view.container_alloc);
+            if self.emitted[s.stage] != Some(alloc) {
+                self.emitted[s.stage] = Some(alloc);
+                out.push(Decision::Resize {
+                    stage: s.stage,
+                    alloc,
+                });
+            }
+        }
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        reclaim_decisions(view, expired, out);
+    }
+}
+
 // ---- registry ----------------------------------------------------------
 
 impl RmConfig {
@@ -743,6 +883,16 @@ impl RmConfig {
         reference_nn: bool,
     ) -> Box<dyn ResourceManager> {
         let load = LoadModel::build(self.predictor, seed, pretrain, reference_nn);
+        if self.harvest.enabled {
+            // harvesting composes with the Bline-shaped mechanism config;
+            // it takes over the queue-blocked and usage-sample hooks
+            return Box::new(HarvestPolicy {
+                load,
+                cfg: self.harvest,
+                sizers: Vec::new(),
+                emitted: Vec::new(),
+            });
+        }
         match self.scaling {
             ScalingMode::OnDemand => Box::new(BlinePolicy { load }),
             ScalingMode::FixedPool => Box::new(SBatchPolicy { load }),
@@ -792,6 +942,8 @@ mod tests {
             observed_delay: SimDuration::ZERO,
             arrivals: 0,
             mix_share: 0.5,
+            allocated: ResourceVec::ZERO,
+            used: ResourceVec::ZERO,
         }
     }
 
@@ -804,6 +956,11 @@ mod tests {
             tenants: 1,
             min_warm_pool: 0,
             idle_timeout: SimDuration::from_secs(600),
+            container_alloc: ResourceVec::new(500, 1024),
+            capacity: ResourceVec::ZERO,
+            allocated: ResourceVec::ZERO,
+            used: ResourceVec::ZERO,
+            harvested: ResourceVec::ZERO,
             stages,
         }
     }
@@ -818,9 +975,12 @@ mod tests {
     }
 
     #[test]
-    fn registry_builds_the_papers_five() {
+    fn registry_builds_the_papers_five_plus_harvest() {
         let names: Vec<&str> = RmKind::ALL.iter().map(|k| k.build(1).name()).collect();
-        assert_eq!(names, ["Bline", "SBatch", "RScale", "BPred", "Fifer"]);
+        assert_eq!(
+            names,
+            ["Bline", "SBatch", "RScale", "BPred", "Fifer", "Harvest"]
+        );
     }
 
     #[test]
@@ -994,5 +1154,80 @@ mod tests {
     fn decision_cause_names_are_stable() {
         assert_eq!(DecisionCause::ReactiveTick.as_str(), "reactive_tick");
         assert_eq!(DecisionCause::IdleDeadline.as_str(), "idle_deadline");
+        assert_eq!(DecisionCause::UsageSample.as_str(), "usage_sample");
+        assert_eq!(DecisionCause::HarvestReclaim.as_str(), "harvest_reclaim");
+    }
+
+    #[test]
+    fn harvest_answers_blocked_queues_with_harvest_spawns() {
+        let sv = stage_view(1);
+        let v = view(&[]);
+        assert_eq!(
+            RmKind::Harvest.build(1).on_queue_blocked(&v, &sv),
+            Decision::Harvest { stage: 1, count: 1 }
+        );
+    }
+
+    #[test]
+    fn usage_sample_default_is_noop() {
+        let mut out = Vec::new();
+        for kind in [RmKind::Bline, RmKind::SBatch, RmKind::Fifer] {
+            kind.build(1).on_usage_sample(&view(&[]), &mut out);
+            assert!(out.is_empty(), "{kind} must not react to usage samples");
+        }
+    }
+
+    #[test]
+    fn harvest_rightsizes_from_usage_samples() {
+        let mut rm = RmKind::Harvest.build(1);
+        let mut s = stage_view(0);
+        s.num_containers = 2;
+        s.allocated = ResourceVec::new(1000, 2048); // 2 × default
+        s.used = ResourceVec::new(200, 512); // 100 mcpu / 256 MB each
+        let stages = [s];
+        let v = view(&stages);
+        let mut out = Vec::new();
+        // the paper-default sizer needs 3 samples before recommending
+        rm.on_usage_sample(&v, &mut out);
+        rm.on_usage_sample(&v, &mut out);
+        assert!(out.is_empty(), "no recommendation before min samples");
+        rm.on_usage_sample(&v, &mut out);
+        let Some(Decision::Resize { stage: 0, alloc }) = out.first().copied() else {
+            panic!("expected a Resize decision, got {out:?}");
+        };
+        // 100 mcpu peak + 20% margin = 120; well under the 500 default
+        assert!(alloc.cpu_milli >= 100 && alloc.cpu_milli < 500, "{alloc:?}");
+        assert!(alloc.mem_mb >= 256 && alloc.mem_mb < 1024, "{alloc:?}");
+        // a repeated identical sample must not re-emit the same decision
+        out.clear();
+        rm.on_usage_sample(&v, &mut out);
+        assert!(out.is_empty(), "unchanged recommendation is suppressed");
+    }
+
+    #[test]
+    fn resize_recommendations_never_exceed_the_default_shape() {
+        let mut rm = RmKind::Harvest.build(1);
+        let mut s = stage_view(0);
+        s.num_containers = 1;
+        s.allocated = ResourceVec::new(500, 1024);
+        s.used = ResourceVec::new(500, 1024); // saturated: margin would overshoot
+        let stages = [s];
+        let v = view(&stages);
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            rm.on_usage_sample(&v, &mut out);
+        }
+        for d in &out {
+            if let Decision::Resize { alloc, .. } = d {
+                assert!(
+                    alloc.fits_within(v.container_alloc),
+                    "recommendation {alloc:?} exceeds the default shape"
+                );
+            }
+        }
+        assert!(
+            !out.is_empty(),
+            "a saturated stage still gets a (clamped) size"
+        );
     }
 }

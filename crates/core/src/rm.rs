@@ -77,6 +77,57 @@ pub enum NodePlacement {
     Spread,
 }
 
+/// Idle-resource harvesting and right-sizing knobs (Freyr/Sizeless-style,
+/// ROADMAP item 3). All-integer so `RmConfig` stays `Copy + Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HarvestConfig {
+    /// Master switch. When `false` the simulator's behavior is bit-identical
+    /// to the pre-harvest code — no lease is ever created and no usage
+    /// sample reaches the policy.
+    pub enabled: bool,
+    /// Feed usage samples into the right-sizer and shrink future spawns to
+    /// its recommendation (clamped to the per-container busy peak so
+    /// `usage ≤ allocation` always holds).
+    pub rightsize: bool,
+    /// Fraction of a lender's idle headroom (allocation − usage) that may
+    /// be lent out, in percent. Freyr keeps a safety margin rather than
+    /// lending everything.
+    pub lend_headroom_pct: u8,
+    /// Minimum CPU worth lending per lease part, in millicores; avoids
+    /// fragmenting headroom into useless slivers.
+    pub min_lend_cpu_milli: u64,
+}
+
+impl HarvestConfig {
+    /// Harvesting fully off — the default for the paper's five RMs.
+    pub const fn none() -> Self {
+        HarvestConfig {
+            enabled: false,
+            rightsize: false,
+            lend_headroom_pct: 0,
+            min_lend_cpu_milli: 0,
+        }
+    }
+
+    /// The defaults the sixth (harvesting) RM ships with: lend 80% of idle
+    /// headroom, but never slivers below 100 millicores, and right-size
+    /// future spawns from observed usage.
+    pub const fn paper_default() -> Self {
+        HarvestConfig {
+            enabled: true,
+            rightsize: true,
+            lend_headroom_pct: 80,
+            min_lend_cpu_milli: 100,
+        }
+    }
+}
+
+impl Default for HarvestConfig {
+    fn default() -> Self {
+        HarvestConfig::none()
+    }
+}
+
 /// A complete resource-manager configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RmConfig {
@@ -92,6 +143,8 @@ pub struct RmConfig {
     pub container_selection: ContainerSelection,
     /// Node placement for new containers.
     pub placement: NodePlacement,
+    /// Idle-resource harvesting / right-sizing (off for the paper's five).
+    pub harvest: HarvestConfig,
 }
 
 impl RmConfig {
@@ -114,9 +167,15 @@ impl RmConfig {
         matches!(self.scaling, ScalingMode::ReactivePlusProactive)
             && !matches!(self.predictor, PredictorChoice::None)
     }
+
+    /// Enables harvesting (and right-sizing) on top of this configuration.
+    pub fn with_harvest(mut self, harvest: HarvestConfig) -> Self {
+        self.harvest = harvest;
+        self
+    }
 }
 
-/// The paper's five named resource managers.
+/// The paper's five named resource managers, plus the harvesting sixth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RmKind {
     /// AWS-style baseline: no batching, spawn per request (§3).
@@ -130,16 +189,23 @@ pub enum RmKind {
     /// The full system: batching + reactive + LSTM-proactive + greedy
     /// selection/placement.
     Fifer,
+    /// Bline plus Freyr-style idle-resource harvesting and Sizeless-style
+    /// right-sizing (ROADMAP item 3): spawn on demand, but back new
+    /// containers with lent idle headroom where possible and shrink
+    /// allocations toward observed usage.
+    Harvest,
 }
 
 impl RmKind {
-    /// All five RMs in the paper's comparison order.
-    pub const ALL: [RmKind; 5] = [
+    /// All evaluated RMs: the paper's five in comparison order, then the
+    /// harvesting extension.
+    pub const ALL: [RmKind; 6] = [
         RmKind::Bline,
         RmKind::SBatch,
         RmKind::RScale,
         RmKind::BPred,
         RmKind::Fifer,
+        RmKind::Harvest,
     ];
 
     /// The four RMs normalized against Bline in Figures 8/13/15.
@@ -156,6 +222,7 @@ impl RmKind {
                 scheduling: SchedulingPolicy::Fifo,
                 container_selection: ContainerSelection::FirstFit,
                 placement: NodePlacement::Spread,
+                harvest: HarvestConfig::none(),
             },
             RmKind::SBatch => RmConfig {
                 batching: BatchingMode::StaticEqualSlack,
@@ -166,6 +233,7 @@ impl RmKind {
                 // the fixed pool is placed once; consolidating it costs
                 // nothing and matches SBatch's near-Fifer energy in Fig 15
                 placement: NodePlacement::GreedyBinPack,
+                harvest: HarvestConfig::none(),
             },
             RmKind::RScale => RmConfig {
                 batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
@@ -174,6 +242,7 @@ impl RmKind {
                 scheduling: SchedulingPolicy::Lsf,
                 container_selection: ContainerSelection::GreedyLeastFreeSlots,
                 placement: NodePlacement::GreedyBinPack,
+                harvest: HarvestConfig::none(),
             },
             RmKind::BPred => RmConfig {
                 batching: BatchingMode::None,
@@ -182,6 +251,7 @@ impl RmKind {
                 scheduling: SchedulingPolicy::Lsf,
                 container_selection: ContainerSelection::FirstFit,
                 placement: NodePlacement::Spread,
+                harvest: HarvestConfig::none(),
             },
             RmKind::Fifer => RmConfig {
                 batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
@@ -190,6 +260,20 @@ impl RmKind {
                 scheduling: SchedulingPolicy::Lsf,
                 container_selection: ContainerSelection::GreedyLeastFreeSlots,
                 placement: NodePlacement::GreedyBinPack,
+                harvest: HarvestConfig::none(),
+            },
+            // Bline-shaped on purpose: identical batching/scaling/selection
+            // keeps its spawn and dispatch timing structurally comparable to
+            // the baseline, so utilization deltas are attributable to the
+            // harvesting mechanism alone
+            RmKind::Harvest => RmConfig {
+                batching: BatchingMode::None,
+                scaling: ScalingMode::OnDemand,
+                predictor: PredictorChoice::None,
+                scheduling: SchedulingPolicy::Fifo,
+                container_selection: ContainerSelection::FirstFit,
+                placement: NodePlacement::Spread,
+                harvest: HarvestConfig::paper_default(),
             },
         }
     }
@@ -203,6 +287,7 @@ impl fmt::Display for RmKind {
             RmKind::RScale => "RScale",
             RmKind::BPred => "BPred",
             RmKind::Fifer => "Fifer",
+            RmKind::Harvest => "Harvest",
         };
         f.write_str(n)
     }
@@ -293,5 +378,45 @@ mod tests {
     fn display_names() {
         assert_eq!(RmKind::Fifer.to_string(), "Fifer");
         assert_eq!(RmKind::Bline.to_string(), "Bline");
+        assert_eq!(RmKind::Harvest.to_string(), "Harvest");
+    }
+
+    #[test]
+    fn harvest_is_bline_plus_harvesting() {
+        // the sixth RM differs from the baseline only in its harvest knob,
+        // so utilization deltas are attributable to harvesting alone
+        let h = RmKind::Harvest.config();
+        let b = RmKind::Bline.config();
+        assert_eq!(h.batching, b.batching);
+        assert_eq!(h.scaling, b.scaling);
+        assert_eq!(h.predictor, b.predictor);
+        assert_eq!(h.scheduling, b.scheduling);
+        assert_eq!(h.container_selection, b.container_selection);
+        assert_eq!(h.placement, b.placement);
+        assert!(h.harvest.enabled && h.harvest.rightsize);
+        assert!(!b.harvest.enabled);
+    }
+
+    #[test]
+    fn paper_five_ship_with_harvesting_off() {
+        for kind in [
+            RmKind::Bline,
+            RmKind::SBatch,
+            RmKind::RScale,
+            RmKind::BPred,
+            RmKind::Fifer,
+        ] {
+            assert_eq!(kind.config().harvest, HarvestConfig::none(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn harvest_defaults_are_sane() {
+        let h = HarvestConfig::paper_default();
+        assert!(h.lend_headroom_pct > 0 && h.lend_headroom_pct <= 100);
+        assert!(h.min_lend_cpu_milli > 0);
+        let none = HarvestConfig::none();
+        assert!(!none.enabled && !none.rightsize);
+        assert_eq!(HarvestConfig::default(), none);
     }
 }

@@ -37,6 +37,7 @@ pub mod eval;
 pub mod models;
 pub mod nn;
 pub mod predictor;
+pub mod rightsize;
 pub mod sampler;
 pub mod train;
 
@@ -44,4 +45,5 @@ pub use classic::{Ewma, LinearTrend, LogisticTrend, MovingWindowAverage};
 pub use eval::{accuracy, mae, rmse};
 pub use models::{DeepArPredictor, LstmPredictor, SimpleFfPredictor, WeaveNetPredictor};
 pub use predictor::{LoadPredictor, PredictorKind};
+pub use rightsize::{RecommendedSize, RightSizer};
 pub use sampler::WindowSampler;

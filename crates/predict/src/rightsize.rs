@@ -1,0 +1,165 @@
+//! Data-driven container right-sizing (Sizeless-style, PAPERS.md).
+//!
+//! Sizeless predicts the optimal container size of a serverless function
+//! from monitoring data collected at a *single* size: run everything at the
+//! default allocation, watch what it actually consumes, and regress the
+//! observed usage into a recommendation. [`RightSizer`] does exactly that
+//! on the repo's existing regression substrate ([`LinearTrend`], the same
+//! OLS used for load forecasting): per resource axis it keeps a sliding
+//! window of per-container peak-usage samples, extrapolates the trend one
+//! monitoring step ahead, floors the extrapolation at the window maximum
+//! (a shrinking trend must never cut below what was just observed), and
+//! adds a safety margin.
+//!
+//! The output is a plain integer pair ([`RecommendedSize`]) rather than a
+//! `fifer-core` type because the dependency points the other way: the core
+//! policy layer consumes this crate and converts the recommendation into
+//! its own `ResourceVec`.
+
+use crate::classic::LinearTrend;
+use crate::predictor::LoadPredictor;
+
+/// A recommended per-container allocation, in exact integer units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecommendedSize {
+    /// CPU in millicores.
+    pub cpu_milli: u64,
+    /// Memory in MB.
+    pub mem_mb: u64,
+}
+
+/// Per-stage right-sizer: maps single-size usage observations to a
+/// recommended allocation.
+#[derive(Debug, Clone)]
+pub struct RightSizer {
+    cpu: LinearTrend,
+    mem: LinearTrend,
+    /// Window maxima (the regression's floor), reset never — the sizer is
+    /// deliberately conservative across the whole run.
+    cpu_peak: f64,
+    mem_peak: f64,
+    samples: usize,
+    min_samples: usize,
+    margin_pct: u64,
+}
+
+impl RightSizer {
+    /// Creates a sizer with an OLS window of `window` samples, requiring
+    /// `min_samples` observations before recommending, and padding the
+    /// estimate by `margin_pct` percent.
+    pub fn new(window: usize, min_samples: usize, margin_pct: u64) -> Self {
+        assert!(min_samples >= 1, "need at least one sample to size from");
+        RightSizer {
+            cpu: LinearTrend::new(window),
+            mem: LinearTrend::new(window),
+            cpu_peak: 0.0,
+            mem_peak: 0.0,
+            samples: 0,
+            min_samples: min_samples.max(1),
+            margin_pct,
+        }
+    }
+
+    /// The defaults the harvesting RM uses: the paper's 20-sample
+    /// (100-second) window, 3 warm-up samples, 20% safety margin.
+    pub fn paper_default() -> Self {
+        RightSizer::new(20, 3, 20)
+    }
+
+    /// Feeds one monitoring sample: the peak per-container usage observed
+    /// over the last interval, at the current (single) allocation.
+    pub fn observe(&mut self, cpu_milli: f64, mem_mb: f64) {
+        if !cpu_milli.is_finite() || !mem_mb.is_finite() {
+            return;
+        }
+        self.cpu.observe(cpu_milli);
+        self.mem.observe(mem_mb);
+        self.cpu_peak = self.cpu_peak.max(cpu_milli.max(0.0));
+        self.mem_peak = self.mem_peak.max(mem_mb.max(0.0));
+        self.samples += 1;
+    }
+
+    /// Samples observed so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The recommended allocation, or `None` until enough samples arrived.
+    /// Guaranteed ≥ every observed usage sample (peak floor + margin), so a
+    /// spawn at the recommendation can never be born over-committed.
+    pub fn recommend(&mut self) -> Option<RecommendedSize> {
+        if self.samples < self.min_samples {
+            return None;
+        }
+        let cpu_est = self.cpu.forecast().max(self.cpu_peak);
+        let mem_est = self.mem.forecast().max(self.mem_peak);
+        let pad = |v: f64| -> u64 {
+            let padded = v * (100 + self.margin_pct) as f64 / 100.0;
+            padded.ceil() as u64
+        };
+        Some(RecommendedSize {
+            cpu_milli: pad(cpu_est),
+            mem_mb: pad(mem_est),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_recommendation_before_min_samples() {
+        let mut s = RightSizer::new(10, 3, 20);
+        s.observe(100.0, 256.0);
+        s.observe(110.0, 256.0);
+        assert_eq!(s.recommend(), None);
+        s.observe(120.0, 256.0);
+        assert!(s.recommend().is_some());
+        assert_eq!(s.samples(), 3);
+    }
+
+    #[test]
+    fn recommendation_covers_observed_peak_with_margin() {
+        let mut s = RightSizer::new(10, 1, 20);
+        for &(c, m) in &[(200.0, 300.0), (150.0, 280.0), (180.0, 310.0)] {
+            s.observe(c, m);
+        }
+        let r = s.recommend().expect("enough samples");
+        // peak was (200, 310); margin 20% → at least (240, 372)
+        assert!(r.cpu_milli >= 240, "cpu {}", r.cpu_milli);
+        assert!(r.mem_mb >= 372, "mem {}", r.mem_mb);
+    }
+
+    #[test]
+    fn rising_trend_extrapolates_above_peak() {
+        let mut s = RightSizer::new(10, 1, 0);
+        for v in [100.0, 150.0, 200.0, 250.0] {
+            s.observe(v, 100.0);
+        }
+        let r = s.recommend().expect("enough samples");
+        // OLS on the ramp extrapolates to 300 at step 5
+        assert!(r.cpu_milli >= 300, "cpu {}", r.cpu_milli);
+    }
+
+    #[test]
+    fn falling_trend_is_floored_at_the_peak() {
+        let mut s = RightSizer::new(10, 1, 0);
+        for v in [400.0, 300.0, 200.0, 100.0] {
+            s.observe(v, 100.0);
+        }
+        let r = s.recommend().expect("enough samples");
+        assert!(r.cpu_milli >= 400, "never cut below observed peak");
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut s = RightSizer::new(10, 1, 0);
+        s.observe(f64::NAN, 100.0);
+        assert_eq!(s.recommend(), None, "NaN must not count as a sample");
+        s.observe(100.0, f64::INFINITY);
+        assert_eq!(s.recommend(), None);
+        s.observe(100.0, 100.0);
+        assert!(s.recommend().is_some());
+    }
+}

@@ -67,4 +67,70 @@ fn main() {
         let h = Simulation::new(cfg, &stream).run().headline();
         println!("({kind:?}, {h:?}),");
     }
+
+    // harvest golden: one harvesting-enabled run with the auditor on and
+    // the decision trace retained, pinning the lease counters, the exact
+    // order of the first harvest/reclaim events, and the right-sizer's
+    // in-place shrink decisions (a 60 s horizon so the first Resize at
+    // t=30 s — three monitor samples — is inside the run)
+    println!("\n// harvest golden (Harvest @ rate=5.0 secs=60 seed=7, audit on):");
+    let stream = JobStream::generate(
+        &PoissonTrace::new(5.0),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(60),
+        7,
+    );
+    let mut cfg = SimConfig::prototype(RmKind::Harvest.config(), 5.0);
+    cfg.audit = true;
+    cfg.trace.capacity = 1 << 16;
+    let (r, trace) = Simulation::new(cfg, &stream).run_with_trace();
+    assert!(
+        r.audit_violations.is_empty(),
+        "harvest golden run broke an invariant: {:?}",
+        r.audit_violations
+    );
+    println!("// headline: {:?}", r.headline());
+    println!(
+        "// harvest_spawns: {}, leases_created: {}, leases_ended: {}, \
+         lease_parts_reclaimed: {}, containers_preempted: {}, tasks_preempted: {}, \
+         containers_rightsized: {}",
+        r.harvest_spawns,
+        r.leases_created,
+        r.leases_ended,
+        r.lease_parts_reclaimed,
+        r.containers_preempted,
+        r.tasks_preempted,
+        r.containers_rightsized
+    );
+    println!(
+        "// alloc_core_hours: {}, used_core_hours: {}, harvested_core_hours: {}",
+        r.alloc_core_hours, r.used_core_hours, r.harvested_core_hours
+    );
+    println!("// first harvest/reclaim/preempt event lines:");
+    let mut shown = 0;
+    for e in trace.events() {
+        let line = e.to_json();
+        if line.contains("\"harvest_lease\"")
+            || line.contains("\"lease_reclaimed\"")
+            || line.contains("\"preempt\"")
+        {
+            println!("{line}");
+            shown += 1;
+            if shown >= 10 {
+                break;
+            }
+        }
+    }
+    println!("// first resize event lines:");
+    let mut shown = 0;
+    for e in trace.events() {
+        let line = e.to_json();
+        if line.contains("\"resize\"") {
+            println!("{line}");
+            shown += 1;
+            if shown >= 4 {
+                break;
+            }
+        }
+    }
 }

@@ -68,6 +68,8 @@ impl Simulation<'_> {
             observed_delay,
             arrivals: s.arrivals,
             mix_share: self.mix_share[sidx],
+            allocated: s.allocated,
+            used: s.used,
         }
     }
 
@@ -87,6 +89,11 @@ impl Simulation<'_> {
             tenants: self.cfg.tenants,
             min_warm_pool: self.cfg.min_warm_pool,
             idle_timeout: self.cfg.idle_timeout,
+            container_alloc: self.cfg.container_alloc(),
+            capacity: self.cluster.total_capacity(),
+            allocated: self.cluster.total_allocated(),
+            used: self.cluster.total_used(),
+            harvested: self.cluster.total_harvested(),
             stages,
         }
     }
@@ -133,7 +140,10 @@ impl Simulation<'_> {
     }
 
     /// Final result assembly.
-    pub(crate) fn finish(self) -> SimResult {
+    pub(crate) fn finish(mut self) -> SimResult {
+        // close the utilization integrals at the workload's end
+        self.cluster.accrue(self.last_completion);
+        let util = self.cluster.utilization();
         let mut stages = BTreeMap::new();
         for s in &self.stages {
             let entry = stages
@@ -159,6 +169,16 @@ impl Simulation<'_> {
             tasks_requeued: self.tasks_requeued,
             jobs_dropped: self.jobs_dropped,
             node_outages: self.node_outages,
+            alloc_core_hours: util.alloc_core_hours,
+            used_core_hours: util.used_core_hours,
+            harvested_core_hours: util.harvested_core_hours,
+            harvest_spawns: self.harvest_spawns,
+            leases_created: self.leases_created,
+            leases_ended: self.leases_ended,
+            lease_parts_reclaimed: self.lease_parts_reclaimed,
+            containers_preempted: self.containers_preempted,
+            tasks_preempted: self.tasks_preempted,
+            containers_rightsized: self.containers_rightsized,
             audit_checks: self.audit.checks,
             audit_violations: self.audit.violations,
             energy_joules: self.meter.joules(),

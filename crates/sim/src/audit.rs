@@ -41,6 +41,7 @@ use crate::container::{Container, ContainerState};
 use crate::driver::Simulation;
 use crate::engine::{partition_ranges, EngineQueue, Event};
 use crate::stage::StageRuntime;
+use fifer_core::resources::ResourceVec;
 use fifer_metrics::SimTime;
 
 /// On the serial engine, deep scans run every this-many audited events;
@@ -186,6 +187,23 @@ impl Simulation<'_> {
         {
             out.push("trace fault counters diverged from driver totals".to_string());
         }
+        if self.trace.harvest_spawns != self.harvest_spawns
+            || self.trace.leases_created != self.leases_created
+            || self.trace.leases_ended != self.leases_ended
+            || self.trace.preempted_tasks != self.tasks_preempted
+        {
+            out.push("trace harvest counters diverged from driver totals".to_string());
+        }
+        // lease balance: every lease ever created is either still live in
+        // the ledger or was ended (dissolved or fully reclaimed)
+        if self.leases_created - self.leases_ended != self.ledger.leases.len() as u64 {
+            out.push(format!(
+                "lease balance broken: {} created - {} ended != {} live",
+                self.leases_created,
+                self.leases_ended,
+                self.ledger.leases.len()
+            ));
+        }
     }
 
     /// Full scan over the container table: per-node and per-stage resource
@@ -221,6 +239,10 @@ impl Simulation<'_> {
             executing,
             alive,
             bound: bound_total,
+            alloc,
+            used,
+            borrowed,
+            lent,
         } = scan;
         out.extend(msgs);
 
@@ -230,16 +252,58 @@ impl Simulation<'_> {
                 alive, self.live_count
             ));
         }
-        let (cpu_per, mem_per) = (self.cfg.container_cpu, self.cfg.container_mem_gb);
         for (n, node) in nodes.iter().enumerate() {
             if node.pods != pods[n] {
                 out.push(format!("node {n}: pods {} != scan {}", node.pods, pods[n]));
             }
-            if (node.alloc_cpu - pods[n] as f64 * cpu_per).abs() > 1e-6 {
-                out.push(format!("node {n}: cpu allocation drifted"));
+            // integer millicore/MB bookkeeping: the ledgers must reconcile
+            // with a fresh scan *exactly* — any drift is a lost or doubled
+            // update, not rounding
+            if node.allocated != alloc[n] {
+                out.push(format!(
+                    "node {n}: allocation ledger {:?} != scan {:?}",
+                    node.allocated, alloc[n]
+                ));
             }
-            if (node.alloc_mem_gb - pods[n] as f64 * mem_per).abs() > 1e-6 {
-                out.push(format!("node {n}: memory allocation drifted"));
+            if node.used != used[n] {
+                out.push(format!(
+                    "node {n}: usage ledger {:?} != scan {:?}",
+                    node.used, used[n]
+                ));
+            }
+            if node.harvested != borrowed[n] {
+                out.push(format!(
+                    "node {n}: harvested ledger {:?} != borrower scan {:?}",
+                    node.harvested, borrowed[n]
+                ));
+            }
+            if borrowed[n] != lent[n] {
+                out.push(format!(
+                    "node {n}: borrowed {:?} != lent {:?} (lease parts unbalanced)",
+                    borrowed[n], lent[n]
+                ));
+            }
+            if self.ledger.node_total(n) != borrowed[n] {
+                out.push(format!(
+                    "node {n}: ledger parts {:?} != borrower scan {:?}",
+                    self.ledger.node_total(n),
+                    borrowed[n]
+                ));
+            }
+            // the conservation chain `used ≤ allocated ≤ capacity`: lease
+            // backing lives inside idle lenders' headroom, so it never
+            // pushes usage past allocation or allocation past capacity
+            if !node.used.fits_within(node.allocated) {
+                out.push(format!(
+                    "node {n}: used {:?} exceeds allocated {:?}",
+                    node.used, node.allocated
+                ));
+            }
+            if !node.allocated.fits_within(node.capacity) {
+                out.push(format!(
+                    "node {n}: allocated {:?} exceeds capacity {:?}",
+                    node.allocated, node.capacity
+                ));
             }
             if node.executing != executing[n] {
                 out.push(format!(
@@ -303,6 +367,14 @@ struct ContainerScan {
     executing: Vec<usize>,
     alive: usize,
     bound: usize,
+    /// Per-node sum of primary allocations.
+    alloc: Vec<ResourceVec>,
+    /// Per-node sum of current usage footprints.
+    used: Vec<ResourceVec>,
+    /// Per-node sum of lease-backed (borrowed) resources.
+    borrowed: Vec<ResourceVec>,
+    /// Per-node sum of lent-out headroom.
+    lent: Vec<ResourceVec>,
 }
 
 impl ContainerScan {
@@ -313,6 +385,10 @@ impl ContainerScan {
             executing: vec![0; num_nodes],
             alive: 0,
             bound: 0,
+            alloc: vec![ResourceVec::ZERO; num_nodes],
+            used: vec![ResourceVec::ZERO; num_nodes],
+            borrowed: vec![ResourceVec::ZERO; num_nodes],
+            lent: vec![ResourceVec::ZERO; num_nodes],
         }
     }
 
@@ -326,6 +402,18 @@ impl ContainerScan {
         }
         self.alive += other.alive;
         self.bound += other.bound;
+        for (a, b) in self.alloc.iter_mut().zip(other.alloc) {
+            *a += b;
+        }
+        for (a, b) in self.used.iter_mut().zip(other.used) {
+            *a += b;
+        }
+        for (a, b) in self.borrowed.iter_mut().zip(other.borrowed) {
+            *a += b;
+        }
+        for (a, b) in self.lent.iter_mut().zip(other.lent) {
+            *a += b;
+        }
     }
 }
 
@@ -357,6 +445,24 @@ fn scan_containers(containers: &[Container], num_nodes: usize) -> ContainerScan 
         if c.executing.is_some() {
             scan.executing[c.node] += 1;
         }
+        scan.alloc[c.node] += c.alloc;
+        scan.used[c.node] += c.current_usage();
+        scan.borrowed[c.node] += c.borrowed;
+        scan.lent[c.node] += c.lent;
+        if !c.current_usage().fits_within(c.total_backing()) {
+            scan.msgs.push(format!(
+                "container {}: usage {:?} exceeds backing {:?}",
+                c.id,
+                c.current_usage(),
+                c.total_backing()
+            ));
+        }
+        if !c.lent.fits_within(c.alloc) {
+            scan.msgs.push(format!(
+                "container {}: lends {:?} beyond its allocation {:?}",
+                c.id, c.lent, c.alloc
+            ));
+        }
         if c.executing.is_some() != c.exec_until.is_some() {
             scan.msgs.push(format!(
                 "container {}: exec_until out of sync with executing task",
@@ -385,6 +491,8 @@ fn scan_stages(
         let sidx = base + off;
         let mut free = 0usize;
         let mut stage_exec = 0usize;
+        let mut stage_alloc = ResourceVec::ZERO;
+        let mut stage_used = ResourceVec::ZERO;
         let mut seen = std::collections::BTreeSet::new();
         for &id in &s.containers {
             if !seen.insert(id) {
@@ -399,6 +507,8 @@ fn scan_stages(
             }
             free += c.free_slots();
             stage_exec += usize::from(c.executing.is_some());
+            stage_alloc += c.alloc;
+            stage_used += c.current_usage();
         }
         listed += s.containers.len();
         if free != s.total_free_slots() {
@@ -412,6 +522,18 @@ fn scan_stages(
             out.push(format!(
                 "stage {sidx}: executing counter {} != scan {}",
                 s.executing, stage_exec
+            ));
+        }
+        if stage_alloc != s.allocated {
+            out.push(format!(
+                "stage {sidx}: allocation aggregate {:?} != scan {:?}",
+                s.allocated, stage_alloc
+            ));
+        }
+        if stage_used != s.used {
+            out.push(format!(
+                "stage {sidx}: usage aggregate {:?} != scan {:?}",
+                s.used, stage_used
             ));
         }
         // per-stage task ledger: everything that entered the queue is
@@ -441,7 +563,7 @@ mod tests {
     use crate::config::SimConfig;
     use crate::driver::Simulation;
     use fifer_core::rm::RmKind;
-    use fifer_metrics::SimDuration;
+    use fifer_metrics::{SimDuration, SimTime};
     use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
 
     fn jobs() -> JobStream {
@@ -487,6 +609,43 @@ mod tests {
         assert!(
             msgs.iter().any(|m| m.contains("live")),
             "expected the pod/live reconciliation to fire: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_usage_ledger_is_detected() {
+        let stream = jobs();
+        let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 5.0);
+        cfg.audit = true;
+        let mut s = Simulation::new(cfg, &stream);
+        // phantom usage on a node with no containers: the exact-integer
+        // usage reconciliation and the `used ≤ allocated` chain both break
+        s.cluster
+            .add_usage(0, fifer_core::ResourceVec::new(100, 64), SimTime::ZERO);
+        let mut msgs = Vec::new();
+        s.check_deep(&mut msgs);
+        assert!(
+            msgs.iter().any(|m| m.contains("usage ledger")),
+            "expected the usage reconciliation to fire: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("exceeds allocated")),
+            "expected the conservation chain to fire: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn unbalanced_lease_counters_are_detected() {
+        let stream = jobs();
+        let mut cfg = SimConfig::prototype(RmKind::Harvest.config(), 5.0);
+        cfg.audit = true;
+        let mut s = Simulation::new(cfg, &stream);
+        s.leases_created += 1; // a lease that never reached the ledger
+        let mut msgs = Vec::new();
+        s.check_cheap(&mut msgs);
+        assert!(
+            msgs.iter().any(|m| m.contains("lease balance")),
+            "expected the lease-balance check to fire: {msgs:?}"
         );
     }
 

@@ -188,6 +188,11 @@ impl SimConfig {
         }
     }
 
+    /// The default per-container allocation as an exact integer shape.
+    pub fn container_alloc(&self) -> fifer_core::ResourceVec {
+        fifer_core::ResourceVec::from_cores_gb(self.container_cpu, self.container_mem_gb)
+    }
+
     /// Containers that fit on the whole cluster (CPU-bound; the paper's
     /// 0.5-core containers make CPU the binding resource).
     pub fn max_containers(&self) -> usize {

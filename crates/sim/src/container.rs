@@ -9,8 +9,58 @@
 //! execute; requests may already be bound to it while cold (they are what
 //! the container was spawned for).
 
+use fifer_core::resources::ResourceVec;
 use fifer_metrics::{SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Deterministic per-container usage profile, sampled from the workload's
+/// function mix: what the container consumes while idle (runtime resident
+/// footprint) and while executing a request.
+///
+/// Sampling is a pure splitmix64 hash of `(microservice, container id,
+/// seed)` — it never touches the simulation's RNG streams, so profiles can
+/// be active in every run without perturbing any draw sequence (the same
+/// discipline the fault plans use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageProfile {
+    /// Steady-state consumption while warm and idle.
+    pub idle: ResourceVec,
+    /// Peak consumption while executing a request.
+    pub busy: ResourceVec,
+}
+
+impl UsageProfile {
+    /// Samples the profile for container `id` serving microservice
+    /// `ms_index` under `seed`, scaled off the default allocation shape.
+    /// Busy CPU lands in [35%, 85%] of the default and busy memory in
+    /// [40%, 90%] — always under the default shape, so a default-sized
+    /// container is never born over-committed, and there is real headroom
+    /// for the right-sizer and the harvester to recover.
+    pub fn sample(ms_index: u64, id: u64, seed: u64, default_alloc: ResourceVec) -> Self {
+        let mut state = (ms_index << 32) ^ id.wrapping_mul(0x9E37_79B9) ^ seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut v = state;
+            v = (v ^ (v >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            v = (v ^ (v >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            v ^ (v >> 31)
+        };
+        let busy_cpu_pct = 35 + next() % 51; // [35, 85]
+        let busy_mem_pct = 40 + next() % 51; // [40, 90]
+        let idle_cpu_pct = 2 + next() % 5; // [2, 6]
+        let busy = ResourceVec::new(
+            default_alloc.cpu_milli * busy_cpu_pct / 100,
+            default_alloc.mem_mb * busy_mem_pct / 100,
+        );
+        let idle = ResourceVec::new(
+            default_alloc.cpu_milli * idle_cpu_pct / 100,
+            // memory is sticky: the idle footprint keeps 40% of the busy
+            // working set resident
+            busy.mem_mb * 40 / 100,
+        );
+        UsageProfile { idle, busy }
+    }
+}
 
 /// A task bound to a container (stage-level bookkeeping travels with it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +118,16 @@ pub struct Container {
     pub last_used: SimTime,
     /// Tasks completed over the container's lifetime (RPC metric, §6.1.3).
     pub tasks_executed: u64,
+    /// Primary resource allocation charged against node capacity. A fully
+    /// lease-backed (harvest-spawned) container holds `ZERO` here.
+    pub alloc: ResourceVec,
+    /// Lease-backed resources this container borrowed from idle lenders.
+    pub borrowed: ResourceVec,
+    /// Resources this container lent out of its own idle headroom. Nonzero
+    /// only while it backs an active harvest lease part.
+    pub lent: ResourceVec,
+    /// Usage profile: what the container consumes idle vs. busy.
+    pub usage: UsageProfile,
 }
 
 impl Container {
@@ -100,7 +160,29 @@ impl Container {
             cold_start,
             last_used: now,
             tasks_executed: 0,
+            alloc: ResourceVec::ZERO,
+            borrowed: ResourceVec::ZERO,
+            lent: ResourceVec::ZERO,
+            usage: UsageProfile {
+                idle: ResourceVec::ZERO,
+                busy: ResourceVec::ZERO,
+            },
         }
+    }
+
+    /// What this container consumes right now: its busy profile while a
+    /// task executes, its idle footprint otherwise.
+    pub fn current_usage(&self) -> ResourceVec {
+        if self.executing.is_some() {
+            self.usage.busy
+        } else {
+            self.usage.idle
+        }
+    }
+
+    /// The total reservation backing this container (primary + borrowed).
+    pub fn total_backing(&self) -> ResourceVec {
+        self.alloc + self.borrowed
     }
 
     /// Free slots remaining (counts the executing slot).
@@ -357,5 +439,43 @@ mod tests {
         let mut c = warm_container(2);
         assert!(c.fail().is_empty());
         assert!(!c.is_alive());
+    }
+
+    #[test]
+    fn usage_profiles_are_deterministic_and_bounded() {
+        let default = ResourceVec::from_cores_gb(0.5, 1.0);
+        for ms in 0..8u64 {
+            for id in 0..32u64 {
+                let p = UsageProfile::sample(ms, id, 7, default);
+                let q = UsageProfile::sample(ms, id, 7, default);
+                assert_eq!(p, q, "same inputs must sample the same profile");
+                assert!(p.idle.fits_within(p.busy), "idle must not exceed busy");
+                assert!(p.busy.fits_within(default), "busy must fit the default");
+                assert!(!p.busy.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn usage_profiles_vary_across_containers() {
+        let default = ResourceVec::from_cores_gb(0.5, 1.0);
+        let a = UsageProfile::sample(0, 0, 7, default);
+        let distinct = (1..64u64).any(|id| UsageProfile::sample(0, id, 7, default) != a);
+        assert!(distinct, "profiles must differ across container ids");
+    }
+
+    #[test]
+    fn current_usage_follows_execution_state() {
+        let mut c = warm_container(2);
+        c.usage = UsageProfile {
+            idle: ResourceVec::new(20, 100),
+            busy: ResourceVec::new(400, 700),
+        };
+        assert_eq!(c.current_usage(), c.usage.idle);
+        c.bind(task(1, secs(4)));
+        c.start_next(secs(4));
+        assert_eq!(c.current_usage(), c.usage.busy);
+        c.finish_executing(secs(5));
+        assert_eq!(c.current_usage(), c.usage.idle);
     }
 }

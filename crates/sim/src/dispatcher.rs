@@ -38,12 +38,21 @@ impl Simulation<'_> {
                         let cv = self.cluster_scalars(now, &[]);
                         self.rm.on_queue_blocked(&cv, &sv)
                     };
-                    let Decision::SpawnContainer { stage, count } = decision else {
-                        break; // requeue: batching RMs wait for the scalers
+                    let (stage, count, harvest) = match decision {
+                        Decision::SpawnContainer { stage, count } => (stage, count, false),
+                        Decision::Harvest { stage, count } => (stage, count, true),
+                        _ => break, // requeue: batching RMs wait for the scalers
                     };
                     let mut spawned_any = false;
                     for _ in 0..count {
-                        match self.spawn_container(stage, now, DecisionCause::QueueBlocked) {
+                        let spawned = if harvest {
+                            // prefer lease backing; falls back to a primary
+                            // allocation when no node can cover the request
+                            self.spawn_harvested(stage, now, DecisionCause::QueueBlocked)
+                        } else {
+                            self.spawn_container(stage, now, DecisionCause::QueueBlocked)
+                        };
+                        match spawned {
                             Some(_) => spawned_any = true,
                             None => break, // cluster full; tasks stay queued
                         }
@@ -196,5 +205,16 @@ impl Simulation<'_> {
                 Event::TaskFinish { container: cid },
             );
         }
+        // idle → busy: a lender that went busy takes its lent headroom back
+        // first, then the usage track steps up to the busy footprint
+        if !self.containers[cid as usize].lent.is_zero() {
+            self.settle_lender(cid, now);
+        }
+        let (stage, delta) = {
+            let c = &self.containers[cid as usize];
+            (c.stage, c.usage.busy - c.usage.idle)
+        };
+        self.cluster.add_usage(node, delta, now);
+        self.stages[stage].used += delta;
     }
 }

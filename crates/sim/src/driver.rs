@@ -128,6 +128,23 @@ pub struct Simulation<'a> {
     /// (chain-transition overhead) — the auditor's conservation ledger
     /// needs to know they are accounted for.
     pub(crate) in_transition: usize,
+    // harvesting
+    /// Live harvest leases (borrower → lender parts).
+    pub(crate) ledger: crate::harvest::HarvestLedger,
+    /// Containers spawned on lease backing instead of primary allocation.
+    pub(crate) harvest_spawns: u64,
+    /// Harvest leases opened.
+    pub(crate) leases_created: u64,
+    /// Harvest leases fully dissolved or reclaimed.
+    pub(crate) leases_ended: u64,
+    /// Individual lease parts converted back to primary allocation.
+    pub(crate) lease_parts_reclaimed: u64,
+    /// Borrowers killed because a lender needed its headroom back.
+    pub(crate) containers_preempted: u64,
+    /// Tasks bounced back to their stage queue by borrower preemption.
+    pub(crate) tasks_preempted: u64,
+    /// Warm-idle containers downsized in place by the right-sizer.
+    pub(crate) containers_rightsized: u64,
     /// The invariant auditor's log (inert unless `cfg.audit`).
     pub(crate) audit: AuditLog,
 }
@@ -247,6 +264,14 @@ impl<'a> Simulation<'a> {
             node_outages: 0,
             node_down_depth: vec![0; cfg.cluster.nodes],
             in_transition: 0,
+            ledger: crate::harvest::HarvestLedger::default(),
+            harvest_spawns: 0,
+            leases_created: 0,
+            leases_ended: 0,
+            lease_parts_reclaimed: 0,
+            containers_preempted: 0,
+            tasks_preempted: 0,
+            containers_rightsized: 0,
             audit: AuditLog::default(),
             cfg,
             stream,
@@ -367,6 +392,54 @@ impl<'a> Simulation<'a> {
                 Decision::DispatchBatch { stage } => {
                     self.dispatch(stage, now, cause);
                 }
+                Decision::Harvest { stage, count } => {
+                    for _ in 0..count {
+                        // lease-backed when possible, primary otherwise —
+                        // `None` only when even the fallback found no node
+                        if self.spawn_harvested(stage, now, cause).is_none() {
+                            break;
+                        }
+                    }
+                }
+                Decision::Resize { stage, alloc } => {
+                    // the right-sizer only shrinks: requests are clamped to
+                    // the configured container shape
+                    let clamped = alloc.min(self.cfg.container_alloc());
+                    self.stages[stage].spawn_alloc = Some(clamped);
+                    // downsize the stage's warm-idle fleet in place — a
+                    // stable fleet rarely respawns, so resizing only future
+                    // spawns would leave the bulk of the waste untouched.
+                    // Each container keeps at least its own busy peak (so
+                    // `usage ≤ allocation` can never break) and lease
+                    // participants are left alone (their headroom or
+                    // backing is already committed).
+                    let mut shrunk = 0usize;
+                    for i in 0..self.stages[stage].containers.len() {
+                        let cid = self.stages[stage].containers[i];
+                        let c = &self.containers[cid as usize];
+                        if !c.is_idle() || !c.lent.is_zero() || !c.borrowed.is_zero() {
+                            continue;
+                        }
+                        let target = clamped.max(c.usage.busy);
+                        if target == c.alloc || !target.fits_within(c.alloc) {
+                            continue;
+                        }
+                        let delta = c.alloc - target;
+                        let node = c.node;
+                        self.containers[cid as usize].alloc = target;
+                        self.cluster.shrink(node, delta, now);
+                        self.stages[stage].allocated -= delta;
+                        shrunk += 1;
+                        self.containers_rightsized += 1;
+                    }
+                    self.trace.record(|| SimEvent::Resize {
+                        at: now,
+                        stage,
+                        cpu_milli: clamped.cpu_milli,
+                        mem_mb: clamped.mem_mb,
+                        shrunk,
+                    });
+                }
                 Decision::Requeue { .. } | Decision::Noop => {}
             }
         }
@@ -429,6 +502,14 @@ impl<'a> Simulation<'a> {
         self.stages[sidx].executing -= 1;
         self.cluster.set_executing(node, -1);
         self.stages[sidx].tasks_executed += 1;
+        // busy → idle: the usage track steps back down to the idle
+        // footprint (`try_start` below re-adds it if another task starts)
+        let delta = {
+            let c = &self.containers[cid as usize];
+            c.usage.busy - c.usage.idle
+        };
+        self.cluster.sub_usage(node, delta, now);
+        self.stages[sidx].used -= delta;
         self.store.access(StoreOp::JobStats);
 
         // advance the job along its chain
@@ -467,7 +548,8 @@ impl<'a> Simulation<'a> {
             self.jobs_done += 1;
             self.last_completion = now;
             if self.workload_drained() {
-                // final energy rectangle ends with the workload
+                // final energy + utilization rectangles end with the workload
+                self.cluster.accrue(now);
                 self.meter.sample(&self.cluster, now);
             }
         } else {
@@ -554,6 +636,11 @@ impl<'a> Simulation<'a> {
             })
             .collect();
         for &cid in &victims {
+            if !self.containers[cid as usize].is_alive() {
+                // a borrower on this node was already preempted by an
+                // earlier victim's reclamation chain
+                continue;
+            }
             self.crash_container(cid, now, FaultKind::NodeOutage);
         }
         self.cluster.set_node_up(node, false);
@@ -624,6 +711,7 @@ impl<'a> Simulation<'a> {
             // already closed its last rectangle at the final completion
             return;
         }
+        self.cluster.accrue(now);
         self.meter.sample(&self.cluster, now);
         self.nodes_series
             .push(now, self.cluster.active_nodes() as f64);
@@ -651,6 +739,16 @@ impl<'a> Simulation<'a> {
             self.rm.on_monitor_tick(&cv, &mut out);
         }
         self.apply(&mut out, now, DecisionCause::MonitorTick);
+
+        // usage telemetry (same views): the right-sizer and other
+        // usage-aware policies observe per-stage allocation vs usage. A
+        // default no-op for the paper's five managers.
+        {
+            let mut cv = self.cluster_scalars(now, &views);
+            cv.global_rate = global_rate;
+            self.rm.on_usage_sample(&cv, &mut out);
+        }
+        self.apply(&mut out, now, DecisionCause::UsageSample);
 
         // idle deadlines (§4.4.1): snapshot the expired containers and let
         // the policy decide which die (fixed pools keep theirs). Containers

@@ -86,7 +86,8 @@ impl EnergyMeter {
                 .iter()
                 .map(|n| {
                     let busy = n.executing as f64 * self.container_cpu;
-                    self.model.node_power(busy, n.cores, n.empty_since, now)
+                    self.model
+                        .node_power(busy, n.capacity.cpu_cores(), n.empty_since, now)
                 })
                 .sum();
             self.joules += watts * dt;
@@ -169,7 +170,11 @@ mod tests {
         let mut cluster = Cluster::new(1, 16.0, 192.0, 0.5, 1.0);
         let mut idle_meter = EnergyMeter::new(model(), 0.5);
         let mut busy_meter = EnergyMeter::new(model(), 0.5);
-        cluster.place(0);
+        cluster.place(
+            0,
+            fifer_core::ResourceVec::from_cores_gb(0.5, 1.0),
+            SimTime::ZERO,
+        );
         idle_meter.sample(&cluster, SimTime::from_secs(10));
         cluster.set_executing(0, 8);
         busy_meter.sample(&cluster, SimTime::from_secs(10));

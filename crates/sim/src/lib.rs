@@ -27,6 +27,9 @@
 //!   and selection policies,
 //! * `lifecycle` — container spawn/placement/eviction/kill and the
 //!   warm-pool floor,
+//! * `harvest` — idle-resource harvesting: node-local leases carved from
+//!   idle containers' allocation headroom, with safe reclamation when a
+//!   lender's usage rises,
 //! * [`fault`] — the deterministic fault-injection plan (seeded spawn
 //!   failures, mid-task crashes, node outages, stragglers),
 //! * `audit` — the runtime invariant auditor: conservation laws checked
@@ -65,6 +68,7 @@ pub mod driver;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+mod harvest;
 mod lifecycle;
 pub mod results;
 pub mod stage;

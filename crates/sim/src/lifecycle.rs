@@ -8,7 +8,7 @@
 //! decide *whether* to scale.
 
 use crate::accounting::is_unoccupied;
-use crate::container::{BoundTask, Container};
+use crate::container::{BoundTask, Container, UsageProfile};
 use crate::driver::Simulation;
 use crate::engine::Event;
 use crate::fault::FaultKind;
@@ -16,24 +16,60 @@ use crate::stage::StageTask;
 use crate::stats_store::StoreOp;
 use crate::trace::SimEvent;
 use fifer_core::policy::DecisionCause;
+use fifer_core::resources::ResourceVec;
 use fifer_metrics::SimTime;
 use rand::Rng;
 
+/// The resource shape of a new container: its primary allocation, any
+/// lease-backed borrowed amount (zero for normal spawns), and the
+/// deterministic usage profile it will report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpawnShape {
+    pub alloc: ResourceVec,
+    pub borrowed: ResourceVec,
+    pub profile: UsageProfile,
+}
+
 impl Simulation<'_> {
-    /// Finds a node with room for one more container, evicting the
-    /// least-recently-used idle container cluster-wide when the cluster is
-    /// full (real orchestrators reclaim idle sandboxes under capacity
+    /// Finds a node with room for a `request`-sized container, evicting
+    /// least-recently-used idle containers cluster-wide while the cluster
+    /// is full (real orchestrators reclaim idle sandboxes under capacity
     /// pressure rather than starving a stage behind another stage's warm
     /// pool). Returns `None` when nothing fits and nothing is evictable.
-    pub(crate) fn place_node_with_eviction(&mut self, sidx: usize, now: SimTime) -> Option<usize> {
+    /// The loop is bounded: every iteration kills one container.
+    pub(crate) fn place_node_with_eviction(
+        &mut self,
+        sidx: usize,
+        now: SimTime,
+        request: ResourceVec,
+    ) -> Option<usize> {
         let placement = self.cfg.rm.placement;
-        if let Some(n) = self.cluster.select_node(placement) {
-            return Some(n);
+        loop {
+            if let Some(n) = self.cluster.select_node(placement, request) {
+                return Some(n);
+            }
+            if !self.evict_lru_idle(sidx, now) {
+                return None;
+            }
         }
-        if !self.evict_lru_idle(sidx, now) {
-            return None;
-        }
-        self.cluster.select_node(placement)
+    }
+
+    /// The allocation request and usage profile the next container spawned
+    /// for `sidx` will carry. The request is the stage's spawn shape (the
+    /// right-sizer's override, else the cluster default), floored at the
+    /// profile's busy peak so a right-sized container can always execute.
+    /// With paper-default profiles (busy ≤ 90% of default) and no resize
+    /// override, the request is exactly the default shape.
+    pub(crate) fn spawn_request(&self, sidx: usize) -> (ResourceVec, UsageProfile) {
+        let default = self.cfg.container_alloc();
+        let id = self.containers.len() as u64;
+        let ms = self.stages[sidx].microservice;
+        let profile = UsageProfile::sample(ms as u64, id, self.cfg.seed, default);
+        let request = self.stages[sidx]
+            .spawn_alloc
+            .unwrap_or(default)
+            .max(profile.busy);
+        (request, profile)
     }
 
     /// Spawns one container for `sidx`, returning its id, or `None` when
@@ -44,7 +80,8 @@ impl Simulation<'_> {
         now: SimTime,
         cause: DecisionCause,
     ) -> Option<u64> {
-        let Some(node) = self.place_node_with_eviction(sidx, now) else {
+        let (request, profile) = self.spawn_request(sidx);
+        let Some(node) = self.place_node_with_eviction(sidx, now, request) else {
             self.failed_spawns += 1;
             self.trace.failed_spawns += 1;
             self.trace.record(|| SimEvent::SpawnFailed {
@@ -54,7 +91,35 @@ impl Simulation<'_> {
             });
             return None;
         };
-        self.cluster.place(node);
+        self.cluster.place(node, request, now);
+        let shape = SpawnShape {
+            alloc: request,
+            borrowed: ResourceVec::ZERO,
+            profile,
+        };
+        Some(self.finish_spawn(sidx, node, now, cause, shape))
+    }
+
+    /// Shared tail of every spawn path (normal and harvest-backed): charges
+    /// the cold start, registers the container and its resource tracks, and
+    /// schedules the warm-up and any planned spawn fault. The caller has
+    /// already reserved `shape.alloc` (and, for harvest spawns,
+    /// `shape.borrowed`) on `node`. RNG draw order is part of the replay
+    /// contract: one `rng` jitter draw, then at most one guarded
+    /// `fault_rng` draw.
+    pub(crate) fn finish_spawn(
+        &mut self,
+        sidx: usize,
+        node: usize,
+        now: SimTime,
+        cause: DecisionCause,
+        shape: SpawnShape,
+    ) -> u64 {
+        let SpawnShape {
+            alloc,
+            borrowed,
+            profile,
+        } = shape;
         let ms = self.stages[sidx].microservice;
         // first spawn of a microservice on a node pays the full image pull;
         // later spawns hit the node's layer cache (runtime init only)
@@ -70,17 +135,17 @@ impl Simulation<'_> {
         let cold = base.mul_f64(jitter);
         let stage = &mut self.stages[sidx];
         let id = self.containers.len() as u64;
-        self.containers.push(Container::spawn(
-            id,
-            sidx,
-            node,
-            stage.batch_size,
-            now,
-            cold,
-        ));
+        let mut c = Container::spawn(id, sidx, node, stage.batch_size, now, cold);
+        c.alloc = alloc;
+        c.borrowed = borrowed;
+        c.usage = profile;
+        self.containers.push(c);
         stage.containers.push(id);
         stage.update_free(id, 0, stage.batch_size);
         stage.containers_spawned += 1;
+        stage.allocated += alloc;
+        stage.used += profile.idle;
+        self.cluster.add_usage(node, profile.idle, now);
         self.total_spawns += 1;
         self.live_count += 1;
         self.spawn_series.push(now, self.total_spawns as f64);
@@ -114,7 +179,7 @@ impl Simulation<'_> {
                 },
             );
         }
-        Some(id)
+        id
     }
 
     /// Kills `cid` by injected fault: releases its resources, refunds the
@@ -123,12 +188,18 @@ impl Simulation<'_> {
     /// budget is spent). Mechanism-side — the policy is consulted
     /// afterwards via `on_container_failed` / `on_node_down`.
     pub(crate) fn crash_container(&mut self, cid: u64, now: SimTime, kind: FaultKind) {
-        let (sidx, node, prev_free, exec_until, lost) = {
+        let (sidx, node, prev_free, exec_until, lost, alloc, borrowed, lent, usage) = {
             let c = &mut self.containers[cid as usize];
             let prev_free = c.free_slots();
             let exec_until = c.exec_until;
+            // captured before `fail` drains the executing slot: a busy
+            // container's death must return its *busy* footprint
+            let usage = c.current_usage();
+            let (alloc, borrowed, lent) = (c.alloc, c.borrowed, c.lent);
             let lost = c.fail();
-            (c.stage, c.node, prev_free, exec_until, lost)
+            (
+                c.stage, c.node, prev_free, exec_until, lost, alloc, borrowed, lent, usage,
+            )
         };
         if let Some(until) = exec_until {
             // the interrupted task (always first out of `fail`): undo its
@@ -140,7 +211,19 @@ impl Simulation<'_> {
             let j = &mut self.jobs[lost[0].job];
             j.breakdown.exec = j.breakdown.exec.saturating_sub(until.saturating_since(now));
         }
-        self.cluster.release(node, now);
+        self.cluster.sub_usage(node, usage, now);
+        self.stages[sidx].used -= usage;
+        self.stages[sidx].allocated -= alloc;
+        if !borrowed.is_zero() {
+            // a dead borrower's lease dissolves: parts flow back to lenders
+            self.dissolve_borrower(cid, now);
+        }
+        self.cluster.release(node, alloc, now);
+        if !lent.is_zero() {
+            // a dead lender always re-backs its part: releasing its own
+            // allocation freed at least as much as it had lent
+            self.settle_dead_lender(cid, now);
+        }
         self.stages[sidx].remove_free(cid, prev_free);
         self.stages[sidx].containers.retain(|&id| id != cid);
         self.live_count -= 1;
@@ -223,6 +306,7 @@ impl Simulation<'_> {
         self.last_completion = self.last_completion.max(now);
         if self.workload_drained() {
             // the drop, not a completion, ended the workload
+            self.cluster.accrue(now);
             self.meter.sample(&self.cluster, now);
         }
     }
@@ -247,15 +331,27 @@ impl Simulation<'_> {
         }
     }
 
-    /// Kills one idle container and releases its resources.
+    /// Kills one idle container and releases its resources (primary
+    /// allocation, usage footprint, and any lease it borrowed or backed).
     pub(crate) fn kill_container(&mut self, cid: u64, now: SimTime, cause: DecisionCause) {
-        let (sidx, node, prev_free) = {
+        let (sidx, node, prev_free, alloc, borrowed, lent, usage) = {
             let c = &mut self.containers[cid as usize];
             let prev_free = c.free_slots();
+            let usage = c.current_usage();
+            let (alloc, borrowed, lent) = (c.alloc, c.borrowed, c.lent);
             c.kill();
-            (c.stage, c.node, prev_free)
+            (c.stage, c.node, prev_free, alloc, borrowed, lent, usage)
         };
-        self.cluster.release(node, now);
+        self.cluster.sub_usage(node, usage, now);
+        self.stages[sidx].used -= usage;
+        self.stages[sidx].allocated -= alloc;
+        if !borrowed.is_zero() {
+            self.dissolve_borrower(cid, now);
+        }
+        self.cluster.release(node, alloc, now);
+        if !lent.is_zero() {
+            self.settle_dead_lender(cid, now);
+        }
         self.stages[sidx].remove_free(cid, prev_free);
         self.stages[sidx].containers.retain(|&id| id != cid);
         self.live_count -= 1;

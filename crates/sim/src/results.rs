@@ -66,6 +66,30 @@ pub struct SimResult {
     pub jobs_dropped: u64,
     /// Node outages that fired during the run.
     pub node_outages: u64,
+    /// Integral of allocated CPU over the run, in core-hours — what the
+    /// cluster *reserved* (the paper's underutilization denominator).
+    pub alloc_core_hours: f64,
+    /// Integral of actually-consumed CPU over the run, in core-hours —
+    /// what containers *used* (idle vs busy footprints).
+    pub used_core_hours: f64,
+    /// Integral of lease-backed (harvested) CPU over the run, in
+    /// core-hours — demand served from idle headroom instead of fresh
+    /// allocation. 0 with harvesting disabled.
+    pub harvested_core_hours: f64,
+    /// Containers spawned on harvest-lease backing.
+    pub harvest_spawns: u64,
+    /// Harvest leases opened.
+    pub leases_created: u64,
+    /// Harvest leases fully dissolved or reclaimed.
+    pub leases_ended: u64,
+    /// Individual lease parts converted back to primary allocation.
+    pub lease_parts_reclaimed: u64,
+    /// Borrowers preempted because a lender needed its headroom back.
+    pub containers_preempted: u64,
+    /// Tasks bounced back to their stage queue by borrower preemption.
+    pub tasks_preempted: u64,
+    /// Warm-idle containers downsized in place by the right-sizer.
+    pub containers_rightsized: u64,
     /// Invariant checks the auditor performed (0 when auditing is off).
     /// Not serialized, so audited and unaudited runs of the same
     /// configuration produce identical artifacts.
@@ -241,6 +265,37 @@ impl SimResult {
         o.push_str(&format!("  \"tasks_requeued\": {},\n", self.tasks_requeued));
         o.push_str(&format!("  \"jobs_dropped\": {},\n", self.jobs_dropped));
         o.push_str(&format!("  \"node_outages\": {},\n", self.node_outages));
+        o.push_str(&format!(
+            "  \"alloc_core_hours\": {},\n",
+            json_f64(self.alloc_core_hours)
+        ));
+        o.push_str(&format!(
+            "  \"used_core_hours\": {},\n",
+            json_f64(self.used_core_hours)
+        ));
+        o.push_str(&format!(
+            "  \"harvested_core_hours\": {},\n",
+            json_f64(self.harvested_core_hours)
+        ));
+        o.push_str(&format!("  \"harvest_spawns\": {},\n", self.harvest_spawns));
+        o.push_str(&format!("  \"leases_created\": {},\n", self.leases_created));
+        o.push_str(&format!("  \"leases_ended\": {},\n", self.leases_ended));
+        o.push_str(&format!(
+            "  \"lease_parts_reclaimed\": {},\n",
+            self.lease_parts_reclaimed
+        ));
+        o.push_str(&format!(
+            "  \"containers_preempted\": {},\n",
+            self.containers_preempted
+        ));
+        o.push_str(&format!(
+            "  \"tasks_preempted\": {},\n",
+            self.tasks_preempted
+        ));
+        o.push_str(&format!(
+            "  \"containers_rightsized\": {},\n",
+            self.containers_rightsized
+        ));
         // count only: the auditor is read-only and must not change the
         // artifact of a clean run, audited or not
         o.push_str(&format!(
@@ -457,6 +512,16 @@ mod tests {
             tasks_requeued: 0,
             jobs_dropped: 0,
             node_outages: 0,
+            alloc_core_hours: 0.0,
+            used_core_hours: 0.0,
+            harvested_core_hours: 0.0,
+            harvest_spawns: 0,
+            leases_created: 0,
+            leases_ended: 0,
+            lease_parts_reclaimed: 0,
+            containers_preempted: 0,
+            tasks_preempted: 0,
+            containers_rightsized: 0,
             audit_checks: 0,
             audit_violations: Vec::new(),
             energy_joules: 1234.0,

@@ -15,6 +15,7 @@
 //! `pop` and the age query are O(log n) amortized where the seed scanned
 //! the whole queue per dispatched task.
 
+use fifer_core::resources::ResourceVec;
 use fifer_core::scheduling::{QueuedTask, SchedulingPolicy};
 use fifer_metrics::{SimDuration, SimTime};
 use fifer_workloads::Microservice;
@@ -257,6 +258,16 @@ pub struct StageRuntime {
     /// Tasks orphaned by faulted containers, cumulative (each is then
     /// either requeued or, past the retry budget, dropped).
     pub lost: u64,
+    /// Sum of the stage's live containers' primary allocations (driver-
+    /// maintained, exact integers — feeds `StageView::allocated`).
+    pub allocated: ResourceVec,
+    /// Sum of the stage's live containers' current usage (idle or busy
+    /// profile per container — feeds `StageView::used`).
+    pub used: ResourceVec,
+    /// Right-sizer override for future spawns: `None` uses the cluster's
+    /// default container shape, `Some` was set by a `Decision::Resize`
+    /// (already clamped to the default shape by the mechanism).
+    pub spawn_alloc: Option<ResourceVec>,
 }
 
 impl StageRuntime {
@@ -289,6 +300,9 @@ impl StageRuntime {
             containers_spawned: 0,
             requeued: 0,
             lost: 0,
+            allocated: ResourceVec::ZERO,
+            used: ResourceVec::ZERO,
+            spawn_alloc: None,
         }
     }
 

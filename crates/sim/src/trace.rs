@@ -155,6 +155,66 @@ pub enum SimEvent {
         /// Retries the task had already consumed.
         retries: u32,
     },
+    /// A container was spawned entirely on harvested (lease-backed)
+    /// resources carved from idle lenders' allocation headroom.
+    HarvestLease {
+        /// When the lease was created.
+        at: SimTime,
+        /// The borrower container's id.
+        container: u64,
+        /// Stage the borrower serves.
+        stage: usize,
+        /// Node hosting both borrower and lenders (leases are node-local).
+        node: usize,
+        /// Number of lender parts backing the lease.
+        parts: usize,
+        /// Total borrowed CPU in millicores.
+        cpu_milli: u64,
+    },
+    /// A lender needed its headroom back and its lease part was settled:
+    /// re-backed from free node capacity, or — when nothing fit — the
+    /// borrower was preempted.
+    LeaseReclaimed {
+        /// When the reclamation happened.
+        at: SimTime,
+        /// The lender whose usage rose (or which died).
+        lender: u64,
+        /// The borrower whose backing was settled.
+        borrower: u64,
+        /// The node the lease lived on.
+        node: usize,
+        /// `true` when the borrower was preempted instead of re-backed.
+        preempted: bool,
+    },
+    /// A harvest-lease reclamation preempted a borrower, bouncing its
+    /// tasks back into the stage queue (no retry budget is charged —
+    /// preemption is policy-induced, not a fault).
+    Preempt {
+        /// When the preemption happened.
+        at: SimTime,
+        /// The preempted borrower.
+        container: u64,
+        /// Stage it served.
+        stage: usize,
+        /// Node it ran on.
+        node: usize,
+        /// Tasks bounced back into the stage queue.
+        tasks: usize,
+    },
+    /// The right-sizer changed a stage's spawn allocation (future spawns)
+    /// and downsized its warm-idle fleet in place.
+    Resize {
+        /// When the resize was applied.
+        at: SimTime,
+        /// The resized stage.
+        stage: usize,
+        /// New per-container CPU allocation in millicores.
+        cpu_milli: u64,
+        /// New per-container memory allocation in MB.
+        mem_mb: u64,
+        /// Idle containers downsized in place by this decision.
+        shrunk: usize,
+    },
 }
 
 impl SimEvent {
@@ -241,6 +301,47 @@ impl SimEvent {
                 "{{\"event\":\"job_dropped\",\"at_s\":{},\"job\":{job},\"retries\":{retries}}}",
                 at.as_secs_f64(),
             ),
+            SimEvent::HarvestLease {
+                at,
+                container,
+                stage,
+                node,
+                parts,
+                cpu_milli,
+            } => format!(
+                "{{\"event\":\"harvest_lease\",\"at_s\":{},\"container\":{container},\"stage\":{stage},\"node\":{node},\"parts\":{parts},\"cpu_milli\":{cpu_milli}}}",
+                at.as_secs_f64(),
+            ),
+            SimEvent::LeaseReclaimed {
+                at,
+                lender,
+                borrower,
+                node,
+                preempted,
+            } => format!(
+                "{{\"event\":\"lease_reclaimed\",\"at_s\":{},\"lender\":{lender},\"borrower\":{borrower},\"node\":{node},\"preempted\":{preempted}}}",
+                at.as_secs_f64(),
+            ),
+            SimEvent::Preempt {
+                at,
+                container,
+                stage,
+                node,
+                tasks,
+            } => format!(
+                "{{\"event\":\"preempt\",\"at_s\":{},\"container\":{container},\"stage\":{stage},\"node\":{node},\"tasks\":{tasks}}}",
+                at.as_secs_f64(),
+            ),
+            SimEvent::Resize {
+                at,
+                stage,
+                cpu_milli,
+                mem_mb,
+                shrunk,
+            } => format!(
+                "{{\"event\":\"resize\",\"at_s\":{},\"stage\":{stage},\"cpu_milli\":{cpu_milli},\"mem_mb\":{mem_mb},\"shrunk\":{shrunk}}}",
+                at.as_secs_f64(),
+            ),
         }
     }
 }
@@ -275,6 +376,16 @@ pub struct SimTrace {
     pub requeued_tasks: u64,
     /// Lifetime jobs dropped after exhausting the retry budget.
     pub dropped_jobs: u64,
+    /// Lifetime containers spawned on harvested (lease-backed) resources.
+    pub harvest_spawns: u64,
+    /// Lifetime harvest leases created.
+    pub leases_created: u64,
+    /// Lifetime harvest leases ended (fully re-backed, dissolved by
+    /// borrower death, or preempted). `created − ended` = live leases.
+    pub leases_ended: u64,
+    /// Lifetime tasks bounced back into global queues by lease preemption
+    /// (no retry budget charged — disjoint from `requeued_tasks`).
+    pub preempted_tasks: u64,
 }
 
 impl SimTrace {

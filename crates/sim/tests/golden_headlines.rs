@@ -20,7 +20,7 @@ use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
 
 /// (rm, rate, secs, stream seed, expected headline).
 #[allow(clippy::excessive_precision)]
-const GOLDEN: [(RmKind, f64, u64, u64, Headline); 10] = [
+const GOLDEN: [(RmKind, f64, u64, u64, Headline); 12] = [
     (
         RmKind::Bline,
         5.0,
@@ -92,6 +92,20 @@ const GOLDEN: [(RmKind, f64, u64, u64, Headline); 10] = [
         },
     ),
     (
+        RmKind::Harvest,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.22580645161290322,
+            avg_containers: 46.36193402956568,
+            median_ms: 303.3105,
+            p99_ms: 8331.075569999999,
+            cold_starts: 54,
+            energy_joules: 15214.79,
+        },
+    ),
+    (
         RmKind::Bline,
         8.0,
         60,
@@ -159,6 +173,20 @@ const GOLDEN: [(RmKind, f64, u64, u64, Headline); 10] = [
             p99_ms: 11957.90942,
             cold_starts: 12,
             energy_joules: 26332.8576,
+        },
+    ),
+    (
+        RmKind::Harvest,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.08768267223382047,
+            avg_containers: 70.01280572056389,
+            median_ms: 302.615,
+            p99_ms: 6703.711579999999,
+            cold_starts: 75,
+            energy_joules: 30351.508,
         },
     ),
 ];
@@ -265,6 +293,113 @@ fn faulted_headlines_match_goldens() {
             "{kind}: faulted headline drifted from the golden (fault seed 2024)"
         );
     }
+}
+
+/// The exact order of the first harvest/reclaim events the Harvest RM
+/// produces on stream seed 7 (rate 5.0, 30 s) — pins the lease-creation
+/// scan order, the greedy part assignment, and the settle-on-busy
+/// reclamation protocol. Regenerate with `--example golden_gen`.
+const GOLDEN_HARVEST_EVENTS: [&str; 10] = [
+    r#"{"event":"harvest_lease","at_s":3.803777,"container":19,"stage":1,"node":0,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"harvest_lease","at_s":3.833758,"container":20,"stage":1,"node":1,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"lease_reclaimed","at_s":3.95023,"lender":5,"borrower":19,"node":0,"preempted":false}"#,
+    r#"{"event":"harvest_lease","at_s":5.05276,"container":29,"stage":1,"node":2,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"harvest_lease","at_s":5.455902,"container":31,"stage":2,"node":4,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"harvest_lease","at_s":5.531276,"container":33,"stage":2,"node":0,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"harvest_lease","at_s":5.938292,"container":38,"stage":2,"node":3,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"harvest_lease","at_s":6.014865,"container":40,"stage":2,"node":1,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"harvest_lease","at_s":6.293958,"container":43,"stage":2,"node":3,"parts":2,"cpu_milli":500}"#,
+    r#"{"event":"lease_reclaimed","at_s":6.29418,"lender":13,"borrower":43,"node":3,"preempted":false}"#,
+];
+
+/// The right-sizer's first decisions in the harvest golden run: one
+/// `Resize` per stage at t=30 s (three monitor samples), each also
+/// downsizing the stage's warm-idle fleet in place (`shrunk`).
+const GOLDEN_RESIZE_EVENTS: [&str; 4] = [
+    r#"{"event":"resize","at_s":30,"stage":0,"cpu_milli":25,"mem_mb":303,"shrunk":4}"#,
+    r#"{"event":"resize","at_s":30,"stage":1,"cpu_milli":25,"mem_mb":365,"shrunk":3}"#,
+    r#"{"event":"resize","at_s":30,"stage":2,"cpu_milli":43,"mem_mb":377,"shrunk":14}"#,
+    r#"{"event":"resize","at_s":30,"stage":3,"cpu_milli":30,"mem_mb":297,"shrunk":4}"#,
+];
+
+/// The harvesting-enabled golden: the Harvest RM on stream seed 7 must
+/// actually harvest (non-zero lease counters), right-size (non-zero
+/// in-place shrinks — the 60 s horizon puts the first Resize at t=30 s
+/// inside the run), keep every auditor invariant, and reproduce the exact
+/// harvest/reclaim and resize event orders above.
+#[test]
+fn harvest_golden_counters_and_event_order() {
+    let stream = JobStream::generate(
+        &PoissonTrace::new(5.0),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(60),
+        7,
+    );
+    let mut cfg = SimConfig::prototype(RmKind::Harvest.config(), 5.0);
+    cfg.audit = true;
+    cfg.trace.capacity = 1 << 16;
+    let (r, trace) = Simulation::new(cfg, &stream).run_with_trace();
+    assert!(
+        r.audit_violations.is_empty(),
+        "harvest golden run broke an invariant: {:?}",
+        r.audit_violations
+    );
+    assert_eq!(r.harvest_spawns, 12, "harvest spawn count drifted");
+    assert_eq!(r.leases_created, 12, "lease-creation count drifted");
+    assert_eq!(r.leases_ended, 1, "lease-end count drifted");
+    assert_eq!(r.lease_parts_reclaimed, 8, "part-reclamation count drifted");
+    assert_eq!(r.containers_preempted, 0, "preemption count drifted");
+    assert_eq!(r.containers_rightsized, 25, "in-place shrink count drifted");
+    assert!(
+        r.harvested_core_hours > 0.0,
+        "a harvesting run must accrue harvested core-hours"
+    );
+    let got: Vec<String> = trace
+        .events()
+        .map(|e| e.to_json())
+        .filter(|l| {
+            l.contains("\"harvest_lease\"")
+                || l.contains("\"lease_reclaimed\"")
+                || l.contains("\"preempt\"")
+        })
+        .take(GOLDEN_HARVEST_EVENTS.len())
+        .collect();
+    assert_eq!(
+        got, GOLDEN_HARVEST_EVENTS,
+        "harvest/reclaim event order drifted from the golden"
+    );
+    let resizes: Vec<String> = trace
+        .events()
+        .map(|e| e.to_json())
+        .filter(|l| l.contains("\"resize\""))
+        .take(GOLDEN_RESIZE_EVENTS.len())
+        .collect();
+    assert_eq!(
+        resizes, GOLDEN_RESIZE_EVENTS,
+        "right-sizer event order drifted from the golden"
+    );
+}
+
+/// With harvesting explicitly disabled, the Harvest RM's config must
+/// replay Bline's golden byte for byte — the whole resource-model refactor
+/// is inert until switched on.
+#[test]
+fn disabled_harvest_replays_bline_exactly() {
+    let bline = run(RmKind::Bline, 5.0, 30, 7);
+    let mut cfg = RmKind::Harvest.config();
+    cfg.harvest = fifer_core::rm::HarvestConfig::none();
+    let stream = JobStream::generate(
+        &PoissonTrace::new(5.0),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(30),
+        7,
+    );
+    let sim_cfg = SimConfig::prototype(cfg, 5.0);
+    let h = Simulation::new(sim_cfg, &stream).run().headline();
+    assert_eq!(
+        h, bline,
+        "Harvest with HarvestConfig::none() must be Bline bit for bit"
+    );
 }
 
 /// The goldens cover every named resource manager — a guard so adding a

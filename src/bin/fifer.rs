@@ -4,7 +4,9 @@
 //! fifer --rm fifer --trace wits --mix heavy --secs 1200 --seed 7
 //! fifer --rm bline --trace poisson --rate 30 --out run.csv
 //! fifer --replay workload.csv --rm fifer
-//! fifer --compare --trace wiki --secs 1800       # all five RMs side by side
+//! fifer --compare --trace wiki --secs 1800       # all six RMs side by side
+//! fifer --rm harvest --trace wiki --secs 1800    # idle-resource harvesting on
+//! fifer --rm bline --harvest --rightsize         # bolt harvesting onto any RM
 //! ```
 
 use fifer::prelude::*;
@@ -33,14 +35,20 @@ struct Args {
     audit: bool,
     shards: usize,
     serial_engine: bool,
+    harvest: bool,
+    rightsize: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fifer [options]\n\
          \n\
-         --rm <bline|sbatch|rscale|bpred|fifer>   resource manager (default fifer)\n\
-         --compare                                 run all five RMs\n\
+         --rm <bline|sbatch|rscale|bpred|fifer|harvest>  resource manager (default fifer)\n\
+         --compare                                 run all six RMs\n\
+         --harvest                                 lend idle allocation headroom to new\n\
+                                                   containers (on by default for --rm harvest)\n\
+         --rightsize                               shrink over-allocated containers to their\n\
+                                                   observed usage (on by default for --rm harvest)\n\
          --trace <poisson|wiki|wits>               arrival trace (default poisson)\n\
          --mix <heavy|medium|light>                workload mix (default heavy)\n\
          --rate <req/s>                            poisson rate / trace scale basis (default 50)\n\
@@ -86,6 +94,8 @@ fn parse_args() -> Args {
         audit: false,
         shards: 0,
         serial_engine: false,
+        harvest: false,
+        rightsize: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -102,6 +112,7 @@ fn parse_args() -> Args {
                     "rscale" => RmKind::RScale,
                     "bpred" => RmKind::BPred,
                     "fifer" => RmKind::Fifer,
+                    "harvest" => RmKind::Harvest,
                     other => {
                         eprintln!("error: unknown rm {other:?}");
                         usage()
@@ -140,6 +151,8 @@ fn parse_args() -> Args {
                 })
             }
             "--audit" => args.audit = true,
+            "--harvest" => args.harvest = true,
+            "--rightsize" => args.rightsize = true,
             "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--serial-engine" => args.serial_engine = true,
             "--help" | "-h" => usage(),
@@ -235,6 +248,14 @@ fn main() {
         cfg.audit = args.audit;
         cfg.shards = args.shards;
         cfg.use_serial_engine = args.serial_engine;
+        if args.harvest || args.rightsize {
+            // bolt harvesting / right-sizing onto any RM: paper-default
+            // lending knobs, switches set by the flags actually passed
+            let mut h = HarvestConfig::paper_default();
+            h.enabled = args.harvest;
+            h.rightsize = args.rightsize;
+            cfg.rm.harvest = h;
+        }
         if let Some(path) = &args.decision_trace {
             // like --json, the last RM listed wins under --compare
             cfg.trace.capacity = 1 << 20;
@@ -275,6 +296,20 @@ fn main() {
             r.total_spawns,
             r.energy_joules / 1e3,
         ));
+        println!(
+            "         utilization: {:.2} core-h allocated, {:.2} used, {:.2} wasted{}",
+            r.alloc_core_hours,
+            r.used_core_hours,
+            r.alloc_core_hours - r.used_core_hours,
+            if r.harvested_core_hours > 0.0 || r.containers_rightsized > 0 {
+                format!(
+                    ", {:.2} harvested ({} harvest spawns, {} rightsized)",
+                    r.harvested_core_hours, r.harvest_spawns, r.containers_rightsized
+                )
+            } else {
+                String::new()
+            }
+        );
         if args.faults.is_active() {
             println!(
                 "         faults: {} container failures, {} tasks crashed, \

@@ -14,6 +14,14 @@ fn help_exits_with_usage() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--rm"), "usage must document --rm: {err}");
     assert!(err.contains("--replay"));
+    assert!(
+        err.contains("--harvest"),
+        "usage must document --harvest: {err}"
+    );
+    assert!(
+        err.contains("--rightsize"),
+        "usage must document --rightsize: {err}"
+    );
 }
 
 #[test]
@@ -169,6 +177,62 @@ fn faulted_audited_run_reports_counters_and_stays_clean() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("faults:"), "{stdout}");
     assert!(stdout.contains("node outages"), "{stdout}");
+    assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn harvest_rm_reports_utilization_and_stays_audit_clean() {
+    let out = fifer()
+        .args([
+            "--rm", "harvest", "--rate", "5", "--secs", "60", "--seed", "7", "--audit",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Harvest"), "{stdout}");
+    assert!(stdout.contains("utilization:"), "{stdout}");
+    assert!(
+        stdout.contains("harvested"),
+        "a harvesting run must report harvested core-hours: {stdout}"
+    );
+    assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn harvest_flags_bolt_onto_any_rm() {
+    let out = fifer()
+        .args([
+            "--rm",
+            "bline",
+            "--rate",
+            "5",
+            "--secs",
+            "60",
+            "--seed",
+            "7",
+            "--harvest",
+            "--rightsize",
+            "--audit",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Bline"), "{stdout}");
+    assert!(
+        stdout.contains("harvest spawns"),
+        "--harvest on bline must actually lease idle headroom: {stdout}"
+    );
+    assert!(stdout.contains("rightsized"), "{stdout}");
     assert!(stdout.contains("no violations"), "{stdout}");
 }
 

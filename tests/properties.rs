@@ -19,6 +19,7 @@ fn arbitrary_rm() -> impl Strategy<Value = RmKind> {
         Just(RmKind::RScale),
         Just(RmKind::BPred),
         Just(RmKind::Fifer),
+        Just(RmKind::Harvest),
     ]
 }
 
@@ -310,6 +311,87 @@ proptest! {
                 "{} @ {} shards: trace JSONL diverged", rm, shards
             );
         }
+    }
+
+    /// Harvesting under arbitrary knobs, workloads and fault plans, with
+    /// the auditor checking every event commit: the resource conservation
+    /// chain (`used ≤ allocated ≤ capacity`, exact integers), the lease
+    /// balance (created − ended = live), and the per-node borrowed/lent
+    /// equality hold across every random interleaving of spawns, lease
+    /// reclamations, preemptions and injected faults.
+    #[test]
+    fn harvesting_never_breaks_conservation(
+        seed in 0u64..500,
+        rate in 2.0f64..8.0,
+        headroom_pct in 1u8..101,
+        min_lend in 0u64..600,
+        rightsize in any::<bool>(),
+        plan in arbitrary_fault_plan(),
+    ) {
+        use fifer::core::rm::HarvestConfig;
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mut cfg = SimConfig::prototype(
+            RmKind::Harvest.config().with_harvest(HarvestConfig {
+                enabled: true,
+                rightsize,
+                lend_headroom_pct: headroom_pct,
+                min_lend_cpu_milli: min_lend,
+            }),
+            rate,
+        );
+        cfg.seed = seed;
+        cfg.faults = plan.clone();
+        cfg.audit = true;
+        let r = Simulation::new(cfg, &stream).run();
+        prop_assert!(
+            r.audit_violations.is_empty(),
+            "harvest(headroom={headroom_pct}%, min_lend={min_lend}, rightsize={rightsize}) \
+             under {plan:?}: {:?}",
+            r.audit_violations
+        );
+        prop_assert!(r.audit_checks > 0);
+        prop_assert_eq!(
+            r.records.len() as u64 + r.jobs_dropped,
+            stream.len() as u64,
+            "every job must complete or be dropped"
+        );
+        prop_assert_eq!(r.harvest_spawns, r.leases_created);
+        prop_assert!(r.leases_ended <= r.leases_created);
+        prop_assert!(
+            r.used_core_hours <= r.alloc_core_hours + 1e-9,
+            "usage integral {} must not exceed allocation integral {}",
+            r.used_core_hours, r.alloc_core_hours
+        );
+    }
+
+    /// `HarvestConfig::none()` is not merely "few leases" — the whole
+    /// resource-model refactor is inert until switched on: the Harvest
+    /// RM with harvesting disabled replays the baseline byte for byte.
+    #[test]
+    fn disabled_harvesting_is_byte_identical(
+        seed in 0u64..500,
+        rate in 2.0f64..8.0,
+    ) {
+        use fifer::core::rm::HarvestConfig;
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mk = |rm: fifer::core::rm::RmConfig| {
+            let mut cfg = SimConfig::prototype(rm, rate);
+            cfg.seed = seed;
+            Simulation::new(cfg, &stream).run().to_json()
+        };
+        let baseline = mk(RmKind::Bline.config());
+        let disabled = mk(RmKind::Harvest.config().with_harvest(HarvestConfig::none()));
+        prop_assert_eq!(baseline, disabled);
     }
 
     /// Scaling decisions never panic and never return absurd counts for
