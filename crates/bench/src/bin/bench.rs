@@ -31,6 +31,13 @@
 //!    the lease counters. `--validate` enforces that Harvest cuts waste
 //!    to ≤ 90% of Bline's without raising the SLO violation fraction by
 //!    more than one point — the headline claim of the harvesting layer.
+//! 6. **wild** — all seven RMs head-to-head on the Azure-characterization
+//!    workload family (heavy-tailed per-app rates, mixed trigger
+//!    classes), every RM at the same short 10 s idle scan so the
+//!    keep-alive *policy* is the only variable. `--validate` enforces the
+//!    hybrid-histogram claim: HybridHist's cold-start count stays at or
+//!    below Bline's while its memory-time (time-weighted live containers)
+//!    stays within a bounded factor of Bline's.
 //!
 //! `--validate` re-parses the written JSON and fails (exit 4) if the
 //! shape is wrong or a regression floor is crossed — the CI smoke lane.
@@ -43,13 +50,14 @@
 
 use fifer_bench::json::Json;
 use fifer_bench::perf::{deep_queue_tasks, drain_indexed, drain_linear, time_median};
-use fifer_bench::runner::{RunSpec, TraceKind};
+use fifer_bench::runner::{azure_parts, RunSpec, TraceKind};
 use fifer_core::rm::RmKind;
 use fifer_core::scheduling::SchedulingPolicy;
 use fifer_metrics::report::write_file;
+use fifer_metrics::SimDuration;
 use fifer_predict::PredictorKind;
 use fifer_sim::driver::Simulation;
-use fifer_workloads::WorkloadMix;
+use fifer_workloads::{AzureWorkloadConfig, WorkloadMix};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -99,6 +107,25 @@ struct UtilRow {
     containers_preempted: u64,
 }
 
+struct WildRow {
+    rm: String,
+    jobs: usize,
+    cold_starts: u64,
+    blocking_cold_starts: u64,
+    avg_containers: f64,
+    slo_violation_fraction: f64,
+    median_ms: f64,
+    p99_ms: f64,
+}
+
+struct WildSection {
+    horizon_s: f64,
+    apps: usize,
+    tail_exponent: f64,
+    total_rate: f64,
+    rows: Vec<WildRow>,
+}
+
 struct NnRow {
     series_len: usize,
     pretrain_ns: u128,
@@ -124,6 +151,12 @@ const MIN_SHARDED_SPEEDUP_AT_4: f64 = 2.0;
 const MAX_HARVEST_WASTE_VS_BLINE: f64 = 0.9;
 /// …without raising the SLO violation fraction by more than one point.
 const MAX_HARVEST_SLO_DELTA: f64 = 0.01;
+/// On the `wild` section, the hybrid-histogram keep-alive policy must not
+/// cold-start more than Bline does at the same 10 s idle scan…
+const MAX_WILD_HH_COLD_VS_BLINE: f64 = 1.0;
+/// …and the memory it spends to get there (time-weighted live
+/// containers) must stay within this factor of Bline's.
+const MAX_WILD_HH_MEMTIME_VS_BLINE: f64 = 1.5;
 
 fn main() {
     let mut quick = false;
@@ -294,6 +327,26 @@ fn main() {
         );
     }
 
+    println!(
+        "\n## wild: Azure-characterization family, all RMs{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let wild = wild_bench(quick);
+    for row in &wild.rows {
+        println!(
+            "{}: {} jobs, {} cold starts ({} blocking), {:.1} avg containers, \
+             slo_viol {:.2}%, median {:.0} ms, p99 {:.0} ms",
+            row.rm,
+            row.jobs,
+            row.cold_starts,
+            row.blocking_cold_starts,
+            row.avg_containers,
+            row.slo_violation_fraction * 100.0,
+            row.median_ms,
+            row.p99_ms,
+        );
+    }
+
     println!("\n## nn: Fifer LSTM pretrain + forecast, optimized vs reference");
     let nn = nn_bench(&spec_for(RmKind::Fifer));
     println!(
@@ -318,6 +371,7 @@ fn main() {
         &sharded,
         &nn,
         &utilization,
+        &wild,
     );
     if let Err(e) = write_file(&out, &json) {
         eprintln!("error: cannot write {out}: {e}");
@@ -405,6 +459,49 @@ fn sharded_bench(spec: &RunSpec) -> ShardedSection {
     }
 }
 
+/// Runs every RM head-to-head on one Azure-family stream (paper-default
+/// family shape, 600 s full / 100 s quick), pre-training the proactive
+/// RMs in parallel and replaying each in turn.
+fn wild_bench(quick: bool) -> WildSection {
+    let azure = AzureWorkloadConfig::paper_default();
+    let horizon = SimDuration::from_secs(if quick { 100 } else { 600 });
+    let warmup = horizon / 6;
+    let prepared = fifer_bench::pool::execute(
+        RmKind::ALL.to_vec(),
+        fifer_bench::pool::default_workers(),
+        move |kind: RmKind| {
+            let (cfg, stream) = azure_parts(kind.config(), &azure, horizon, warmup, 42);
+            let rm = cfg
+                .rm
+                .build_rm_with(cfg.seed, &cfg.pretrain_series, cfg.use_reference_nn);
+            (kind, cfg, stream, rm)
+        },
+    );
+    let rows = prepared
+        .into_iter()
+        .map(|(kind, cfg, stream, rm)| {
+            let r = Simulation::with_resource_manager(cfg, &stream, rm).run();
+            WildRow {
+                rm: kind.to_string(),
+                jobs: r.records.len(),
+                cold_starts: r.total_spawns,
+                blocking_cold_starts: r.blocking_cold_starts,
+                avg_containers: r.avg_live_containers(),
+                slo_violation_fraction: r.slo_violation_fraction(),
+                median_ms: r.median_latency_ms(),
+                p99_ms: r.p99_latency_ms(),
+            }
+        })
+        .collect();
+    WildSection {
+        horizon_s: horizon.as_secs_f64(),
+        apps: azure.apps,
+        tail_exponent: azure.tail_exponent,
+        total_rate: azure.total_rate,
+        rows,
+    }
+}
+
 /// Times the Fifer LSTM on the replay run's own pre-training series:
 /// full pre-training on both NN paths, then the per-forecast cost at one
 /// forecast per monitor interval of the replay horizon.
@@ -458,6 +555,7 @@ fn render_json(
     sharded: &ShardedSection,
     nn: &NnRow,
     utilization: &[UtilRow],
+    wild: &WildSection,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"simulator\",\n");
@@ -546,6 +644,25 @@ fn render_json(
             u.leases_ended,
             u.containers_preempted,
             if i + 1 < utilization.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    }\n  },\n");
+    s.push_str(&format!(
+        "  \"wild\": {{\n    \"workload\": \"azure\",\n    \"horizon_s\": {},\n    \"apps\": {},\n    \"tail_exponent\": {},\n    \"total_rate\": {},\n    \"rms\": {{\n",
+        wild.horizon_s, wild.apps, wild.tail_exponent, wild.total_rate,
+    ));
+    for (i, w) in wild.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      \"{}\": {{ \"jobs\": {}, \"cold_starts\": {}, \"blocking_cold_starts\": {}, \"avg_containers\": {:.6}, \"slo_violation_fraction\": {:.6}, \"median_ms\": {:.3}, \"p99_ms\": {:.3} }}{}\n",
+            w.rm,
+            w.jobs,
+            w.cold_starts,
+            w.blocking_cold_starts,
+            w.avg_containers,
+            w.slo_violation_fraction,
+            w.median_ms,
+            w.p99_ms,
+            if i + 1 < wild.rows.len() { "," } else { "" },
         ));
     }
     s.push_str("    }\n  }\n");
@@ -712,6 +829,43 @@ fn validate(body: &str) -> Result<(), Vec<String>> {
         if hs > bs + MAX_HARVEST_SLO_DELTA {
             problems.push(format!(
                 "Harvest SLO violation fraction {hs:.4} exceeds Bline's {bs:.4} + {MAX_HARVEST_SLO_DELTA}"
+            ));
+        }
+    }
+    // wild section: every RM has a row, then the hybrid-histogram claim
+    // (no more cold starts than Bline at bounded memory-time)
+    for kind in RmKind::ALL {
+        for field in [
+            "jobs",
+            "cold_starts",
+            "blocking_cold_starts",
+            "avg_containers",
+            "slo_violation_fraction",
+        ] {
+            num_at(&doc, &mut problems, &format!("wild.rms.{kind}.{field}"));
+        }
+    }
+    let wild_of = |doc: &Json, rm: &str, field: &str| -> Option<f64> {
+        doc.path(&format!("wild.rms.{rm}.{field}"))
+            .and_then(Json::as_f64)
+    };
+    if let (Some(bc), Some(hc)) = (
+        wild_of(&doc, "Bline", "cold_starts"),
+        wild_of(&doc, "HybridHist", "cold_starts"),
+    ) {
+        if hc > MAX_WILD_HH_COLD_VS_BLINE * bc {
+            problems.push(format!(
+                "wild HybridHist cold starts {hc:.0} above {MAX_WILD_HH_COLD_VS_BLINE} x Bline's {bc:.0}"
+            ));
+        }
+    }
+    if let (Some(bm), Some(hm)) = (
+        wild_of(&doc, "Bline", "avg_containers"),
+        wild_of(&doc, "HybridHist", "avg_containers"),
+    ) {
+        if hm > MAX_WILD_HH_MEMTIME_VS_BLINE * bm {
+            problems.push(format!(
+                "wild HybridHist memory-time {hm:.1} above {MAX_WILD_HH_MEMTIME_VS_BLINE} x Bline's {bm:.1}"
             ));
         }
     }

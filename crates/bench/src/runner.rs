@@ -7,7 +7,8 @@ use fifer_metrics::{SimDuration, SimTime};
 use fifer_sim::driver::{window_max_series, Simulation};
 use fifer_sim::{ClusterConfig, SimConfig, SimResult};
 use fifer_workloads::{
-    JobStream, PoissonTrace, TraceGenerator, WikiLikeTrace, WitsLikeTrace, WorkloadMix,
+    AzureWorkloadConfig, JobStream, PoissonTrace, TraceGenerator, WikiLikeTrace, WitsLikeTrace,
+    WorkloadMix,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -243,6 +244,39 @@ impl RunSpec {
             result,
         }
     }
+}
+
+/// Builds the deterministic `(SimConfig, JobStream)` pair for one RM on
+/// the Azure-characterization family — the `wild` bench section's runs.
+///
+/// The family lives outside the [`TraceKind`] machinery because it builds
+/// its own stream (heavy-tailed per-app processes, not a rate envelope).
+/// Every RM gets the same short 10 s idle scan, so the head-to-head
+/// isolates the keep-alive *policy*: the mechanism offers each RM the
+/// same reclamation opportunities and the policy decides who dies.
+pub fn azure_parts(
+    rm: RmConfig,
+    azure: &AzureWorkloadConfig,
+    horizon: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+) -> (SimConfig, JobStream) {
+    let stream = azure.generate_stream(horizon, seed);
+    let avg_rate = if horizon.is_zero() {
+        0.0
+    } else {
+        stream.len() as f64 / horizon.as_secs_f64()
+    };
+    let mut cfg = SimConfig::prototype(rm, avg_rate);
+    cfg.seed = seed;
+    cfg.warmup = warmup;
+    cfg.idle_timeout = SimDuration::from_secs(10);
+    if cfg.rm.is_proactive() {
+        let cut = (stream.len() * 6 / 10).max(1);
+        let arrivals: Vec<SimTime> = stream.iter().take(cut).map(|j| j.arrival).collect();
+        cfg.pretrain_series = window_max_series(&arrivals, 5);
+    }
+    (cfg, stream)
 }
 
 /// A [`RunSpec::execute_timed`] outcome: the result plus the wall-clock
@@ -566,6 +600,22 @@ mod tests {
     fn normalized_guards_zero_base() {
         assert_eq!(normalized(1.0, 0.0), "-");
         assert_eq!(normalized(1.0, 2.0), "0.50");
+    }
+
+    #[test]
+    fn azure_parts_builds_a_runnable_pair() {
+        let azure = AzureWorkloadConfig::paper_default();
+        let (cfg, stream) = azure_parts(
+            RmKind::HybridHist.config(),
+            &azure,
+            SimDuration::from_secs(30),
+            SimDuration::ZERO,
+            7,
+        );
+        assert!(!stream.is_empty());
+        assert_eq!(cfg.idle_timeout, SimDuration::from_secs(10));
+        let r = Simulation::new(cfg, &stream).run();
+        assert_eq!(r.records.len(), stream.len());
     }
 
     #[test]

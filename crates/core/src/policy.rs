@@ -42,13 +42,13 @@
 //! half-applied output.
 
 use crate::resources::ResourceVec;
-use crate::rm::{HarvestConfig, PredictorChoice, RmConfig, RmKind, ScalingMode};
+use crate::rm::{HarvestConfig, KeepAliveConfig, PredictorChoice, RmConfig, RmKind, ScalingMode};
 use crate::scaling::{
     proactive_containers_needed, reactive_containers_needed, static_pool_size, ProactiveInputs,
     ReactiveInputs,
 };
 use fifer_metrics::{SimDuration, SimTime};
-use fifer_predict::{LoadPredictor, RightSizer};
+use fifer_predict::{HistWindows, IdleHistogram, LoadPredictor, RightSizer};
 use std::cmp::Reverse;
 
 /// Read-only snapshot of one stage, passed to decision hooks.
@@ -857,6 +857,149 @@ impl ResourceManager for HarvestPolicy {
     }
 }
 
+/// HybridHist (ROADMAP item 2): the hybrid-histogram keep-alive / pre-warm
+/// policy from "Serverless in the Wild" (Shahrad et al.), adapted to the
+/// chain simulator — the paper's per-application histograms become
+/// per-*stage* histograms, fed by the idle gaps between successive task
+/// arrivals at each stage.
+///
+/// Deliberately Bline-shaped in everything else — no batching, on-demand
+/// capacity on blocked queues — so cold-start and memory-time deltas
+/// against the baseline are attributable to the keep-alive windows alone.
+/// Three hooks implement the policy:
+///
+/// * [`on_arrival`](ResourceManager::on_arrival) records the stage's
+///   inter-arrival gap into its [`IdleHistogram`],
+/// * [`on_monitor_tick`](ResourceManager::on_monitor_tick) pre-warms one
+///   container for a *cold* stage whose idle time has entered the
+///   `[prewarm, keepalive)` window (never for OOB-pattern or
+///   under-sampled stages),
+/// * [`on_idle_deadline`](ResourceManager::on_idle_deadline) keeps an
+///   expired container alive until its stage's keep-alive window has
+///   passed, then reclaims through the shared warm-pool-floor path.
+///
+/// The mechanism's idle scan (`SimConfig::idle_timeout`) acts as the scan
+/// granularity: containers only surface here once idle past the timeout,
+/// so runs pair this policy with a short timeout and let the histogram
+/// windows make the actual reclaim decision.
+pub struct HybridHistPolicy {
+    load: LoadModel,
+    cfg: KeepAliveConfig,
+    /// Per-stage idle-time histograms, lazily grown to the stage table.
+    hists: Vec<IdleHistogram>,
+    /// Last arrival instant per stage (`None` until the first task).
+    last_arrival: Vec<Option<SimTime>>,
+}
+
+impl HybridHistPolicy {
+    fn new(load: LoadModel, cfg: KeepAliveConfig) -> Self {
+        HybridHistPolicy {
+            load,
+            cfg,
+            hists: Vec::new(),
+            last_arrival: Vec::new(),
+        }
+    }
+
+    fn grow_to(&mut self, stages: usize) {
+        if self.hists.len() < stages {
+            let (w, n) = (self.cfg.bin_width_s, self.cfg.num_bins as usize);
+            self.hists.resize_with(stages, || IdleHistogram::new(w, n));
+            self.last_arrival.resize(stages, None);
+        }
+    }
+
+    fn windows(&self, stage: usize) -> HistWindows {
+        self.hists[stage].windows(
+            self.cfg.head_pct,
+            self.cfg.tail_pct,
+            self.cfg.oob_threshold_pct,
+            u64::from(self.cfg.min_samples),
+            self.cfg.fallback_keepalive_s,
+        )
+    }
+}
+
+impl ResourceManager for HybridHistPolicy {
+    fn name(&self) -> &'static str {
+        "HybridHist"
+    }
+
+    fn observes_load(&self) -> bool {
+        self.load.present()
+    }
+
+    fn on_arrival(&mut self, view: &ClusterView, stage: &StageView, out: &mut Vec<Decision>) {
+        self.grow_to(stage.stage + 1);
+        if let Some(prev) = self.last_arrival[stage.stage] {
+            let gap = view.now.saturating_since(prev);
+            self.hists[stage.stage].record(gap.as_secs());
+        }
+        self.last_arrival[stage.stage] = Some(view.now);
+        out.push(Decision::DispatchBatch { stage: stage.stage });
+    }
+
+    fn on_queue_blocked(&mut self, _view: &ClusterView, stage: &StageView) -> Decision {
+        Decision::SpawnContainer {
+            stage: stage.stage,
+            count: 1,
+        }
+    }
+
+    fn on_monitor_tick(&mut self, view: &ClusterView, out: &mut Vec<Decision>) {
+        self.load.observe(view.global_rate);
+        self.grow_to(view.stages.len());
+        for s in view.stages {
+            if s.num_containers > 0 {
+                continue; // pre-warming only revives fully cold stages
+            }
+            let Some(prev) = self.last_arrival[s.stage] else {
+                continue; // never invoked: nothing to anticipate
+            };
+            let w = self.windows(s.stage);
+            if w.oob || w.prewarm_s == 0 {
+                continue; // OOB pattern / fallback mode: no speculation
+            }
+            let idle_s = view.now.saturating_since(prev).as_secs();
+            // inside the window the next invocation is imminent; past the
+            // keep-alive edge the gap already overflowed the forecast and
+            // holding a warm container would be an unbounded bet
+            if idle_s >= w.prewarm_s && idle_s < w.keepalive_s {
+                out.push(Decision::SpawnContainer {
+                    stage: s.stage,
+                    count: 1,
+                });
+            }
+        }
+    }
+
+    fn on_idle_deadline(
+        &mut self,
+        view: &ClusterView,
+        expired: &[ContainerView],
+        out: &mut Vec<Decision>,
+    ) {
+        self.grow_to(
+            expired
+                .iter()
+                .map(|c| c.stage + 1)
+                .max()
+                .unwrap_or_default(),
+        );
+        // only containers idle past their stage's keep-alive window die;
+        // the survivors resurface on a later scan
+        let doomed: Vec<ContainerView> = expired
+            .iter()
+            .filter(|c| {
+                let idle_s = view.now.saturating_since(c.last_used).as_secs();
+                idle_s >= self.windows(c.stage).keepalive_s
+            })
+            .copied()
+            .collect();
+        reclaim_decisions(view, &doomed, out);
+    }
+}
+
 // ---- registry ----------------------------------------------------------
 
 impl RmConfig {
@@ -892,6 +1035,11 @@ impl RmConfig {
                 sizers: Vec::new(),
                 emitted: Vec::new(),
             });
+        }
+        if self.keepalive.enabled {
+            // the hybrid keep-alive likewise rides the Bline-shaped config;
+            // it takes over the arrival, monitor and idle-deadline hooks
+            return Box::new(HybridHistPolicy::new(load, self.keepalive));
         }
         match self.scaling {
             ScalingMode::OnDemand => Box::new(BlinePolicy { load }),
@@ -975,11 +1123,19 @@ mod tests {
     }
 
     #[test]
-    fn registry_builds_the_papers_five_plus_harvest() {
+    fn registry_builds_the_papers_five_plus_extensions() {
         let names: Vec<&str> = RmKind::ALL.iter().map(|k| k.build(1).name()).collect();
         assert_eq!(
             names,
-            ["Bline", "SBatch", "RScale", "BPred", "Fifer", "Harvest"]
+            [
+                "Bline",
+                "SBatch",
+                "RScale",
+                "BPred",
+                "Fifer",
+                "Harvest",
+                "HybridHist"
+            ]
         );
     }
 
@@ -1202,6 +1358,122 @@ mod tests {
         out.clear();
         rm.on_usage_sample(&v, &mut out);
         assert!(out.is_empty(), "unchanged recommendation is suppressed");
+    }
+
+    /// Feeds `HybridHist` one stage-0 arrival per instant in `times_s`,
+    /// training its idle-time histogram on the gaps between them.
+    fn feed_arrivals(rm: &mut dyn ResourceManager, stage: usize, times_s: &[u64]) {
+        let sv = stage_view(stage);
+        for &t in times_s {
+            let mut v = view(&[]);
+            v.now = SimTime::from_secs(t);
+            let mut out = Vec::new();
+            rm.on_arrival(&v, &sv, &mut out);
+            assert_eq!(
+                out,
+                vec![Decision::DispatchBatch { stage }],
+                "arrivals still drain the queue"
+            );
+        }
+    }
+
+    fn prewarm_spawns_at(rm: &mut dyn ResourceManager, now_s: u64) -> usize {
+        let stages = [stage_view(0)]; // num_containers == 0: a cold stage
+        let mut v = view(&stages);
+        v.now = SimTime::from_secs(now_s);
+        let mut out = Vec::new();
+        rm.on_monitor_tick(&v, &mut out);
+        out.iter()
+            .filter(|d| matches!(d, Decision::SpawnContainer { .. }))
+            .count()
+    }
+
+    fn kills_at(rm: &mut dyn ResourceManager, now_s: u64, last_used_s: u64) -> usize {
+        let mut v = view(&[]);
+        v.now = SimTime::from_secs(now_s);
+        let expired = [cv(1, 0, last_used_s)];
+        let mut out = Vec::new();
+        rm.on_idle_deadline(&v, &expired, &mut out);
+        out.len()
+    }
+
+    #[test]
+    fn hybridhist_spawns_on_blocked_queue_like_bline() {
+        let sv = stage_view(2);
+        let v = view(&[]);
+        assert_eq!(
+            RmKind::HybridHist.build(1).on_queue_blocked(&v, &sv),
+            Decision::SpawnContainer { stage: 2, count: 1 }
+        );
+    }
+
+    #[test]
+    fn hybridhist_prewarms_only_inside_the_window() {
+        let mut rm = RmKind::HybridHist.build(1);
+        // bimodal gaps: 2 s bursts and 60 s lulls → head edge 5 s (bin
+        // [0,5)), tail edge 65 s (bin [60,65)) at the default 5 s bins
+        let mut times = vec![0u64];
+        let mut t = 0;
+        for i in 0..20 {
+            t += if i % 2 == 0 { 2 } else { 60 };
+            times.push(t);
+        }
+        feed_arrivals(rm.as_mut(), 0, &times);
+        let last = *times.last().unwrap();
+        assert_eq!(prewarm_spawns_at(rm.as_mut(), last + 2), 0, "before head");
+        assert_eq!(prewarm_spawns_at(rm.as_mut(), last + 30), 1, "in window");
+        assert_eq!(prewarm_spawns_at(rm.as_mut(), last + 70), 0, "past tail");
+    }
+
+    #[test]
+    fn hybridhist_never_prewarms_undersampled_or_oob_stages() {
+        // under-sampled: fewer gaps than min_samples
+        let mut rm = RmKind::HybridHist.build(1);
+        feed_arrivals(rm.as_mut(), 0, &[0, 10, 20]);
+        assert_eq!(prewarm_spawns_at(rm.as_mut(), 35), 0);
+        // OOB pattern: every gap beyond the 300 s histogram range
+        let mut rm = RmKind::HybridHist.build(1);
+        let times: Vec<u64> = (0..12).map(|i| i * 400).collect();
+        feed_arrivals(rm.as_mut(), 0, &times);
+        for now in [4500, 4600, 4700] {
+            assert_eq!(prewarm_spawns_at(rm.as_mut(), now), 0);
+        }
+        // a never-invoked stage has nothing to anticipate
+        let mut rm = RmKind::HybridHist.build(1);
+        assert_eq!(prewarm_spawns_at(rm.as_mut(), 100), 0);
+    }
+
+    #[test]
+    fn hybridhist_keepalive_window_gates_reclamation() {
+        let mut rm = RmKind::HybridHist.build(1);
+        // regular 30 s gaps → keep-alive edge at 35 s (bin [30,35))
+        let times: Vec<u64> = (0..12).map(|i| i * 30).collect();
+        feed_arrivals(rm.as_mut(), 0, &times);
+        assert_eq!(kills_at(rm.as_mut(), 1000, 980), 0, "20 s idle survives");
+        assert_eq!(kills_at(rm.as_mut(), 1000, 960), 1, "40 s idle dies");
+    }
+
+    #[test]
+    fn hybridhist_fallback_keepalive_applies_when_untrained() {
+        // an untrained histogram reclaims at the fallback window, not never
+        let mut rm = RmKind::HybridHist.build(1);
+        let fallback = crate::rm::KeepAliveConfig::paper_default().fallback_keepalive_s;
+        assert_eq!(kills_at(rm.as_mut(), 1000, 1000 - fallback + 1), 0);
+        assert_eq!(kills_at(rm.as_mut(), 1000, 1000 - fallback - 1), 1);
+    }
+
+    #[test]
+    fn hybridhist_reclaim_respects_the_warm_pool_floor() {
+        let mut rm = RmKind::HybridHist.build(1);
+        let mut v = view(&[]);
+        v.now = SimTime::from_secs(1000);
+        v.min_warm_pool = 1;
+        // both idle far past any window: the floor still keeps the most
+        // recently used one
+        let expired = [cv(1, 0, 100), cv(2, 0, 200)];
+        let mut out = Vec::new();
+        rm.on_idle_deadline(&v, &expired, &mut out);
+        assert_eq!(out, vec![Decision::KillContainer { container: 1 }]);
     }
 
     #[test]

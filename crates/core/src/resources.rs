@@ -61,7 +61,7 @@ impl ResourceVec {
     }
 
     /// CPU back in cores. Exact for every value produced by
-    /// [`from_cores_gb`] on the repo's configs (n/1000 is representable to
+    /// [`Self::from_cores_gb`] on the repo's configs (n/1000 is representable to
     /// f64 precision and the test below pins the round-trip).
     pub fn cpu_cores(&self) -> f64 {
         self.cpu_milli as f64 / 1000.0

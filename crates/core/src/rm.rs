@@ -3,9 +3,11 @@
 //!
 //! A resource manager is fully described by six orthogonal choices —
 //! batching mode, scaling mode, predictor, task scheduling, container
-//! selection and node placement. [`RmConfig`] encodes those choices;
-//! [`RmKind`] provides the paper's named configurations. The simulator
-//! consumes an `RmConfig`, so ablations are just custom configs.
+//! selection and node placement — plus the optional harvesting
+//! ([`HarvestConfig`]) and hybrid keep-alive ([`KeepAliveConfig`])
+//! extensions. [`RmConfig`] encodes those choices; [`RmKind`] provides the
+//! paper's named configurations. The simulator consumes an `RmConfig`, so
+//! ablations are just custom configs.
 
 use crate::scheduling::{ContainerSelection, SchedulingPolicy};
 use crate::slack::SlackPolicy;
@@ -128,6 +130,78 @@ impl Default for HarvestConfig {
     }
 }
 
+/// Hybrid-histogram keep-alive / pre-warm knobs ("Serverless in the Wild",
+/// Shahrad et al., ROADMAP item 2). All-integer so `RmConfig` stays
+/// `Copy + Eq + Hash`; the windows they derive are computed by
+/// `fifer_predict::IdleHistogram`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeepAliveConfig {
+    /// Master switch. When `false` the policy registry ignores every other
+    /// field and the simulator's behavior is bit-identical to a run without
+    /// the hybrid keep-alive manager.
+    pub enabled: bool,
+    /// Idle-time histogram bin width in seconds.
+    pub bin_width_s: u64,
+    /// Number of histogram bins; `bin_width_s × num_bins` is the covered
+    /// idle-time range, beyond which samples count as out-of-bounds.
+    pub num_bins: u32,
+    /// Head percentile: the pre-warm window (load the container back just
+    /// before the next invocation becomes likely).
+    pub head_pct: u8,
+    /// Tail percentile: the keep-alive window (stay loaded until almost
+    /// every observed idle gap is covered).
+    pub tail_pct: u8,
+    /// Minimum percentage of out-of-bounds samples at which an app is
+    /// classed into the OOB pattern (fallback keep-alive, no pre-warm).
+    pub oob_threshold_pct: u8,
+    /// Fixed keep-alive window (seconds) used for OOB-pattern and
+    /// under-sampled apps.
+    pub fallback_keepalive_s: u64,
+    /// Idle-gap observations required before the histogram's windows are
+    /// trusted over the fallback.
+    pub min_samples: u32,
+}
+
+impl KeepAliveConfig {
+    /// Hybrid keep-alive fully off — the default for every other RM.
+    pub const fn none() -> Self {
+        KeepAliveConfig {
+            enabled: false,
+            bin_width_s: 0,
+            num_bins: 0,
+            head_pct: 0,
+            tail_pct: 0,
+            oob_threshold_pct: 0,
+            fallback_keepalive_s: 0,
+            min_samples: 0,
+        }
+    }
+
+    /// The defaults the seventh (hybrid keep-alive) RM ships with. The
+    /// source policy uses 1-minute bins over 4 hours with a 5th/99th
+    /// head/tail split; simulated horizons are minutes rather than days,
+    /// so the range scales down to 5-second bins over 5 minutes while the
+    /// percentile structure stays the paper's.
+    pub const fn paper_default() -> Self {
+        KeepAliveConfig {
+            enabled: true,
+            bin_width_s: 5,
+            num_bins: 60,
+            head_pct: 5,
+            tail_pct: 99,
+            oob_threshold_pct: 20,
+            fallback_keepalive_s: 60,
+            min_samples: 8,
+        }
+    }
+}
+
+impl Default for KeepAliveConfig {
+    fn default() -> Self {
+        KeepAliveConfig::none()
+    }
+}
+
 /// A complete resource-manager configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RmConfig {
@@ -145,6 +219,9 @@ pub struct RmConfig {
     pub placement: NodePlacement,
     /// Idle-resource harvesting / right-sizing (off for the paper's five).
     pub harvest: HarvestConfig,
+    /// Hybrid-histogram keep-alive / pre-warm (off for every RM but the
+    /// seventh).
+    pub keepalive: KeepAliveConfig,
 }
 
 impl RmConfig {
@@ -173,9 +250,16 @@ impl RmConfig {
         self.harvest = harvest;
         self
     }
+
+    /// Enables the hybrid-histogram keep-alive on top of this configuration.
+    pub fn with_keepalive(mut self, keepalive: KeepAliveConfig) -> Self {
+        self.keepalive = keepalive;
+        self
+    }
 }
 
-/// The paper's five named resource managers, plus the harvesting sixth.
+/// The paper's five named resource managers, plus the harvesting sixth and
+/// the hybrid keep-alive seventh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RmKind {
     /// AWS-style baseline: no batching, spawn per request (§3).
@@ -194,18 +278,25 @@ pub enum RmKind {
     /// containers with lent idle headroom where possible and shrink
     /// allocations toward observed usage.
     Harvest,
+    /// Bline plus the hybrid-histogram keep-alive / pre-warm policy from
+    /// "Serverless in the Wild" (ROADMAP item 2): per-app idle-time
+    /// histograms pick a pre-warm window (head percentile) and keep-alive
+    /// window (tail percentile), with a fixed-keep-alive fallback for
+    /// out-of-bounds apps.
+    HybridHist,
 }
 
 impl RmKind {
     /// All evaluated RMs: the paper's five in comparison order, then the
-    /// harvesting extension.
-    pub const ALL: [RmKind; 6] = [
+    /// harvesting and hybrid keep-alive extensions.
+    pub const ALL: [RmKind; 7] = [
         RmKind::Bline,
         RmKind::SBatch,
         RmKind::RScale,
         RmKind::BPred,
         RmKind::Fifer,
         RmKind::Harvest,
+        RmKind::HybridHist,
     ];
 
     /// The four RMs normalized against Bline in Figures 8/13/15.
@@ -223,6 +314,7 @@ impl RmKind {
                 container_selection: ContainerSelection::FirstFit,
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::none(),
+                keepalive: KeepAliveConfig::none(),
             },
             RmKind::SBatch => RmConfig {
                 batching: BatchingMode::StaticEqualSlack,
@@ -234,6 +326,7 @@ impl RmKind {
                 // nothing and matches SBatch's near-Fifer energy in Fig 15
                 placement: NodePlacement::GreedyBinPack,
                 harvest: HarvestConfig::none(),
+                keepalive: KeepAliveConfig::none(),
             },
             RmKind::RScale => RmConfig {
                 batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
@@ -243,6 +336,7 @@ impl RmKind {
                 container_selection: ContainerSelection::GreedyLeastFreeSlots,
                 placement: NodePlacement::GreedyBinPack,
                 harvest: HarvestConfig::none(),
+                keepalive: KeepAliveConfig::none(),
             },
             RmKind::BPred => RmConfig {
                 batching: BatchingMode::None,
@@ -252,6 +346,7 @@ impl RmKind {
                 container_selection: ContainerSelection::FirstFit,
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::none(),
+                keepalive: KeepAliveConfig::none(),
             },
             RmKind::Fifer => RmConfig {
                 batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
@@ -261,6 +356,7 @@ impl RmKind {
                 container_selection: ContainerSelection::GreedyLeastFreeSlots,
                 placement: NodePlacement::GreedyBinPack,
                 harvest: HarvestConfig::none(),
+                keepalive: KeepAliveConfig::none(),
             },
             // Bline-shaped on purpose: identical batching/scaling/selection
             // keeps its spawn and dispatch timing structurally comparable to
@@ -274,6 +370,21 @@ impl RmKind {
                 container_selection: ContainerSelection::FirstFit,
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::paper_default(),
+                keepalive: KeepAliveConfig::none(),
+            },
+            // Bline-shaped for the same reason as Harvest: identical
+            // batching/scaling/selection means cold-start and memory-time
+            // deltas against the baseline are attributable to the
+            // keep-alive windows alone
+            RmKind::HybridHist => RmConfig {
+                batching: BatchingMode::None,
+                scaling: ScalingMode::OnDemand,
+                predictor: PredictorChoice::None,
+                scheduling: SchedulingPolicy::Fifo,
+                container_selection: ContainerSelection::FirstFit,
+                placement: NodePlacement::Spread,
+                harvest: HarvestConfig::none(),
+                keepalive: KeepAliveConfig::paper_default(),
             },
         }
     }
@@ -288,6 +399,7 @@ impl fmt::Display for RmKind {
             RmKind::BPred => "BPred",
             RmKind::Fifer => "Fifer",
             RmKind::Harvest => "Harvest",
+            RmKind::HybridHist => "HybridHist",
         };
         f.write_str(n)
     }
@@ -379,6 +491,7 @@ mod tests {
         assert_eq!(RmKind::Fifer.to_string(), "Fifer");
         assert_eq!(RmKind::Bline.to_string(), "Bline");
         assert_eq!(RmKind::Harvest.to_string(), "Harvest");
+        assert_eq!(RmKind::HybridHist.to_string(), "HybridHist");
     }
 
     #[test]
@@ -408,6 +521,48 @@ mod tests {
         ] {
             assert_eq!(kind.config().harvest, HarvestConfig::none(), "{kind}");
         }
+    }
+
+    #[test]
+    fn only_hybridhist_ships_with_keepalive_on() {
+        for kind in RmKind::ALL {
+            let c = kind.config();
+            assert_eq!(c.keepalive.enabled, kind == RmKind::HybridHist, "{kind}");
+            if kind != RmKind::HybridHist {
+                assert_eq!(c.keepalive, KeepAliveConfig::none(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybridhist_is_bline_plus_keepalive() {
+        // the seventh RM differs from the baseline only in its keep-alive
+        // knob, so cold-start deltas are attributable to the windows alone
+        let h = RmKind::HybridHist.config();
+        let b = RmKind::Bline.config();
+        assert_eq!(h.batching, b.batching);
+        assert_eq!(h.scaling, b.scaling);
+        assert_eq!(h.predictor, b.predictor);
+        assert_eq!(h.scheduling, b.scheduling);
+        assert_eq!(h.container_selection, b.container_selection);
+        assert_eq!(h.placement, b.placement);
+        assert_eq!(h.harvest, b.harvest);
+        assert!(h.keepalive.enabled && !b.keepalive.enabled);
+    }
+
+    #[test]
+    fn keepalive_defaults_are_sane() {
+        let k = KeepAliveConfig::paper_default();
+        assert!(k.bin_width_s > 0 && k.num_bins > 0);
+        assert!(k.head_pct > 0 && k.head_pct < k.tail_pct && k.tail_pct <= 100);
+        assert!(k.oob_threshold_pct > 0 && k.oob_threshold_pct <= 100);
+        assert!(k.fallback_keepalive_s > 0 && k.min_samples > 0);
+        // the fallback window must fit the histogram range, else OOB apps
+        // would be kept longer than any in-bounds gap the histogram covers
+        assert!(k.fallback_keepalive_s <= k.bin_width_s * u64::from(k.num_bins));
+        let none = KeepAliveConfig::none();
+        assert!(!none.enabled);
+        assert_eq!(KeepAliveConfig::default(), none);
     }
 
     #[test]

@@ -147,6 +147,12 @@ impl SimDuration {
         self.0 as f64 / 1e6
     }
 
+    /// This span as whole seconds, truncating the fractional part (exact
+    /// integer arithmetic — for histogram bins and other `Eq` consumers).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
     /// `true` if the span is zero.
     pub const fn is_zero(self) -> bool {
         self.0 == 0

@@ -1,0 +1,263 @@
+//! Idle-time histograms for hybrid keep-alive policies ("Serverless in the
+//! Wild", Shahrad et al., PAPERS.md).
+//!
+//! The Azure characterization shows most applications are invoked rarely
+//! and irregularly: a fixed keep-alive either wastes memory (window too
+//! long) or pays cold starts (too short). The hybrid policy instead tracks
+//! a per-application histogram of *idle times* (gaps between invocations)
+//! and derives two windows from it:
+//!
+//! * the **pre-warm window** — the histogram's head percentile: after an
+//!   invocation the container can be unloaded, and reloaded just before
+//!   the next invocation is likely (idle times below the head are rare),
+//! * the **keep-alive window** — the tail percentile: containers are kept
+//!   loaded until the vast majority of observed idle gaps are covered.
+//!
+//! Applications whose idle times routinely overflow the histogram range
+//! follow the **out-of-bounds pattern**: their gaps are too long or too
+//! irregular for the histogram to speak, so the policy falls back to a
+//! standard fixed keep-alive and never pre-warms speculatively. The same
+//! fallback applies while a histogram is under-sampled.
+//!
+//! Everything here is exact integer arithmetic over integer-second bins,
+//! so window derivation is trivially deterministic and `Eq`-comparable —
+//! the same property the resource model's `ResourceVec` relies on.
+
+/// The two policy windows derived from an idle-time histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistWindows {
+    /// Seconds after the last invocation before pre-warming is worthwhile.
+    /// `0` disables pre-warming (standard keep-alive mode: the container
+    /// is simply kept loaded for `keepalive_s`).
+    pub prewarm_s: u64,
+    /// Seconds of idleness a container survives before reclamation.
+    /// Always ≥ `prewarm_s`.
+    pub keepalive_s: u64,
+    /// `true` when the source histogram follows the out-of-bounds pattern
+    /// (or is under-sampled) and the windows are the configured fallback.
+    pub oob: bool,
+}
+
+/// A fixed-range histogram of idle times in integer seconds.
+///
+/// Bin `i` covers idle times in `[i·w, (i+1)·w)` seconds for bin width
+/// `w`; samples at or beyond `num_bins·w` are counted out-of-bounds
+/// rather than clamped, because the *fraction* of out-of-bounds samples
+/// is itself the policy signal (the OOB pattern detector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdleHistogram {
+    bin_width_s: u64,
+    bins: Vec<u64>,
+    in_bounds: u64,
+    oob: u64,
+}
+
+impl IdleHistogram {
+    /// Creates an empty histogram of `num_bins` bins of `bin_width_s`
+    /// seconds each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width_s` or `num_bins` is zero.
+    pub fn new(bin_width_s: u64, num_bins: usize) -> Self {
+        assert!(bin_width_s > 0, "bin width must be positive");
+        assert!(num_bins > 0, "need at least one bin");
+        IdleHistogram {
+            bin_width_s,
+            bins: vec![0; num_bins],
+            in_bounds: 0,
+            oob: 0,
+        }
+    }
+
+    /// The histogram's covered range in seconds (`num_bins · bin_width`).
+    pub fn range_s(&self) -> u64 {
+        self.bin_width_s * self.bins.len() as u64
+    }
+
+    /// Records one observed idle gap of `idle_s` seconds.
+    pub fn record(&mut self, idle_s: u64) {
+        let bin = (idle_s / self.bin_width_s) as usize;
+        if bin < self.bins.len() {
+            self.bins[bin] += 1;
+            self.in_bounds += 1;
+        } else {
+            self.oob += 1;
+        }
+    }
+
+    /// Total samples recorded, out-of-bounds included.
+    pub fn total(&self) -> u64 {
+        self.in_bounds + self.oob
+    }
+
+    /// Samples that fell beyond the histogram range.
+    pub fn oob_count(&self) -> u64 {
+        self.oob
+    }
+
+    /// `true` when at least `threshold_pct` percent of all samples fell
+    /// out of bounds (the OOB pattern detector). An empty histogram is
+    /// not OOB.
+    pub fn is_oob_pattern(&self, threshold_pct: u8) -> bool {
+        let total = self.total();
+        total > 0 && self.oob * 100 >= u64::from(threshold_pct) * total
+    }
+
+    /// The upper edge (in seconds) of the bin containing the `pct`-th
+    /// percentile of the in-bounds samples, or `None` when no in-bounds
+    /// sample exists. `pct` is clamped to `1..=100`; using the upper edge
+    /// makes the head window conservative (never pre-warm early) and the
+    /// tail window inclusive (never reclaim a gap the histogram has seen).
+    pub fn percentile(&self, pct: u8) -> Option<u64> {
+        if self.in_bounds == 0 {
+            return None;
+        }
+        let pct = u64::from(pct.clamp(1, 100));
+        // smallest k with cumulative ≥ ceil(pct% of in-bounds)
+        let target = (self.in_bounds * pct).div_ceil(100);
+        let mut cum = 0;
+        for (i, &count) in self.bins.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                return Some(self.bin_width_s * (i as u64 + 1));
+            }
+        }
+        unreachable!("cumulative in-bounds count covers the target")
+    }
+
+    /// Derives the hybrid policy windows.
+    ///
+    /// * fewer than `min_samples` observations, or an OOB fraction at or
+    ///   above `oob_threshold_pct` → fallback windows (`prewarm_s = 0`,
+    ///   `keepalive_s = fallback_keepalive_s`, pre-warming disabled),
+    /// * otherwise `prewarm_s` is the `head_pct` percentile and
+    ///   `keepalive_s` the `tail_pct` percentile, floored at the head so
+    ///   the keep-alive window always covers it.
+    pub fn windows(
+        &self,
+        head_pct: u8,
+        tail_pct: u8,
+        oob_threshold_pct: u8,
+        min_samples: u64,
+        fallback_keepalive_s: u64,
+    ) -> HistWindows {
+        let undersampled = self.total() < min_samples;
+        if undersampled || self.is_oob_pattern(oob_threshold_pct) {
+            return HistWindows {
+                prewarm_s: 0,
+                keepalive_s: fallback_keepalive_s,
+                // under-sampling is a warm-up state, not the OOB pattern
+                oob: !undersampled,
+            };
+        }
+        // in_bounds > 0 here: total ≥ min_samples ≥ 1 and the OOB check
+        // failed, so at least one sample landed in a bin
+        let head = self.percentile(head_pct).expect("in-bounds samples");
+        let tail = self.percentile(tail_pct).expect("in-bounds samples");
+        HistWindows {
+            prewarm_s: head,
+            keepalive_s: tail.max(head),
+            oob: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(samples: &[u64]) -> IdleHistogram {
+        let mut h = IdleHistogram::new(5, 60);
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn counts_split_between_bins_and_oob() {
+        let h = hist_with(&[0, 4, 5, 299, 300, 1000]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.oob_count(), 2, "300 s is the first out-of-bounds gap");
+        assert_eq!(h.range_s(), 300);
+    }
+
+    #[test]
+    fn percentile_returns_upper_bin_edges() {
+        let h = hist_with(&[1, 1, 1, 12, 12, 40]);
+        // bins: [0,5) ×3, [10,15) ×2, [40,45) ×1
+        assert_eq!(h.percentile(50), Some(5));
+        assert_eq!(h.percentile(80), Some(15));
+        assert_eq!(h.percentile(100), Some(45));
+        assert_eq!(hist_with(&[]).percentile(50), None);
+    }
+
+    #[test]
+    fn percentile_ignores_oob_mass() {
+        let h = hist_with(&[2, 2, 10_000]);
+        assert_eq!(h.percentile(100), Some(5), "OOB samples carry no edge");
+    }
+
+    #[test]
+    fn oob_pattern_thresholds_exactly() {
+        let h = hist_with(&[1, 1, 1, 1, 400]); // 20% OOB
+        assert!(h.is_oob_pattern(20));
+        assert!(!h.is_oob_pattern(21));
+        assert!(!hist_with(&[]).is_oob_pattern(0), "empty is never OOB");
+    }
+
+    #[test]
+    fn windows_cover_head_with_tail() {
+        let h = hist_with(&[3, 3, 8, 8, 8, 20, 20, 90, 140, 250]);
+        let w = h.windows(5, 99, 20, 8, 60);
+        assert!(!w.oob);
+        assert_eq!(w.prewarm_s, 5, "head percentile = first bin's edge");
+        assert_eq!(w.keepalive_s, 255, "tail covers the longest gap's bin");
+        assert!(w.keepalive_s >= w.prewarm_s);
+    }
+
+    #[test]
+    fn undersampled_histogram_falls_back_without_oob_flag() {
+        let h = hist_with(&[10, 20]);
+        let w = h.windows(5, 99, 20, 8, 60);
+        assert_eq!(
+            w,
+            HistWindows {
+                prewarm_s: 0,
+                keepalive_s: 60,
+                oob: false
+            }
+        );
+    }
+
+    #[test]
+    fn oob_pattern_falls_back_and_disables_prewarm() {
+        let mut h = IdleHistogram::new(5, 60);
+        for _ in 0..6 {
+            h.record(10);
+        }
+        for _ in 0..4 {
+            h.record(5_000); // 40% of gaps beyond the range
+        }
+        let w = h.windows(5, 99, 20, 8, 60);
+        assert!(w.oob);
+        assert_eq!(w.prewarm_s, 0, "OOB apps are never pre-warmed");
+        assert_eq!(w.keepalive_s, 60);
+    }
+
+    #[test]
+    fn degenerate_percentile_order_still_yields_covering_window() {
+        // all mass in one bin: head and tail percentiles coincide
+        let h = hist_with(&[7; 20]);
+        let w = h.windows(5, 99, 20, 8, 60);
+        assert_eq!(w.prewarm_s, 10);
+        assert_eq!(w.keepalive_s, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_rejected() {
+        let _ = IdleHistogram::new(0, 10);
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod classic;
 pub mod eval;
+pub mod histogram;
 pub mod models;
 pub mod nn;
 pub mod predictor;
@@ -43,6 +44,7 @@ pub mod train;
 
 pub use classic::{Ewma, LinearTrend, LogisticTrend, MovingWindowAverage};
 pub use eval::{accuracy, mae, rmse};
+pub use histogram::{HistWindows, IdleHistogram};
 pub use models::{DeepArPredictor, LstmPredictor, SimpleFfPredictor, WeaveNetPredictor};
 pub use predictor::{LoadPredictor, PredictorKind};
 pub use rightsize::{RecommendedSize, RightSizer};

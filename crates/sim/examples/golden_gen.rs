@@ -17,7 +17,7 @@ use fifer_metrics::{SimDuration, SimTime};
 use fifer_sim::driver::Simulation;
 use fifer_sim::fault::{FaultPlan, NodeOutage};
 use fifer_sim::SimConfig;
-use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+use fifer_workloads::{AzureWorkloadConfig, JobStream, PoissonTrace, WorkloadMix};
 
 /// The fault plan pinned by the faulted golden fixtures. Must stay in
 /// sync with `golden_fault_plan()` in `tests/golden_headlines.rs`.
@@ -133,4 +133,25 @@ fn main() {
             }
         }
     }
+
+    // hybridhist-on-azure golden: the keep-alive policy on the workload
+    // family it was designed for, with the short idle scan its runs use
+    // (idle_timeout is scan granularity only — the histogram decides).
+    // Pins the headline, the spawn split (total vs request-blocking) and
+    // the per-trigger job counts of the generated stream.
+    println!("\n// azure golden (HybridHist @ rate=20.0 secs=60 seed=7, idle scan 10 s):");
+    let azure = AzureWorkloadConfig::paper_default();
+    let (stream, per_trigger) = azure.generate_labeled(SimDuration::from_secs(60), 7);
+    let mut cfg = SimConfig::prototype(RmKind::HybridHist.config(), azure.total_rate);
+    cfg.idle_timeout = SimDuration::from_secs(10);
+    let r = Simulation::new(cfg, &stream).run();
+    println!(
+        "// jobs: {}, per_trigger (http,timer,queue,event): {per_trigger:?}",
+        stream.len()
+    );
+    println!(
+        "// total_spawns: {}, blocking_cold_starts: {}",
+        r.total_spawns, r.blocking_cold_starts
+    );
+    println!("// headline: {:?}", r.headline());
 }

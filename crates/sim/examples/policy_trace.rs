@@ -1,4 +1,4 @@
-//! A sixth resource manager, outside the built-in registry.
+//! A custom resource manager, outside the built-in registry.
 //!
 //! Demonstrates the policy/mechanism split end to end: a custom
 //! `ResourceManager` ("hedge") implemented here — not in fifer-core — is

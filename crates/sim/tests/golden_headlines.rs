@@ -16,11 +16,11 @@ use fifer_sim::driver::Simulation;
 use fifer_sim::fault::{FaultPlan, NodeOutage};
 use fifer_sim::results::Headline;
 use fifer_sim::SimConfig;
-use fifer_workloads::{JobStream, PoissonTrace, WorkloadMix};
+use fifer_workloads::{AzureWorkloadConfig, JobStream, PoissonTrace, WorkloadMix};
 
 /// (rm, rate, secs, stream seed, expected headline).
 #[allow(clippy::excessive_precision)]
-const GOLDEN: [(RmKind, f64, u64, u64, Headline); 12] = [
+const GOLDEN: [(RmKind, f64, u64, u64, Headline); 14] = [
     (
         RmKind::Bline,
         5.0,
@@ -106,6 +106,20 @@ const GOLDEN: [(RmKind, f64, u64, u64, Headline); 12] = [
         },
     ),
     (
+        RmKind::HybridHist,
+        5.0,
+        30,
+        7,
+        Headline {
+            slo_violations: 0.22580645161290322,
+            avg_containers: 47.08735797680451,
+            median_ms: 304.96500000000003,
+            p99_ms: 8785.213729999996,
+            cold_starts: 55,
+            energy_joules: 15217.165,
+        },
+    ),
+    (
         RmKind::Bline,
         8.0,
         60,
@@ -187,6 +201,20 @@ const GOLDEN: [(RmKind, f64, u64, u64, Headline); 12] = [
             p99_ms: 6703.711579999999,
             cold_starts: 75,
             energy_joules: 30351.508,
+        },
+    ),
+    (
+        RmKind::HybridHist,
+        8.0,
+        60,
+        11,
+        Headline {
+            slo_violations: 0.08768267223382047,
+            avg_containers: 73.58527290165209,
+            median_ms: 302.794,
+            p99_ms: 6854.82389999998,
+            cold_starts: 79,
+            energy_joules: 30352.0805,
         },
     ),
 ];
@@ -399,6 +427,64 @@ fn disabled_harvest_replays_bline_exactly() {
     assert_eq!(
         h, bline,
         "Harvest with HarvestConfig::none() must be Bline bit for bit"
+    );
+}
+
+/// With the keep-alive policy explicitly disabled, HybridHist's config
+/// must replay Bline's golden byte for byte — like harvesting, the
+/// histogram layer is inert until switched on.
+#[test]
+fn disabled_keepalive_replays_bline_exactly() {
+    let bline = run(RmKind::Bline, 5.0, 30, 7);
+    let mut cfg = RmKind::HybridHist.config();
+    cfg.keepalive = fifer_core::rm::KeepAliveConfig::none();
+    let stream = JobStream::generate(
+        &PoissonTrace::new(5.0),
+        WorkloadMix::Medium,
+        SimDuration::from_secs(30),
+        7,
+    );
+    let sim_cfg = SimConfig::prototype(cfg, 5.0);
+    let h = Simulation::new(sim_cfg, &stream).run().headline();
+    assert_eq!(
+        h, bline,
+        "HybridHist with KeepAliveConfig::none() must be Bline bit for bit"
+    );
+}
+
+/// The azure golden: the hybrid-histogram policy on the Azure family at
+/// its paper defaults (60 s, seed 7, 10 s idle scan). Pins the generated
+/// stream's size and per-trigger-class composition, the spawn split, and
+/// the exact headline. Regenerate with `--example golden_gen`.
+#[test]
+fn hybridhist_on_azure_matches_golden() {
+    let azure = AzureWorkloadConfig::paper_default();
+    let (stream, per_trigger) = azure.generate_labeled(SimDuration::from_secs(60), 7);
+    assert_eq!(stream.len(), 1239, "azure stream size drifted");
+    assert_eq!(
+        per_trigger,
+        [981, 11, 233, 14],
+        "per-trigger job counts drifted (http,timer,queue,event)"
+    );
+    let mut cfg = SimConfig::prototype(RmKind::HybridHist.config(), azure.total_rate);
+    cfg.idle_timeout = SimDuration::from_secs(10);
+    let r = Simulation::new(cfg, &stream).run();
+    assert_eq!(r.total_spawns, 233, "spawn count drifted");
+    assert_eq!(
+        r.blocking_cold_starts, 233,
+        "blocking cold-start count drifted"
+    );
+    assert_eq!(
+        r.headline(),
+        Headline {
+            slo_violations: 0.09685230024213075,
+            avg_containers: 54.88121457755179,
+            median_ms: 303.497,
+            p99_ms: 5632.130059999993,
+            cold_starts: 233,
+            energy_joules: 30593.558,
+        },
+        "azure headline drifted from the golden"
     );
 }
 

@@ -220,6 +220,15 @@ impl WorkloadMix {
         let [a, b] = self.applications();
         (a.table4_slack() + b.table4_slack()) / 2
     }
+
+    /// The chain assigned to the `rank`-th most-invoked app of an
+    /// Azure-style family ([`crate::azure`]) drawn from this mix: ranks
+    /// alternate between the mix's two chains, so both applications appear
+    /// at every popularity level and the head of the heavy tail never
+    /// collapses onto a single chain.
+    pub fn application_for_rank(self, rank: usize) -> Application {
+        self.applications()[rank % 2]
+    }
 }
 
 impl fmt::Display for WorkloadMix {
@@ -235,6 +244,17 @@ impl fmt::Display for WorkloadMix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rank_assignment_alternates_both_chains() {
+        for mix in WorkloadMix::ALL {
+            let [a, b] = mix.applications();
+            for rank in 0..8 {
+                let want = if rank % 2 == 0 { a } else { b };
+                assert_eq!(mix.application_for_rank(rank), want, "{mix} #{rank}");
+            }
+        }
+    }
 
     #[test]
     fn chains_match_table4() {

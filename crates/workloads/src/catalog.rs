@@ -184,8 +184,7 @@ impl MicroserviceSpec {
     /// Gaussian jitter, floored at 10 µs so execution always takes time.
     pub fn sample_exec_time<R: Rng + ?Sized>(&self, input_scale: f64, rng: &mut R) -> SimDuration {
         let mean = self.mean_exec_time_for(input_scale).as_millis_f64();
-        let jitter = gaussian(rng) * self.jitter_std_ms();
-        SimDuration::from_millis_f64((mean + jitter).max(0.01))
+        SimDuration::from_millis_f64(jittered(rng, mean, self.jitter_std_ms(), 0.01))
     }
 
     /// Cold-start latency for the *first* container of this microservice
@@ -221,6 +220,13 @@ pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `mean + N(0, std)`, floored at `floor` — shared by the
+/// execution-time model above and the Azure family's timer-trigger
+/// jitter ([`crate::azure`]).
+pub(crate) fn jittered<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, floor: f64) -> f64 {
+    (mean + gaussian(rng) * std).max(floor)
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //!   workload mixes (Tables 4–5),
 //! * [`traces`] — arrival-trace generators with the rate envelopes of
 //!   Figure 7, plus a plain Poisson generator (§5.3),
+//! * [`azure`] — the Azure-characterization family ("Serverless in the
+//!   Wild"): heavy-tailed per-app rates and mixed trigger classes,
 //! * [`lambda`] — the AWS Lambda cold/warm-start characterization model used
 //!   to regenerate Figure 2,
 //! * [`request`] — job requests and the stream builder that merges a trace
@@ -30,6 +32,7 @@
 //! ```
 
 pub mod apps;
+pub mod azure;
 pub mod catalog;
 pub mod io;
 pub mod lambda;
@@ -37,6 +40,7 @@ pub mod request;
 pub mod traces;
 
 pub use apps::{AppSpec, Application, StageSpec, WorkloadMix};
+pub use azure::{AzureApp, AzureWorkloadConfig, TriggerClass, TriggerMix};
 pub use catalog::{Microservice, MicroserviceSpec};
 pub use request::{JobRequest, JobStream};
 pub use traces::{PoissonTrace, TraceGenerator, WikiLikeTrace, WitsLikeTrace};

@@ -17,6 +17,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// One exponentially distributed inter-arrival gap (seconds) at `rate`
+/// req/s — the primitive under both the Lewis–Shedler thinning loop here
+/// and the per-app Poisson processes of the Azure family ([`crate::azure`]).
+pub(crate) fn exp_gap<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
 /// A request-arrival trace generator.
 ///
 /// Implementors define a deterministic rate envelope; [`Self::generate`]
@@ -43,8 +51,7 @@ pub trait TraceGenerator {
         let end = duration.as_secs_f64();
         loop {
             // exponential inter-arrival at the bounding (peak) rate
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            t += -u.ln() / peak;
+            t += exp_gap(&mut rng, peak);
             if t >= end {
                 break;
             }

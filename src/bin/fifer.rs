@@ -4,9 +4,10 @@
 //! fifer --rm fifer --trace wits --mix heavy --secs 1200 --seed 7
 //! fifer --rm bline --trace poisson --rate 30 --out run.csv
 //! fifer --replay workload.csv --rm fifer
-//! fifer --compare --trace wiki --secs 1800       # all six RMs side by side
+//! fifer --compare --trace wiki --secs 1800       # all seven RMs side by side
 //! fifer --rm harvest --trace wiki --secs 1800    # idle-resource harvesting on
 //! fifer --rm bline --harvest --rightsize         # bolt harvesting onto any RM
+//! fifer --rm hybridhist --workload azure         # keep-alive policy on the Azure family
 //! ```
 
 use fifer::prelude::*;
@@ -18,6 +19,10 @@ use std::process::exit;
 struct Args {
     rm: Vec<RmKind>,
     trace: String,
+    workload: String,
+    apps: usize,
+    tail_exp: f64,
+    trigger_mix: TriggerMix,
     mix: WorkloadMix,
     secs: u64,
     rate: f64,
@@ -43,12 +48,19 @@ fn usage() -> ! {
     eprintln!(
         "usage: fifer [options]\n\
          \n\
-         --rm <bline|sbatch|rscale|bpred|fifer|harvest>  resource manager (default fifer)\n\
-         --compare                                 run all six RMs\n\
+         --rm <bline|sbatch|rscale|bpred|fifer|harvest|hybridhist>  resource manager (default fifer)\n\
+         --compare                                 run all seven RMs\n\
          --harvest                                 lend idle allocation headroom to new\n\
                                                    containers (on by default for --rm harvest)\n\
          --rightsize                               shrink over-allocated containers to their\n\
                                                    observed usage (on by default for --rm harvest)\n\
+         --workload <paper|azure>                  workload family (default paper): paper uses\n\
+                                                   --trace; azure is the heavy-tailed mixed-trigger\n\
+                                                   family from the Azure characterization\n\
+         --apps <n>                                azure: number of applications (default 32)\n\
+         --tail-exp <s>                            azure: Zipf tail exponent (default 1.5)\n\
+         --trigger-mix <h,t,q,e>                   azure: percent of apps per trigger class,\n\
+                                                   http,timer,queue,event (default 55,20,15,10)\n\
          --trace <poisson|wiki|wits>               arrival trace (default poisson)\n\
          --mix <heavy|medium|light>                workload mix (default heavy)\n\
          --rate <req/s>                            poisson rate / trace scale basis (default 50)\n\
@@ -77,6 +89,10 @@ fn parse_args() -> Args {
     let mut args = Args {
         rm: vec![RmKind::Fifer],
         trace: "poisson".into(),
+        workload: "paper".into(),
+        apps: 32,
+        tail_exp: 1.5,
+        trigger_mix: TriggerMix::paper_default(),
         mix: WorkloadMix::Heavy,
         secs: 600,
         rate: 50.0,
@@ -113,6 +129,7 @@ fn parse_args() -> Args {
                     "bpred" => RmKind::BPred,
                     "fifer" => RmKind::Fifer,
                     "harvest" => RmKind::Harvest,
+                    "hybridhist" => RmKind::HybridHist,
                     other => {
                         eprintln!("error: unknown rm {other:?}");
                         usage()
@@ -121,6 +138,21 @@ fn parse_args() -> Args {
             }
             "--compare" => args.rm = RmKind::ALL.to_vec(),
             "--trace" => args.trace = value(&mut i).to_lowercase(),
+            "--workload" => {
+                args.workload = value(&mut i).to_lowercase();
+                if !matches!(args.workload.as_str(), "paper" | "azure") {
+                    eprintln!("error: unknown workload {:?}", args.workload);
+                    usage()
+                }
+            }
+            "--apps" => args.apps = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--tail-exp" => args.tail_exp = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--trigger-mix" => {
+                args.trigger_mix = TriggerMix::parse(&value(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    usage()
+                })
+            }
             "--mix" => {
                 args.mix = match value(&mut i).to_lowercase().as_str() {
                     "heavy" => WorkloadMix::Heavy,
@@ -178,6 +210,16 @@ fn build_stream(args: &Args) -> JobStream {
         });
     }
     let horizon = SimDuration::from_secs(args.secs);
+    if args.workload == "azure" {
+        let cfg = AzureWorkloadConfig {
+            apps: args.apps,
+            tail_exponent: args.tail_exp,
+            total_rate: args.rate,
+            trigger_mix: args.trigger_mix,
+            mix: args.mix,
+        };
+        return cfg.generate_stream(horizon, args.seed);
+    }
     let trace: Box<dyn TraceGenerator> = match args.trace.as_str() {
         "poisson" => Box::new(PoissonTrace::new(args.rate)),
         // scale factor expressed against the traces' paper-scale averages
@@ -242,6 +284,11 @@ fn main() {
         cfg.seed = args.seed;
         cfg.warmup = SimDuration::from_secs(warmup);
         cfg.idle_timeout = SimDuration::from_secs((secs / 6).clamp(60, 600));
+        if cfg.rm.keepalive.enabled {
+            // the histogram policy makes its own keep-alive decisions; the
+            // mechanism timeout only sets the idle-scan granularity
+            cfg.idle_timeout = SimDuration::from_secs(10);
+        }
         cfg.early_exit_prob = args.early_exit;
         cfg.tenants = args.tenants.max(1);
         cfg.faults = args.faults.clone();

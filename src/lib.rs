@@ -42,13 +42,13 @@ pub use fifer_workloads as workloads;
 
 /// The common imports for driving a simulation end to end.
 pub mod prelude {
-    pub use fifer_core::rm::{HarvestConfig, RmConfig, RmKind};
+    pub use fifer_core::rm::{HarvestConfig, KeepAliveConfig, RmConfig, RmKind};
     pub use fifer_core::slack::{AppPlan, SlackPolicy};
     pub use fifer_metrics::{SimDuration, SimTime};
     pub use fifer_predict::{LoadPredictor, PredictorKind};
     pub use fifer_sim::{FaultPlan, SimConfig, SimResult, Simulation};
     pub use fifer_workloads::{
-        Application, JobStream, Microservice, PoissonTrace, TraceGenerator, WikiLikeTrace,
-        WitsLikeTrace, WorkloadMix,
+        Application, AzureWorkloadConfig, JobStream, Microservice, PoissonTrace, TraceGenerator,
+        TriggerMix, WikiLikeTrace, WitsLikeTrace, WorkloadMix,
     };
 }

@@ -15,6 +15,14 @@ fn help_exits_with_usage() {
     assert!(err.contains("--rm"), "usage must document --rm: {err}");
     assert!(err.contains("--replay"));
     assert!(
+        err.contains("hybridhist"),
+        "usage must list hybridhist: {err}"
+    );
+    assert!(
+        err.contains("--workload"),
+        "usage must document --workload: {err}"
+    );
+    assert!(
         err.contains("--harvest"),
         "usage must document --harvest: {err}"
     );
@@ -234,6 +242,78 @@ fn harvest_flags_bolt_onto_any_rm() {
     );
     assert!(stdout.contains("rightsized"), "{stdout}");
     assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn hybridhist_on_azure_runs_end_to_end() {
+    let out = fifer()
+        .args([
+            "--rm",
+            "hybridhist",
+            "--workload",
+            "azure",
+            "--rate",
+            "20",
+            "--secs",
+            "60",
+            "--seed",
+            "7",
+            "--audit",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("HybridHist"), "{stdout}");
+    assert!(stdout.contains("utilization:"), "{stdout}");
+    assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn azure_knobs_are_parsed_and_validated() {
+    // a legal custom family shape runs...
+    let out = fifer()
+        .args([
+            "--rm",
+            "bline",
+            "--workload",
+            "azure",
+            "--apps",
+            "8",
+            "--tail-exp",
+            "1.1",
+            "--trigger-mix",
+            "40,30,20,10",
+            "--rate",
+            "10",
+            "--secs",
+            "30",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...an unbalanced trigger mix is a named usage error
+    let bad = fifer()
+        .args(["--workload", "azure", "--trigger-mix", "50,30,20,10"])
+        .output()
+        .expect("spawn");
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("sum to 100"));
+    // ...and so is an unknown family
+    let unknown = fifer()
+        .args(["--workload", "martian"])
+        .output()
+        .expect("spawn");
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown workload"));
 }
 
 #[test]

@@ -20,6 +20,7 @@ fn arbitrary_rm() -> impl Strategy<Value = RmKind> {
         Just(RmKind::BPred),
         Just(RmKind::Fifer),
         Just(RmKind::Harvest),
+        Just(RmKind::HybridHist),
     ]
 }
 
@@ -392,6 +393,114 @@ proptest! {
         let baseline = mk(RmKind::Bline.config());
         let disabled = mk(RmKind::Harvest.config().with_harvest(HarvestConfig::none()));
         prop_assert_eq!(baseline, disabled);
+    }
+
+    /// The hybrid histogram's windows for arbitrary idle samples: the
+    /// keep-alive window always covers the pre-warm window (head
+    /// percentile), both are inside the histogram's range plus the
+    /// fallback, and feeding the same samples twice changes nothing.
+    #[test]
+    fn keepalive_window_covers_the_head_percentile(
+        samples in prop::collection::vec(0u64..400, 1..200),
+        bin_width in 1u64..20,
+        bins in 1usize..80,
+        head in 1u8..50,
+        tail in 50u8..100,
+    ) {
+        use fifer::predict::IdleHistogram;
+        let mut h = IdleHistogram::new(bin_width, bins);
+        for &s in &samples {
+            h.record(s);
+        }
+        let w = h.windows(head, tail, 20, 1, 60);
+        prop_assert!(
+            w.keepalive_s >= w.prewarm_s,
+            "keep-alive {} must cover the pre-warm head {}",
+            w.keepalive_s, w.prewarm_s
+        );
+        prop_assert!(w.keepalive_s <= h.range_s().max(60));
+        if !w.oob {
+            // in-bounds regime: both windows sit on bin edges
+            prop_assert_eq!(w.prewarm_s % bin_width, 0);
+            prop_assert_eq!(w.keepalive_s % bin_width, 0);
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+    }
+
+    /// An app whose idle times fall out of the histogram's bounds — the
+    /// Azure characterization's "pattern not representable" case — never
+    /// triggers pre-warming: the policy falls back to a fixed keep-alive.
+    #[test]
+    fn oob_pattern_apps_are_never_prewarmed(
+        in_bounds in prop::collection::vec(0u64..100, 0..20),
+        oob in prop::collection::vec(100u64..10_000, 1..60),
+    ) {
+        use fifer::predict::IdleHistogram;
+        // 10 bins x 10 s: everything >= 100 s is out of bounds
+        let mut h = IdleHistogram::new(10, 10);
+        for &s in in_bounds.iter().chain(&oob) {
+            h.record(s);
+        }
+        prop_assert_eq!(h.oob_count(), oob.len() as u64);
+        if h.is_oob_pattern(20) {
+            let w = h.windows(5, 99, 20, 1, 60);
+            prop_assert!(w.oob);
+            prop_assert_eq!(w.prewarm_s, 0, "OOB apps must never pre-warm");
+            prop_assert_eq!(w.keepalive_s, 60, "OOB apps fall back to the fixed window");
+        }
+    }
+
+    /// The Azure family's heavy tail is real: with two apps the top-ranked
+    /// app's empirical share of arrivals tracks its configured Zipf share
+    /// across arbitrary seeds and tail exponents.
+    #[test]
+    fn azure_rank_one_share_follows_the_configured_tail(
+        seed in 0u64..500,
+        tail_exp in 0.8f64..2.5,
+    ) {
+        let cfg = AzureWorkloadConfig {
+            apps: 2,
+            tail_exponent: tail_exp,
+            total_rate: 20.0,
+            trigger_mix: TriggerMix::paper_default(),
+            mix: WorkloadMix::Medium,
+        };
+        let stream = cfg.generate_stream(SimDuration::from_secs(240), seed);
+        prop_assert!(!stream.is_empty());
+        // with two apps the ranks map to distinct chains, so the top
+        // app's share is directly observable from the stream
+        let expected = cfg.zipf_share(0);
+        let top = stream.app_fraction(cfg.mix.application_for_rank(0));
+        prop_assert!(
+            (top - expected).abs() < 0.1,
+            "rank-1 share {top:.3} should be within 0.1 of the Zipf share \
+             {expected:.3} (s={tail_exp:.2})"
+        );
+    }
+
+    /// `KeepAliveConfig::none()` is not merely "few pre-warms" — the
+    /// histogram layer is inert until switched on: HybridHist with
+    /// keep-alive disabled replays the baseline byte for byte.
+    #[test]
+    fn disabled_keepalive_is_byte_identical(
+        seed in 0u64..500,
+        rate in 2.0f64..8.0,
+    ) {
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mk = |rm: fifer::core::rm::RmConfig| {
+            let mut cfg = SimConfig::prototype(rm, rate);
+            cfg.seed = seed;
+            Simulation::new(cfg, &stream).run().to_json()
+        };
+        let baseline = mk(RmKind::Bline.config());
+        let mut disabled = RmKind::HybridHist.config();
+        disabled.keepalive = KeepAliveConfig::none();
+        prop_assert_eq!(baseline, mk(disabled));
     }
 
     /// Scaling decisions never panic and never return absurd counts for
