@@ -24,7 +24,12 @@
 //!    on the replay's own training series, on both the flat-workspace
 //!    path and the reference per-step-allocating path (bit-identical by
 //!    construction; the differential suites prove it), and reports the
-//!    speedups.
+//!    speedups. On top it measures the production serving path: the
+//!    early-stopped pretrain (epochs saved, walk-forward accuracy delta
+//!    vs the full fixed-epoch run), the checkpoint round-trip (store and
+//!    load cost, forecast bit-identity), and `fifer_e2e_s` — the
+//!    early-stopped pretrain plus the Fifer event replay, which
+//!    `--validate` holds under 10 s on full-scale ≥ 4-core runs.
 //! 5. **utilization** — the resource-accounting view of the same replay
 //!    runs: allocated vs used core-hours per RM, the waste
 //!    (allocated-but-unused core-hours), the harvested core-hours, and
@@ -53,9 +58,11 @@ use fifer_bench::perf::{deep_queue_tasks, drain_indexed, drain_linear, time_medi
 use fifer_bench::runner::{azure_parts, RunSpec, TraceKind};
 use fifer_core::rm::RmKind;
 use fifer_core::scheduling::SchedulingPolicy;
+use fifer_core::WarmStart;
 use fifer_metrics::report::write_file;
 use fifer_metrics::SimDuration;
-use fifer_predict::PredictorKind;
+use fifer_predict::train::{train_test_split, TrainConfig};
+use fifer_predict::{accuracy, LoadPredictor, LstmPredictor, ModelCache, PredictorKind};
 use fifer_sim::driver::Simulation;
 use fifer_workloads::{AzureWorkloadConfig, WorkloadMix};
 use std::hint::black_box;
@@ -69,6 +76,7 @@ struct DispatchRow {
 
 struct ReplayRow {
     rm: String,
+    warm: WarmStart,
     pretrain_s: f64,
     replay_s: f64,
     events: u64,
@@ -133,6 +141,36 @@ struct NnRow {
     forecast_calls: u32,
     forecast_ns_per_call: f64,
     reference_forecast_ns_per_call: f64,
+    early_stop: EarlyStopStats,
+    warm_start: WarmStartStats,
+    /// Production end-to-end Fifer wall-clock: early-stopped pre-training
+    /// on the replay's own series plus the measured Fifer event replay.
+    fifer_e2e_s: f64,
+}
+
+/// Early-stopped production training versus the fixed-epoch paper path,
+/// with walk-forward accuracy on the held-out 40% test tail.
+struct EarlyStopStats {
+    patience: usize,
+    min_delta: f64,
+    warmup: usize,
+    epochs_budget: usize,
+    epochs_run: usize,
+    pretrain_ns: u128,
+    accuracy_full: f64,
+    accuracy_early: f64,
+    /// `(accuracy_full - accuracy_early) * 100`: percentage points the
+    /// early-stopped model gives up (negative when it is *better*).
+    accuracy_delta_pct: f64,
+}
+
+/// Checkpoint round-trip: serialize the trained model, restore it into a
+/// fresh one, and walk both in lockstep over the test tail comparing
+/// forecasts bit-for-bit.
+struct WarmStartStats {
+    store_ns: u128,
+    load_ns: u128,
+    bit_identical: bool,
 }
 
 /// Regression floors for `--validate`. Deliberately conservative — they
@@ -157,6 +195,15 @@ const MAX_WILD_HH_COLD_VS_BLINE: f64 = 1.0;
 /// …and the memory it spends to get there (time-weighted live
 /// containers) must stay within this factor of Bline's.
 const MAX_WILD_HH_MEMTIME_VS_BLINE: f64 = 1.5;
+/// Production end-to-end Fifer (early-stopped pretrain + event replay)
+/// must land under this wall-clock on a full-scale run. Hardware-gated
+/// like the sharded floor: only enforced where `workers_available >= 4`,
+/// and only on full (non-quick) runs where the horizon is Table-4 scale.
+const MAX_NN_FIFER_E2E_S: f64 = 10.0;
+/// The early-stopped model may give up at most this many percentage
+/// points of walk-forward forecast accuracy versus the full fixed-epoch
+/// training run.
+const MAX_NN_EARLY_STOP_ACCURACY_DELTA_PCT: f64 = 1.0;
 
 fn main() {
     let mut quick = false;
@@ -164,12 +211,19 @@ fn main() {
     let mut out = "BENCH_simulator.json".to_string();
     let mut depth = 10_000usize;
     let mut reps = 3usize;
+    let mut model_cache: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--validate" => validate_out = true,
             "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--model-cache" => {
+                model_cache = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--model-cache needs a directory")),
+                )
+            }
             "--depth" => {
                 depth = args
                     .next()
@@ -234,28 +288,44 @@ fn main() {
     };
     let horizon_s = spec_for(RmKind::Fifer).horizon.as_secs_f64();
     // pre-train every RM's predictor in parallel (offline cost), then
-    // time each replay serially so wall-clocks don't contend
+    // time each replay serially so wall-clocks don't contend. With
+    // --model-cache, neural pre-training warm-starts from checkpoints
+    // left by a previous run (and stores them on a cold run).
+    let cache = model_cache.as_ref().map(|dir| {
+        ModelCache::open(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot open model cache {dir}: {e}");
+            std::process::exit(1);
+        })
+    });
     let prepared = fifer_bench::pool::execute(
         RmKind::ALL.to_vec(),
         fifer_bench::pool::default_workers(),
         |kind: RmKind| {
             let (cfg, stream) = spec_for(kind).build_parts();
             let t0 = Instant::now();
-            let rm = cfg
-                .rm
-                .build_rm_with(cfg.seed, &cfg.pretrain_series, cfg.use_reference_nn);
-            (kind, cfg, stream, rm, t0.elapsed().as_secs_f64())
+            let (rm, warm) = cfg.rm.build_rm_served(
+                cfg.seed,
+                &cfg.pretrain_series,
+                cfg.use_reference_nn,
+                cache.as_ref(),
+            );
+            (kind, cfg, stream, rm, warm, t0.elapsed().as_secs_f64())
         },
     );
     let mut replay = Vec::new();
     let mut utilization = Vec::new();
-    for (kind, cfg, stream, rm, pretrain_s) in prepared {
+    for (kind, cfg, stream, rm, warm, pretrain_s) in prepared {
         let sim = Simulation::with_resource_manager(cfg, &stream, rm);
         let t0 = Instant::now();
         let r = sim.run();
         let replay_s = t0.elapsed().as_secs_f64();
+        let warm_note = match warm {
+            WarmStart::Warm => " [warm-start from model cache]",
+            WarmStart::Cold if cache.is_some() => " [cold start, checkpoint stored]",
+            _ => "",
+        };
         println!(
-            "{kind}: pretrain {:.2} s, replay {:.2} s, {} events ({:.0} events/s), peak queue {}, {} jobs",
+            "{kind}: pretrain {:.2} s{warm_note}, replay {:.2} s, {} events ({:.0} events/s), peak queue {}, {} jobs",
             pretrain_s,
             replay_s,
             r.events_processed,
@@ -265,6 +335,7 @@ fn main() {
         );
         replay.push(ReplayRow {
             rm: kind.to_string(),
+            warm,
             pretrain_s,
             replay_s,
             events: r.events_processed,
@@ -348,7 +419,12 @@ fn main() {
     }
 
     println!("\n## nn: Fifer LSTM pretrain + forecast, optimized vs reference");
-    let nn = nn_bench(&spec_for(RmKind::Fifer));
+    let fifer_replay_s = replay
+        .iter()
+        .find(|r| r.rm == "Fifer")
+        .map(|r| r.replay_s)
+        .unwrap_or(0.0);
+    let nn = nn_bench(&spec_for(RmKind::Fifer), fifer_replay_s);
     println!(
         "pretrain: optimized {:.2} s, reference {:.2} s, speedup {:.2}x ({} series points)",
         nn.pretrain_ns as f64 / 1e9,
@@ -359,6 +435,29 @@ fn main() {
     println!(
         "forecast: optimized {:.0} ns/call, reference {:.0} ns/call over {} calls",
         nn.forecast_ns_per_call, nn.reference_forecast_ns_per_call, nn.forecast_calls,
+    );
+    println!(
+        "early stop: {} of {} epochs in {:.2} s (patience {}, min-delta {}, warmup {}), \
+         accuracy {:.4} vs full {:.4} ({:+.2} pct points)",
+        nn.early_stop.epochs_run,
+        nn.early_stop.epochs_budget,
+        nn.early_stop.pretrain_ns as f64 / 1e9,
+        nn.early_stop.patience,
+        nn.early_stop.min_delta,
+        nn.early_stop.warmup,
+        nn.early_stop.accuracy_early,
+        nn.early_stop.accuracy_full,
+        -nn.early_stop.accuracy_delta_pct,
+    );
+    println!(
+        "warm start: store {:.2} ms, load {:.2} ms, forecasts bit-identical: {}",
+        nn.warm_start.store_ns as f64 / 1e6,
+        nn.warm_start.load_ns as f64 / 1e6,
+        nn.warm_start.bit_identical,
+    );
+    println!(
+        "fifer end-to-end (early-stopped pretrain + replay): {:.2} s",
+        nn.fifer_e2e_s,
     );
 
     let json = render_json(
@@ -504,8 +603,13 @@ fn wild_bench(quick: bool) -> WildSection {
 
 /// Times the Fifer LSTM on the replay run's own pre-training series:
 /// full pre-training on both NN paths, then the per-forecast cost at one
-/// forecast per monitor interval of the replay horizon.
-fn nn_bench(spec: &RunSpec) -> NnRow {
+/// forecast per monitor interval of the replay horizon. On top of the
+/// paper-path timings it measures the production serving path: early
+/// stopping (epochs saved + walk-forward accuracy versus the full run),
+/// the checkpoint round-trip (store/load cost + forecast bit-identity),
+/// and the end-to-end Fifer wall-clock (early-stopped pretrain plus the
+/// replay time measured in the replay section).
+fn nn_bench(spec: &RunSpec, fifer_replay_s: f64) -> NnRow {
     let (cfg, _stream) = spec.build_parts();
     let series = &cfg.pretrain_series;
     let forecast_calls =
@@ -534,6 +638,62 @@ fn nn_bench(spec: &RunSpec) -> NnRow {
     };
     let (pretrain_ns, forecast_ns_per_call) = time_path(false);
     let (reference_pretrain_ns, reference_forecast_ns_per_call) = time_path(true);
+
+    // --- production path: early-stopped pretrain on the full series.
+    // This is what a deployed Fifer pays before replay, so its wall-clock
+    // plus the measured Fifer replay is the end-to-end number.
+    let prod = TrainConfig::production();
+    let mut early_full = LstmPredictor::production(cfg.seed);
+    let t0 = Instant::now();
+    early_full.pretrain(series);
+    let early_pretrain_ns = t0.elapsed().as_nanos();
+    let fifer_e2e_s = early_pretrain_ns as f64 / 1e9 + fifer_replay_s;
+
+    // --- accuracy + warm-start on a 60/40 walk-forward split so the test
+    // tail is unseen by either model. The fixed-epoch model doubles as
+    // the checkpoint donor: restore it into a fresh twin *before* any
+    // observations, then walk donor and twin in lockstep comparing
+    // forecast bits.
+    let (train, test) = train_test_split(series);
+    let mut cold = LstmPredictor::paper_default(cfg.seed);
+    cold.pretrain(train);
+    let t0 = Instant::now();
+    let bytes = cold
+        .checkpoint()
+        .expect("the LSTM always supports checkpointing");
+    let store_ns = t0.elapsed().as_nanos();
+    let mut warm = LstmPredictor::paper_default(cfg.seed);
+    let t0 = Instant::now();
+    warm.restore(&bytes)
+        .expect("a checkpoint written moments ago must restore");
+    let load_ns = t0.elapsed().as_nanos();
+
+    let mut early_split = LstmPredictor::production(cfg.seed);
+    early_split.pretrain(train);
+
+    let seed_tail = &train[train.len().saturating_sub(32)..];
+    for &v in seed_tail {
+        cold.observe(v);
+        warm.observe(v);
+        early_split.observe(v);
+    }
+    let mut bit_identical = true;
+    let mut preds_full = Vec::with_capacity(test.len());
+    let mut preds_early = Vec::with_capacity(test.len());
+    for &actual in test {
+        let f = cold.forecast();
+        if f.to_bits() != warm.forecast().to_bits() {
+            bit_identical = false;
+        }
+        preds_full.push(f);
+        preds_early.push(early_split.forecast());
+        cold.observe(actual);
+        warm.observe(actual);
+        early_split.observe(actual);
+    }
+    let accuracy_full = accuracy(&preds_full, test);
+    let accuracy_early = accuracy(&preds_early, test);
+
     NnRow {
         series_len: series.len(),
         pretrain_ns,
@@ -541,6 +701,23 @@ fn nn_bench(spec: &RunSpec) -> NnRow {
         forecast_calls,
         forecast_ns_per_call,
         reference_forecast_ns_per_call,
+        early_stop: EarlyStopStats {
+            patience: prod.patience,
+            min_delta: prod.min_delta,
+            warmup: prod.warmup,
+            epochs_budget: prod.epochs,
+            epochs_run: early_full.epochs_trained(),
+            pretrain_ns: early_pretrain_ns,
+            accuracy_full,
+            accuracy_early,
+            accuracy_delta_pct: (accuracy_full - accuracy_early) * 100.0,
+        },
+        warm_start: WarmStartStats {
+            store_ns,
+            load_ns,
+            bit_identical,
+        },
+        fifer_e2e_s,
     }
 }
 
@@ -580,12 +757,18 @@ fn render_json(
     ));
     for (i, r) in replay.iter().enumerate() {
         let wall = r.pretrain_s + r.replay_s;
+        let warm = match r.warm {
+            WarmStart::Warm => "warm",
+            WarmStart::Cold => "cold",
+            WarmStart::NotApplicable => "n/a",
+        };
         s.push_str(&format!(
-            "      \"{}\": {{ \"wall_clock_s\": {:.3}, \"pretrain_s\": {:.3}, \"replay_s\": {:.3}, \"events_processed\": {}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}, \"jobs\": {}, \"slo_violation_fraction\": {:.6} }}{}\n",
+            "      \"{}\": {{ \"wall_clock_s\": {:.3}, \"pretrain_s\": {:.3}, \"replay_s\": {:.3}, \"warm_start\": \"{}\", \"events_processed\": {}, \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}, \"jobs\": {}, \"slo_violation_fraction\": {:.6} }}{}\n",
             r.rm,
             wall,
             r.pretrain_s,
             r.replay_s,
+            warm,
             r.events,
             r.events as f64 / r.replay_s,
             r.peak_queue_depth,
@@ -619,7 +802,7 @@ fn render_json(
     }
     s.push_str("    }\n  },\n");
     s.push_str(&format!(
-        "  \"nn\": {{\n    \"model\": \"lstm\",\n    \"series_len\": {},\n    \"pretrain_ns\": {},\n    \"reference_pretrain_ns\": {},\n    \"pretrain_speedup\": {:.2},\n    \"forecast_calls\": {},\n    \"forecast_ns_per_call\": {:.0},\n    \"reference_forecast_ns_per_call\": {:.0},\n    \"forecast_speedup\": {:.2}\n  }},\n",
+        "  \"nn\": {{\n    \"model\": \"lstm\",\n    \"series_len\": {},\n    \"pretrain_ns\": {},\n    \"reference_pretrain_ns\": {},\n    \"pretrain_speedup\": {:.2},\n    \"forecast_calls\": {},\n    \"forecast_ns_per_call\": {:.0},\n    \"reference_forecast_ns_per_call\": {:.0},\n    \"forecast_speedup\": {:.2},\n",
         nn.series_len,
         nn.pretrain_ns,
         nn.reference_pretrain_ns,
@@ -628,6 +811,22 @@ fn render_json(
         nn.forecast_ns_per_call,
         nn.reference_forecast_ns_per_call,
         nn.reference_forecast_ns_per_call / nn.forecast_ns_per_call.max(1.0),
+    ));
+    s.push_str(&format!(
+        "    \"early_stop\": {{ \"patience\": {}, \"min_delta\": {}, \"warmup\": {}, \"epochs_budget\": {}, \"epochs_run\": {}, \"pretrain_ns\": {}, \"accuracy_full\": {:.6}, \"accuracy_early\": {:.6}, \"accuracy_delta_pct\": {:.4} }},\n",
+        nn.early_stop.patience,
+        nn.early_stop.min_delta,
+        nn.early_stop.warmup,
+        nn.early_stop.epochs_budget,
+        nn.early_stop.epochs_run,
+        nn.early_stop.pretrain_ns,
+        nn.early_stop.accuracy_full,
+        nn.early_stop.accuracy_early,
+        nn.early_stop.accuracy_delta_pct,
+    ));
+    s.push_str(&format!(
+        "    \"warm_start\": {{ \"store_ns\": {}, \"load_ns\": {}, \"bit_identical\": {} }},\n    \"fifer_e2e_s\": {:.3}\n  }},\n",
+        nn.warm_start.store_ns, nn.warm_start.load_ns, nn.warm_start.bit_identical, nn.fifer_e2e_s,
     ));
     s.push_str("  \"utilization\": {\n    \"rms\": {\n");
     for (i, u) in utilization.iter().enumerate() {
@@ -771,6 +970,55 @@ fn validate(body: &str) -> Result<(), Vec<String>> {
             ));
         }
     }
+    // production serving: early stopping must not trade away accuracy,
+    // the checkpoint round-trip must be bit-exact, and on full-scale runs
+    // on real hardware the end-to-end Fifer wall-clock must stay under
+    // the paper-killing 10 s ceiling
+    for field in [
+        "early_stop.patience",
+        "early_stop.min_delta",
+        "early_stop.warmup",
+        "early_stop.epochs_budget",
+        "early_stop.epochs_run",
+        "early_stop.pretrain_ns",
+        "early_stop.accuracy_full",
+        "early_stop.accuracy_early",
+        "warm_start.store_ns",
+        "warm_start.load_ns",
+    ] {
+        num_at(&doc, &mut problems, &format!("nn.{field}"));
+    }
+    if let (Some(run), Some(budget)) = (
+        num_at(&doc, &mut problems, "nn.early_stop.epochs_run"),
+        num_at(&doc, &mut problems, "nn.early_stop.epochs_budget"),
+    ) {
+        if run > budget {
+            problems.push(format!(
+                "nn early stop ran {run:.0} epochs, above the {budget:.0}-epoch budget"
+            ));
+        }
+    }
+    if let Some(delta) = num_at(&doc, &mut problems, "nn.early_stop.accuracy_delta_pct") {
+        if delta > MAX_NN_EARLY_STOP_ACCURACY_DELTA_PCT {
+            problems.push(format!(
+                "nn early stop gives up {delta:.2} accuracy points, above ceiling {MAX_NN_EARLY_STOP_ACCURACY_DELTA_PCT}"
+            ));
+        }
+    }
+    match doc.path("nn.warm_start.bit_identical") {
+        Some(Json::Bool(true)) => {}
+        other => problems.push(format!(
+            "nn warm-start forecasts are not bit-identical to cold start (got {other:?})"
+        )),
+    }
+    let quick_run = matches!(doc.path("quick"), Some(Json::Bool(true)));
+    if let Some(e2e) = num_at(&doc, &mut problems, "nn.fifer_e2e_s") {
+        if !quick_run && workers.is_some_and(|w| w >= 4.0) && e2e > MAX_NN_FIFER_E2E_S {
+            problems.push(format!(
+                "nn end-to-end Fifer {e2e:.2} s above ceiling {MAX_NN_FIFER_E2E_S} s"
+            ));
+        }
+    }
     // utilization section: exact-accounting sanity per RM, then the
     // harvesting headline claim against the Bline baseline
     for kind in RmKind::ALL {
@@ -880,6 +1128,8 @@ fn usage(msg: &str) -> ! {
     if msg != "help" {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: bench [--quick] [--validate] [--depth N] [--reps N] [--out FILE]");
+    eprintln!(
+        "usage: bench [--quick] [--validate] [--depth N] [--reps N] [--out FILE] [--model-cache DIR]"
+    );
     std::process::exit(2);
 }

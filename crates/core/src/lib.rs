@@ -52,10 +52,13 @@ pub mod scaling;
 pub mod scheduling;
 pub mod slack;
 
-pub use policy::{ClusterView, ContainerView, Decision, DecisionCause, ResourceManager, StageView};
+pub use policy::{
+    ClusterView, ContainerView, Decision, DecisionCause, ResourceManager, StageView, WarmStart,
+};
 pub use resources::ResourceVec;
 pub use rm::{
-    BatchingMode, HarvestConfig, NodePlacement, PredictorChoice, RmConfig, RmKind, ScalingMode,
+    BatchingMode, HarvestConfig, NodePlacement, OnlineRetrainConfig, PredictorChoice, RmConfig,
+    RmKind, ScalingMode,
 };
 pub use scheduling::{ContainerSelection, SchedulingPolicy};
 pub use slack::{AppPlan, SlackPolicy, StagePlan};

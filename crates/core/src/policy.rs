@@ -42,13 +42,16 @@
 //! half-applied output.
 
 use crate::resources::ResourceVec;
-use crate::rm::{HarvestConfig, KeepAliveConfig, PredictorChoice, RmConfig, RmKind, ScalingMode};
+use crate::rm::{
+    HarvestConfig, KeepAliveConfig, OnlineRetrainConfig, PredictorChoice, RmConfig, RmKind,
+    ScalingMode,
+};
 use crate::scaling::{
     proactive_containers_needed, reactive_containers_needed, static_pool_size, ProactiveInputs,
     ReactiveInputs,
 };
 use fifer_metrics::{SimDuration, SimTime};
-use fifer_predict::{HistWindows, IdleHistogram, LoadPredictor, RightSizer};
+use fifer_predict::{HistWindows, IdleHistogram, LoadPredictor, ModelCache, RightSizer};
 use std::cmp::Reverse;
 
 /// Read-only snapshot of one stage, passed to decision hooks.
@@ -411,6 +414,22 @@ pub trait ResourceManager: Send {
 
 // ---- shared policy building blocks -------------------------------------
 
+/// Whether a neural predictor's pretraining was served from a checkpoint
+/// cache, trained cold, or skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStart {
+    /// No predictor, a classical predictor (nothing worth caching), or no
+    /// pretraining data.
+    NotApplicable,
+    /// Pretrained from scratch — and stored to the cache when one was
+    /// given, so the next same-keyed build starts warm.
+    Cold,
+    /// Restored from a cached checkpoint; pretraining was skipped
+    /// entirely. Forecasts are bit-identical to the cold-start model the
+    /// checkpoint was written from.
+    Warm,
+}
+
 /// The optional load predictor a policy carries (§4.5): observes the
 /// monitor's window-max rate every tick, forecasts on demand.
 struct LoadModel {
@@ -418,18 +437,50 @@ struct LoadModel {
 }
 
 impl LoadModel {
-    fn build(choice: PredictorChoice, seed: u64, pretrain: &[f64], reference_nn: bool) -> Self {
-        let predictor = match choice {
-            PredictorChoice::None => None,
-            PredictorChoice::Model(kind) => {
-                let mut p = kind.build_with(seed, reference_nn);
-                if !pretrain.is_empty() {
-                    p.pretrain(pretrain);
-                }
-                Some(p)
-            }
+    /// Builds the configured predictor with production serving concerns:
+    /// arms online retraining when configured, and warm-starts neural
+    /// predictors from `cache` keyed on (model kind, seed, pretrain
+    /// series) — falling back to a cold pretrain (stored back to the
+    /// cache) on any miss or damaged checkpoint.
+    fn build_served(
+        choice: PredictorChoice,
+        seed: u64,
+        pretrain: &[f64],
+        reference_nn: bool,
+        online: OnlineRetrainConfig,
+        cache: Option<&ModelCache>,
+    ) -> (Self, WarmStart) {
+        let PredictorChoice::Model(kind) = choice else {
+            return (LoadModel { predictor: None }, WarmStart::NotApplicable);
         };
-        LoadModel { predictor }
+        let mut p = kind.build_with(seed, reference_nn);
+        if online.enabled {
+            p.enable_online_retraining(online.every as usize, online.epochs as usize);
+        }
+        let mut warm = WarmStart::NotApplicable;
+        if !pretrain.is_empty() {
+            if kind.is_neural() {
+                let key = ModelCache::key(&format!("{kind:?}"), seed, pretrain);
+                let cached = cache.and_then(|c| c.load(&key));
+                // a damaged or differently-shaped checkpoint fails restore
+                // loudly but leaves the model untouched — fall back cold
+                match cached {
+                    Some(bytes) if p.restore(&bytes).is_ok() => warm = WarmStart::Warm,
+                    _ => {
+                        p.pretrain(pretrain);
+                        warm = WarmStart::Cold;
+                        if let (Some(c), Some(bytes)) = (cache, p.checkpoint()) {
+                            // a full cache disk is a perf loss, not an
+                            // error — the next run just starts cold again
+                            let _ = c.store(&key, &bytes);
+                        }
+                    }
+                }
+            } else {
+                p.pretrain(pretrain);
+            }
+        }
+        (LoadModel { predictor: Some(p) }, warm)
     }
 
     fn present(&self) -> bool {
@@ -1025,7 +1076,44 @@ impl RmConfig {
         pretrain: &[f64],
         reference_nn: bool,
     ) -> Box<dyn ResourceManager> {
-        let load = LoadModel::build(self.predictor, seed, pretrain, reference_nn);
+        let load = LoadModel::build_served(
+            self.predictor,
+            seed,
+            pretrain,
+            reference_nn,
+            self.online_retrain,
+            None,
+        )
+        .0;
+        self.assemble(load)
+    }
+
+    /// [`build_rm_with`](Self::build_rm_with) plus checkpoint-cache
+    /// serving: neural predictors warm-start from `cache` when a
+    /// same-keyed checkpoint exists (skipping pretraining entirely,
+    /// bit-identical forecasts), and store their freshly-trained weights
+    /// back on a cold start. Returns how the predictor was served.
+    pub fn build_rm_served(
+        &self,
+        seed: u64,
+        pretrain: &[f64],
+        reference_nn: bool,
+        cache: Option<&ModelCache>,
+    ) -> (Box<dyn ResourceManager>, WarmStart) {
+        let (load, warm) = LoadModel::build_served(
+            self.predictor,
+            seed,
+            pretrain,
+            reference_nn,
+            self.online_retrain,
+            cache,
+        );
+        (self.assemble(load), warm)
+    }
+
+    /// Wraps a built predictor in the policy struct this configuration
+    /// describes.
+    fn assemble(&self, load: LoadModel) -> Box<dyn ResourceManager> {
         if self.harvest.enabled {
             // harvesting composes with the Bline-shaped mechanism config;
             // it takes over the queue-blocked and usage-sample hooks

@@ -202,6 +202,51 @@ impl Default for KeepAliveConfig {
     }
 }
 
+/// Online-retraining knobs for neural predictors (the paper's §8 "the
+/// LSTM model parameters can be constantly updated by retraining in the
+/// background" extension). All-integer so `RmConfig` stays
+/// `Copy + Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OnlineRetrainConfig {
+    /// Master switch. When `false` the predictor is frozen after
+    /// pretraining and the simulator's behavior is bit-identical to a run
+    /// without this config.
+    pub enabled: bool,
+    /// Retraining period in observed monitoring samples.
+    pub every: u32,
+    /// Fine-tuning epochs per retraining round.
+    pub epochs: u32,
+}
+
+impl OnlineRetrainConfig {
+    /// Online retraining fully off — the default for every RM.
+    pub const fn none() -> Self {
+        OnlineRetrainConfig {
+            enabled: false,
+            every: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Retrain every 30 observed samples (≈ 5 simulated minutes at the
+    /// paper's 10 s monitoring interval) for 2 fine-tuning epochs — cheap
+    /// enough to run inline, frequent enough to track a regime shift
+    /// within a few monitoring windows.
+    pub const fn paper_default() -> Self {
+        OnlineRetrainConfig {
+            enabled: true,
+            every: 30,
+            epochs: 2,
+        }
+    }
+}
+
+impl Default for OnlineRetrainConfig {
+    fn default() -> Self {
+        OnlineRetrainConfig::none()
+    }
+}
+
 /// A complete resource-manager configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RmConfig {
@@ -222,6 +267,8 @@ pub struct RmConfig {
     /// Hybrid-histogram keep-alive / pre-warm (off for every RM but the
     /// seventh).
     pub keepalive: KeepAliveConfig,
+    /// Online retraining of the neural predictor (off by default).
+    pub online_retrain: OnlineRetrainConfig,
 }
 
 impl RmConfig {
@@ -254,6 +301,12 @@ impl RmConfig {
     /// Enables the hybrid-histogram keep-alive on top of this configuration.
     pub fn with_keepalive(mut self, keepalive: KeepAliveConfig) -> Self {
         self.keepalive = keepalive;
+        self
+    }
+
+    /// Enables online predictor retraining on top of this configuration.
+    pub fn with_online_retrain(mut self, online_retrain: OnlineRetrainConfig) -> Self {
+        self.online_retrain = online_retrain;
         self
     }
 }
@@ -315,6 +368,7 @@ impl RmKind {
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::none(),
                 keepalive: KeepAliveConfig::none(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
             RmKind::SBatch => RmConfig {
                 batching: BatchingMode::StaticEqualSlack,
@@ -327,6 +381,7 @@ impl RmKind {
                 placement: NodePlacement::GreedyBinPack,
                 harvest: HarvestConfig::none(),
                 keepalive: KeepAliveConfig::none(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
             RmKind::RScale => RmConfig {
                 batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
@@ -337,6 +392,7 @@ impl RmKind {
                 placement: NodePlacement::GreedyBinPack,
                 harvest: HarvestConfig::none(),
                 keepalive: KeepAliveConfig::none(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
             RmKind::BPred => RmConfig {
                 batching: BatchingMode::None,
@@ -347,6 +403,7 @@ impl RmKind {
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::none(),
                 keepalive: KeepAliveConfig::none(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
             RmKind::Fifer => RmConfig {
                 batching: BatchingMode::Dynamic(SlackPolicy::Proportional),
@@ -357,6 +414,7 @@ impl RmKind {
                 placement: NodePlacement::GreedyBinPack,
                 harvest: HarvestConfig::none(),
                 keepalive: KeepAliveConfig::none(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
             // Bline-shaped on purpose: identical batching/scaling/selection
             // keeps its spawn and dispatch timing structurally comparable to
@@ -371,6 +429,7 @@ impl RmKind {
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::paper_default(),
                 keepalive: KeepAliveConfig::none(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
             // Bline-shaped for the same reason as Harvest: identical
             // batching/scaling/selection means cold-start and memory-time
@@ -385,6 +444,7 @@ impl RmKind {
                 placement: NodePlacement::Spread,
                 harvest: HarvestConfig::none(),
                 keepalive: KeepAliveConfig::paper_default(),
+                online_retrain: OnlineRetrainConfig::none(),
             },
         }
     }

@@ -33,6 +33,26 @@ pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
         / pred.len() as f64
 }
 
+/// Mean absolute percentage error with a unit denominator floor:
+/// `mean(|p - a| / max(|a|, 1))`.
+///
+/// The floor keeps the metric finite on rate series that touch zero —
+/// below one request per second, the error is effectively absolute.
+/// This is the validation metric early stopping watches (DESIGN.md §15).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "series length mismatch");
+    assert!(!pred.is_empty(), "need at least one point");
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs() / a.abs().max(1.0))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
 /// Accuracy as `1 - MAE / mean(actual)`, clamped to `[0, 1]`.
 ///
 /// This is the natural reading of the paper's "predicts requests accurately
@@ -71,6 +91,21 @@ mod tests {
     #[test]
     fn mae_known_value() {
         assert_eq!(mae(&[1.0, 5.0], &[2.0, 3.0]), 1.5);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // |8-10|/10 = 0.2, |30-20|/20 = 0.5 → mean 0.35
+        let got = mape(&[8.0, 30.0], &[10.0, 20.0]);
+        assert!((got - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_floors_denominator_at_one() {
+        // actual 0 and 0.5 both use denominator 1 → absolute errors
+        let got = mape(&[2.0, 1.0], &[0.0, 0.5]);
+        assert!((got - 1.25).abs() < 1e-12);
+        assert!(got.is_finite());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! assert!(f > 10.0 && f <= 30.0);
 //! ```
 
+pub mod checkpoint;
 pub mod classic;
 pub mod eval;
 pub mod histogram;
@@ -40,12 +41,15 @@ pub mod nn;
 pub mod predictor;
 pub mod rightsize;
 pub mod sampler;
+pub mod serving;
 pub mod train;
 
+pub use checkpoint::{CheckpointError, ModelCache};
 pub use classic::{Ewma, LinearTrend, LogisticTrend, MovingWindowAverage};
-pub use eval::{accuracy, mae, rmse};
+pub use eval::{accuracy, mae, mape, rmse};
 pub use histogram::{HistWindows, IdleHistogram};
 pub use models::{DeepArPredictor, LstmPredictor, SimpleFfPredictor, WeaveNetPredictor};
 pub use predictor::{LoadPredictor, PredictorKind};
 pub use rightsize::{RecommendedSize, RightSizer};
 pub use sampler::WindowSampler;
+pub use serving::BatchedForecaster;

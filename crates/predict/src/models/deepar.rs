@@ -2,10 +2,13 @@
 //! emits a Gaussian `(μ, log σ)` trained by negative log-likelihood —
 //! the family GluonTS's `DeepAREstimator` represents in Figure 6a.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter, TAG_DEEPAR};
 use crate::models::LagWindow;
 use crate::nn::{Dense, LstmCell, LstmState};
 use crate::predictor::LoadPredictor;
-use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use crate::train::{
+    holdout_split, run_early_stopped, val_error_over, windowed_pairs, Scaler, TrainConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,6 +24,9 @@ pub struct DeepArPredictor {
     /// Global Adam step, persisted across pretrain calls so optimizer
     /// moments and bias correction stay consistent on retraining.
     train_step: u64,
+    /// Effective pretraining epochs (the restored-best epoch when early
+    /// stopping fires, the full budget otherwise).
+    epochs_run: usize,
     /// Forecast quantile expressed in standard deviations above μ; 0 means
     /// the mean forecast. Proactive provisioning can bias high.
     sigma_bias: f64,
@@ -53,6 +59,7 @@ impl DeepArPredictor {
             cfg,
             trained: false,
             train_step: 0,
+            epochs_run: 0,
             sigma_bias: 0.0,
             use_reference_nn: false,
             raw_buf: Vec::new(),
@@ -116,6 +123,96 @@ impl DeepArPredictor {
         }
         (mu, sigma)
     }
+
+    /// One training pass over every window pair — Gaussian NLL
+    /// `0.5·((y−μ)/σ)² + ln σ`. Both paths are bit-identical.
+    fn fit_pass(&mut self, pairs: &[(Vec<f64>, f64)]) {
+        let hidden = self.cell.hidden();
+        for (x, target) in pairs {
+            if self.use_reference_nn {
+                let (mu, sigma, h) = self.run(x, true);
+                let z = (target - mu) / sigma;
+                let dmu = -z / sigma;
+                let dlog_sigma = 1.0 - z * z;
+                let dh = self.head.backward(&h, &[dmu, dlog_sigma]);
+                let mut dh_seq = vec![vec![0.0; hidden]; x.len()];
+                dh_seq[x.len() - 1] = dh;
+                self.cell.backward(&dh_seq);
+            } else {
+                let (mu, sigma) = self.run_flat(x, true);
+                let z = (target - mu) / sigma;
+                let dmu = -z / sigma;
+                let dlog_sigma = 1.0 - z * z;
+                self.head
+                    .backward_into(&self.state.h, &[dmu, dlog_sigma], &mut self.dh_last);
+                self.dh_flat.clear();
+                self.dh_flat.resize(x.len() * hidden, 0.0);
+                self.dh_flat[(x.len() - 1) * hidden..].copy_from_slice(&self.dh_last);
+                self.cell.backward_flat(&self.dh_flat, None);
+            }
+            self.train_step += 1;
+            let t = self.train_step;
+            self.cell.apply_grads(t);
+            self.head.apply_grads(t);
+        }
+    }
+
+    /// Validation error (normalized MAE) over a normalized slice, using the same forecast
+    /// quantile (`μ + sigma_bias·σ`) the live model serves.
+    fn val_error_norm(&mut self, val: &[f64]) -> f64 {
+        let (lags, scaler, bias) = (self.cfg.lags, self.scaler, self.sigma_bias);
+        val_error_over(val, lags, scaler, |x| {
+            let (mu, sigma) = if self.use_reference_nn {
+                let (mu, sigma, _) = self.run(x, false);
+                (mu, sigma)
+            } else {
+                self.run_flat(x, false)
+            };
+            mu + bias * sigma
+        })
+    }
+
+    /// Serializes the model to checkpoint bytes (DESIGN.md §15).
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new(TAG_DEEPAR);
+        w.u64(self.cfg.epochs as u64);
+        w.u64(self.cfg.lags as u64);
+        w.f64(self.cfg.lr);
+        w.u8(u8::from(self.trained));
+        w.u64(self.train_step);
+        w.u64(self.epochs_run as u64);
+        w.f64(self.sigma_bias);
+        self.scaler.save_state(&mut w);
+        self.cell.save_state(&mut w);
+        self.head.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a checkpoint written by a same-shaped model.
+    /// Transactional: on any error, `self` is untouched.
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut staged = self.clone();
+        let (tag, mut r) = CkptReader::open(bytes)?;
+        if tag != TAG_DEEPAR {
+            return Err(CheckpointError::ModelMismatch("not a DeepAR checkpoint"));
+        }
+        let _epochs = r.u64()?;
+        let lags = r.u64()? as usize;
+        if lags != staged.cfg.lags {
+            return Err(CheckpointError::ModelMismatch("lag window length"));
+        }
+        let _lr = r.f64()?; // informational; Adam state validates lr per buffer
+        staged.trained = r.u8()? != 0;
+        staged.train_step = r.u64()?;
+        staged.epochs_run = r.u64()? as usize;
+        staged.sigma_bias = r.f64()?;
+        staged.scaler = Scaler::load_state(&mut r)?;
+        staged.cell.load_state(&mut r)?;
+        staged.head.load_state(&mut r)?;
+        r.expect_end()?;
+        *self = staged;
+        Ok(())
+    }
 }
 
 impl LoadPredictor for DeepArPredictor {
@@ -151,46 +248,50 @@ impl LoadPredictor for DeepArPredictor {
     fn pretrain(&mut self, series: &[f64]) {
         self.scaler = Scaler::fit(series);
         let norm = self.scaler.transform_series(series);
+        if self.cfg.patience > 0 {
+            if let Some((_, val)) = holdout_split(&norm, self.cfg.lags) {
+                // train on the full series and watch validation error on the
+                // recent tail: a convergence signal, not a generalization
+                // gate — a forecaster must absorb the latest diurnal phase
+                // (see the LSTM's pretrain_early_stopped). The flag must be
+                // set before the first snapshot so restoring keeps it
+                let pairs = windowed_pairs(&norm, self.cfg.lags);
+                self.trained = true;
+                let cfg = self.cfg;
+                self.epochs_run = run_early_stopped(self, cfg, |m| {
+                    m.fit_pass(&pairs);
+                    m.val_error_norm(val)
+                });
+                return;
+            }
+        }
+        // paper-faithful fixed-epoch path, bit-identical to before early
+        // stopping existed (and the fallback for too-short series)
         let pairs = windowed_pairs(&norm, self.cfg.lags);
         if pairs.is_empty() {
             return;
         }
-        let hidden = self.cell.hidden();
         for _ in 0..self.cfg.epochs {
-            for (x, target) in &pairs {
-                // Gaussian NLL: 0.5·((y−μ)/σ)² + ln σ
-                if self.use_reference_nn {
-                    let (mu, sigma, h) = self.run(x, true);
-                    let z = (target - mu) / sigma;
-                    let dmu = -z / sigma;
-                    let dlog_sigma = 1.0 - z * z;
-                    let dh = self.head.backward(&h, &[dmu, dlog_sigma]);
-                    let mut dh_seq = vec![vec![0.0; hidden]; x.len()];
-                    dh_seq[x.len() - 1] = dh;
-                    self.cell.backward(&dh_seq);
-                } else {
-                    let (mu, sigma) = self.run_flat(x, true);
-                    let z = (target - mu) / sigma;
-                    let dmu = -z / sigma;
-                    let dlog_sigma = 1.0 - z * z;
-                    self.head
-                        .backward_into(&self.state.h, &[dmu, dlog_sigma], &mut self.dh_last);
-                    self.dh_flat.clear();
-                    self.dh_flat.resize(x.len() * hidden, 0.0);
-                    self.dh_flat[(x.len() - 1) * hidden..].copy_from_slice(&self.dh_last);
-                    self.cell.backward_flat(&self.dh_flat, None);
-                }
-                self.train_step += 1;
-                let t = self.train_step;
-                self.cell.apply_grads(t);
-                self.head.apply_grads(t);
-            }
+            self.fit_pass(&pairs);
         }
         self.trained = true;
+        self.epochs_run = self.cfg.epochs;
     }
 
     fn name(&self) -> &'static str {
         "DeepAREst"
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checkpoint_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.restore_bytes(bytes)
+    }
+
+    fn epochs_trained(&self) -> usize {
+        self.epochs_run
     }
 
     fn reset(&mut self) {

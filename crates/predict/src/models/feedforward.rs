@@ -1,10 +1,13 @@
 //! Simple feed-forward predictor: a 2-layer MLP over the lag window,
 //! matching GluonTS's `SimpleFeedForwardEstimator` baseline in Figure 6a.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter, TAG_FEEDFORWARD};
 use crate::models::LagWindow;
 use crate::nn::Dense;
 use crate::predictor::LoadPredictor;
-use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use crate::train::{
+    holdout_split, run_early_stopped, val_error_over, windowed_pairs, Scaler, TrainConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,6 +23,9 @@ pub struct SimpleFfPredictor {
     /// Global Adam step, persisted across pretrain calls so optimizer
     /// moments and bias correction stay consistent on retraining.
     train_step: u64,
+    /// Effective pretraining epochs (the restored-best epoch when early
+    /// stopping fires, the full budget otherwise).
+    epochs_run: usize,
     /// Route through the original per-call-allocating NN path
     /// (differential testing; bit-identical to the scratch-buffer path).
     use_reference_nn: bool,
@@ -51,6 +57,7 @@ impl SimpleFfPredictor {
             cfg,
             trained: false,
             train_step: 0,
+            epochs_run: 0,
             use_reference_nn: false,
             raw_buf: Vec::new(),
             norm_buf: Vec::new(),
@@ -96,6 +103,95 @@ impl SimpleFfPredictor {
         self.l2.forward_into(&self.h, &mut self.out);
         self.out[0]
     }
+
+    /// One training pass over every window pair. Both paths are
+    /// bit-identical; the optimized one reuses the scratch buffers.
+    fn fit_pass(&mut self, pairs: &[(Vec<f64>, f64)]) {
+        for (x, y) in pairs {
+            if self.use_reference_nn {
+                let h_pre = self.l1.forward(x);
+                let h: Vec<f64> = h_pre.iter().map(|v| v.tanh()).collect();
+                let out = self.l2.forward(&h)[0];
+                let dy = [2.0 * (out - y)];
+                let dh = self.l2.backward(&h, &dy);
+                let dh_pre: Vec<f64> = dh
+                    .iter()
+                    .zip(&h)
+                    .map(|(g, hv)| g * crate::nn::tanh_deriv(*hv))
+                    .collect();
+                self.l1.backward(x, &dh_pre);
+            } else {
+                let out = self.predict_normalized_flat(x);
+                let dy = [2.0 * (out - y)];
+                self.l2.backward_into(&self.h, &dy, &mut self.dh);
+                for (dp, (g, hv)) in self.dh_pre.iter_mut().zip(self.dh.iter().zip(&self.h)) {
+                    *dp = g * crate::nn::tanh_deriv(*hv);
+                }
+                // the reference path computes dL/dx here and discards
+                // it — skip the matvec entirely
+                self.l1.accumulate_grads(x, &self.dh_pre);
+            }
+            self.train_step += 1;
+            let t = self.train_step;
+            self.l1.apply_grads(t);
+            self.l2.apply_grads(t);
+        }
+    }
+
+    /// Validation error (normalized MAE) over a normalized slice with the
+    /// current weights.
+    fn val_error_norm(&mut self, val: &[f64]) -> f64 {
+        let (lags, scaler) = (self.cfg.lags, self.scaler);
+        val_error_over(val, lags, scaler, |x| {
+            if self.use_reference_nn {
+                self.predict_normalized(x)
+            } else {
+                self.predict_normalized_flat(x)
+            }
+        })
+    }
+
+    /// Serializes the model to checkpoint bytes (DESIGN.md §15).
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new(TAG_FEEDFORWARD);
+        w.u64(self.cfg.epochs as u64);
+        w.u64(self.cfg.lags as u64);
+        w.f64(self.cfg.lr);
+        w.u8(u8::from(self.trained));
+        w.u64(self.train_step);
+        w.u64(self.epochs_run as u64);
+        self.scaler.save_state(&mut w);
+        self.l1.save_state(&mut w);
+        self.l2.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a checkpoint written by a same-shaped model.
+    /// Transactional: on any error, `self` is untouched.
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut staged = self.clone();
+        let (tag, mut r) = CkptReader::open(bytes)?;
+        if tag != TAG_FEEDFORWARD {
+            return Err(CheckpointError::ModelMismatch(
+                "not a feedforward checkpoint",
+            ));
+        }
+        let _epochs = r.u64()?;
+        let lags = r.u64()? as usize;
+        if lags != staged.cfg.lags {
+            return Err(CheckpointError::ModelMismatch("lag window length"));
+        }
+        let _lr = r.f64()?; // informational; Adam state validates lr per buffer
+        staged.trained = r.u8()? != 0;
+        staged.train_step = r.u64()?;
+        staged.epochs_run = r.u64()? as usize;
+        staged.scaler = Scaler::load_state(&mut r)?;
+        staged.l1.load_state(&mut r)?;
+        staged.l2.load_state(&mut r)?;
+        r.expect_end()?;
+        *self = staged;
+        Ok(())
+    }
 }
 
 impl LoadPredictor for SimpleFfPredictor {
@@ -131,46 +227,50 @@ impl LoadPredictor for SimpleFfPredictor {
     fn pretrain(&mut self, series: &[f64]) {
         self.scaler = Scaler::fit(series);
         let norm = self.scaler.transform_series(series);
+        if self.cfg.patience > 0 {
+            if let Some((_, val)) = holdout_split(&norm, self.cfg.lags) {
+                // train on the full series and watch validation error on the
+                // recent tail: a convergence signal, not a generalization
+                // gate — a forecaster must absorb the latest diurnal phase
+                // (see the LSTM's pretrain_early_stopped). The flag must be
+                // set before the first snapshot so restoring keeps it
+                let pairs = windowed_pairs(&norm, self.cfg.lags);
+                self.trained = true;
+                let cfg = self.cfg;
+                self.epochs_run = run_early_stopped(self, cfg, |m| {
+                    m.fit_pass(&pairs);
+                    m.val_error_norm(val)
+                });
+                return;
+            }
+        }
+        // paper-faithful fixed-epoch path, bit-identical to before early
+        // stopping existed (and the fallback for too-short series)
         let pairs = windowed_pairs(&norm, self.cfg.lags);
         if pairs.is_empty() {
             return;
         }
         for _ in 0..self.cfg.epochs {
-            for (x, y) in &pairs {
-                if self.use_reference_nn {
-                    let h_pre = self.l1.forward(x);
-                    let h: Vec<f64> = h_pre.iter().map(|v| v.tanh()).collect();
-                    let out = self.l2.forward(&h)[0];
-                    let dy = [2.0 * (out - y)];
-                    let dh = self.l2.backward(&h, &dy);
-                    let dh_pre: Vec<f64> = dh
-                        .iter()
-                        .zip(&h)
-                        .map(|(g, hv)| g * crate::nn::tanh_deriv(*hv))
-                        .collect();
-                    self.l1.backward(x, &dh_pre);
-                } else {
-                    let out = self.predict_normalized_flat(x);
-                    let dy = [2.0 * (out - y)];
-                    self.l2.backward_into(&self.h, &dy, &mut self.dh);
-                    for (dp, (g, hv)) in self.dh_pre.iter_mut().zip(self.dh.iter().zip(&self.h)) {
-                        *dp = g * crate::nn::tanh_deriv(*hv);
-                    }
-                    // the reference path computes dL/dx here and discards
-                    // it — skip the matvec entirely
-                    self.l1.accumulate_grads(x, &self.dh_pre);
-                }
-                self.train_step += 1;
-                let t = self.train_step;
-                self.l1.apply_grads(t);
-                self.l2.apply_grads(t);
-            }
+            self.fit_pass(&pairs);
         }
         self.trained = true;
+        self.epochs_run = self.cfg.epochs;
     }
 
     fn name(&self) -> &'static str {
         "Simple FF."
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checkpoint_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.restore_bytes(bytes)
+    }
+
+    fn epochs_trained(&self) -> usize {
+        self.epochs_run
     }
 
     fn reset(&mut self) {

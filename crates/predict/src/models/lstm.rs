@@ -1,10 +1,13 @@
 //! The LSTM predictor Fifer adopts (§4.5, §5.1): 2 layers × 32 units,
 //! trained for 100 epochs at batch size 1 with time-step prediction.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter, TAG_LSTM};
 use crate::models::LagWindow;
 use crate::nn::{Dense, LstmCell, LstmState};
 use crate::predictor::LoadPredictor;
-use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use crate::train::{
+    holdout_split, run_early_stopped, val_error_over, windowed_pairs, Scaler, TrainConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,6 +36,9 @@ pub struct LstmPredictor {
     observations: usize,
     /// Global Adam step across pretraining and retraining rounds.
     train_step: u64,
+    /// Effective pretraining epochs (the restored-best epoch when early
+    /// stopping fires, the full budget otherwise).
+    epochs_run: usize,
     /// Route through the original per-step-allocating NN path instead of
     /// the flat-workspace one (differential testing; both are
     /// bit-identical).
@@ -57,6 +63,9 @@ pub struct LstmPredictor {
     head_out: Vec<f64>,
     /// Scratch: head input gradient (length `hidden`).
     dh_last: Vec<f64>,
+    /// Scratch: normalized training series — reused across retraining
+    /// rounds so steady-state online retraining allocates nothing.
+    train_norm: Vec<f64>,
 }
 
 impl LstmPredictor {
@@ -89,6 +98,7 @@ impl LstmPredictor {
             history: Vec::new(),
             observations: 0,
             train_step: 0,
+            epochs_run: 0,
             use_reference_nn: false,
             raw_buf: Vec::new(),
             norm_buf: Vec::new(),
@@ -98,6 +108,7 @@ impl LstmPredictor {
             dx_flat: Vec::new(),
             head_out: vec![0.0; 1],
             dh_last: vec![0.0; hidden],
+            train_norm: Vec::new(),
         }
     }
 
@@ -110,6 +121,20 @@ impl LstmPredictor {
             ..TrainConfig::default()
         };
         LstmPredictor::new(cfg, 32, seed, 2)
+    }
+
+    /// The production serving configuration: 1 layer, 16 neurons, early
+    /// stopping armed with [`TrainConfig::production`]'s knobs. On the
+    /// bench's wiki-like replay series this right-sized model matches or
+    /// beats the paper configuration's walk-forward accuracy while
+    /// pre-training more than an order of magnitude faster — the shape
+    /// that kills the 27 s pretrain wall.
+    pub fn production(seed: u64) -> Self {
+        let cfg = TrainConfig {
+            lr: 2e-3,
+            ..TrainConfig::production()
+        };
+        LstmPredictor::new(cfg, 16, seed, 1)
     }
 
     /// Enables background retraining (§8): every `every` observations the
@@ -134,44 +159,212 @@ impl LstmPredictor {
         self
     }
 
+    /// Length of the lag window the model forecasts from.
+    pub fn lags(&self) -> usize {
+        self.cfg.lags
+    }
+
+    /// Arms early stopping: pretraining ends after `patience` epochs
+    /// without at least `min_delta` of validation-error improvement, and
+    /// the best-validation weights are restored.
+    pub fn with_early_stopping(mut self, patience: usize, min_delta: f64) -> Self {
+        self.cfg = self.cfg.with_early_stopping(patience, min_delta);
+        self
+    }
+
     /// Runs `epochs` passes over `series` (normalized with the current
-    /// scaler), continuing the global Adam schedule.
-    fn train_epochs(&mut self, series: &[f64], epochs: usize) {
-        let norm = self.scaler.transform_series(series);
-        let pairs = windowed_pairs(&norm, self.cfg.lags);
-        if pairs.is_empty() {
-            return;
+    /// scaler), continuing the global Adam schedule. Returns the number
+    /// of epochs actually run (0 when the series is too short to window).
+    /// Allocation-free in steady state on the optimized path — the
+    /// normalized series lands in a reusable scratch buffer and training
+    /// windows are sliced straight out of it.
+    fn train_epochs(&mut self, series: &[f64], epochs: usize) -> usize {
+        let mut norm = std::mem::take(&mut self.train_norm);
+        self.scaler.transform_series_into(series, &mut norm);
+        if norm.len() <= self.cfg.lags {
+            self.train_norm = norm;
+            return 0;
         }
         for _ in 0..epochs {
-            for (x, target) in &pairs {
-                if self.use_reference_nn {
-                    let (per_layer_h, y) = self.run_stack(x, true);
-                    let derr = 2.0 * (y - target);
-                    let steps = x.len();
-                    let top = self.layers.len() - 1;
-                    let dh_last = self.head.backward(&per_layer_h[top][steps - 1], &[derr]);
-                    let mut dh_seq = vec![vec![0.0; self.layers[top].hidden()]; steps];
-                    dh_seq[steps - 1] = dh_last;
-                    for l in (0..self.layers.len()).rev() {
-                        let dx_seq = self.layers[l].backward(&dh_seq);
-                        if l > 0 {
-                            dh_seq = dx_seq;
-                        }
-                    }
-                } else {
-                    let y = self.forward_flat(x, true);
-                    let derr = 2.0 * (y - target);
-                    self.backward_flat_stack(derr, x.len());
-                }
-                self.train_step += 1;
-                let t = self.train_step;
-                for cell in self.layers.iter_mut() {
-                    cell.apply_grads(t);
-                }
-                self.head.apply_grads(t);
-            }
+            self.fit_pass_norm(&norm);
         }
         self.trained = true;
+        self.train_norm = norm;
+        epochs
+    }
+
+    /// One pass over every training window of a pre-normalized series.
+    /// The optimized path slices windows directly out of `norm` (zero
+    /// allocations); the reference path materializes the window pairs
+    /// exactly as the original implementation did. Both are bit-identical.
+    fn fit_pass_norm(&mut self, norm: &[f64]) {
+        let lags = self.cfg.lags;
+        if self.use_reference_nn {
+            let pairs = windowed_pairs(norm, lags);
+            for (x, target) in &pairs {
+                let (per_layer_h, y) = self.run_stack(x, true);
+                let derr = 2.0 * (y - target);
+                let steps = x.len();
+                let top = self.layers.len() - 1;
+                let dh_last = self.head.backward(&per_layer_h[top][steps - 1], &[derr]);
+                let mut dh_seq = vec![vec![0.0; self.layers[top].hidden()]; steps];
+                dh_seq[steps - 1] = dh_last;
+                for l in (0..self.layers.len()).rev() {
+                    let dx_seq = self.layers[l].backward(&dh_seq);
+                    if l > 0 {
+                        dh_seq = dx_seq;
+                    }
+                }
+                self.apply_all_grads();
+            }
+        } else {
+            for i in 0..norm.len() - lags {
+                let y = self.forward_flat(&norm[i..i + lags], true);
+                let derr = 2.0 * (y - norm[i + lags]);
+                self.backward_flat_stack(derr, lags);
+                self.apply_all_grads();
+            }
+        }
+    }
+
+    /// Advances the global Adam step and applies accumulated gradients on
+    /// every layer and the head.
+    fn apply_all_grads(&mut self) {
+        self.train_step += 1;
+        let t = self.train_step;
+        for cell in self.layers.iter_mut() {
+            cell.apply_grads(t);
+        }
+        self.head.apply_grads(t);
+    }
+
+    /// Production pretraining with early stopping: trains on the full
+    /// series, watches validation error on the most recent ~20% of targets
+    /// after every epoch, stops when patience runs out, and restores the
+    /// best-validation snapshot. The validation tail is deliberately NOT
+    /// held out of training — a forecaster must absorb the latest diurnal
+    /// phase (a strict holdout costs 7–11 accuracy points on the wiki
+    /// replay trace), so the tail metric detects convergence on recent
+    /// history rather than gating generalization. Falls back to
+    /// fixed-epoch training when the series is too short to validate.
+    fn pretrain_early_stopped(&mut self, series: &[f64]) {
+        let mut norm = std::mem::take(&mut self.train_norm);
+        self.scaler.transform_series_into(series, &mut norm);
+        let Some((_, val)) = holdout_split(&norm, self.cfg.lags) else {
+            self.train_norm = norm;
+            self.epochs_run = self.train_epochs(series, self.cfg.epochs);
+            return;
+        };
+        // the split contract guarantees at least one training window, so
+        // the model is trained from the first pass on — and the flag must
+        // be set before the first snapshot so restoring it keeps it
+        self.trained = true;
+        let whole = &norm[..];
+        let cfg = self.cfg;
+        self.epochs_run = run_early_stopped(self, cfg, |m| {
+            m.fit_pass_norm(whole);
+            m.val_error_norm(val)
+        });
+        self.train_norm = norm;
+    }
+
+    /// Validation error (normalized MAE) over a normalized slice (`lags` context samples
+    /// followed by the targets), evaluated in raw rate space with the
+    /// current weights.
+    fn val_error_norm(&mut self, val: &[f64]) -> f64 {
+        let (lags, scaler) = (self.cfg.lags, self.scaler);
+        val_error_over(val, lags, scaler, |x| {
+            if self.use_reference_nn {
+                self.run_stack(x, false).1
+            } else {
+                self.forward_flat(x, false)
+            }
+        })
+    }
+
+    /// Validation error (normalized MAE) of the current weights on the tail of a
+    /// raw series — the metric early stopping watches. `None` when the
+    /// series is too short to hold out a validation slice.
+    pub fn validation_error(&mut self, series: &[f64]) -> Option<f64> {
+        let norm = self.scaler.transform_series(series);
+        let (_, val) = holdout_split(&norm, self.cfg.lags)?;
+        Some(self.val_error_norm(val))
+    }
+
+    /// Forecasts from a caller-provided raw lag window without touching
+    /// the model's own observation window — the primitive behind
+    /// [`BatchedForecaster`](crate::BatchedForecaster): many series share
+    /// one model's weights and flat workspace. Untrained models fall back
+    /// to the window's last value (matching [`LoadPredictor::forecast`]);
+    /// an empty window forecasts 0.
+    pub fn forecast_window(&mut self, window: &[f64]) -> f64 {
+        let Some(&last) = window.last() else {
+            return 0.0;
+        };
+        if !self.trained {
+            return last;
+        }
+        if self.use_reference_nn {
+            let x = self.scaler.transform_series(window);
+            let (_, y) = self.run_stack(&x, false);
+            return self.scaler.inverse(y).max(0.0);
+        }
+        self.scaler
+            .transform_series_into(window, &mut self.norm_buf);
+        let x = std::mem::take(&mut self.norm_buf);
+        let y = self.forward_flat(&x, false);
+        self.norm_buf = x;
+        self.scaler.inverse(y).max(0.0)
+    }
+
+    /// Serializes the model to checkpoint bytes (DESIGN.md §15): config,
+    /// scaler, optimizer schedule, and every layer's weights and Adam
+    /// moments.
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new(TAG_LSTM);
+        w.u64(self.cfg.epochs as u64);
+        w.u64(self.cfg.lags as u64);
+        w.f64(self.cfg.lr);
+        w.u8(u8::from(self.trained));
+        w.u64(self.train_step);
+        w.u64(self.epochs_run as u64);
+        self.scaler.save_state(&mut w);
+        w.u32(self.layers.len() as u32);
+        for cell in &self.layers {
+            cell.save_state(&mut w);
+        }
+        self.head.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a checkpoint written by a same-shaped model.
+    /// Transactional: on any error, `self` is untouched.
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut staged = self.clone();
+        let (tag, mut r) = CkptReader::open(bytes)?;
+        if tag != TAG_LSTM {
+            return Err(CheckpointError::ModelMismatch("not an LSTM checkpoint"));
+        }
+        let _epochs = r.u64()?;
+        let lags = r.u64()? as usize;
+        if lags != staged.cfg.lags {
+            return Err(CheckpointError::ModelMismatch("lag window length"));
+        }
+        let _lr = r.f64()?; // informational; Adam state validates lr per buffer
+        staged.trained = r.u8()? != 0;
+        staged.train_step = r.u64()?;
+        staged.epochs_run = r.u64()? as usize;
+        staged.scaler = Scaler::load_state(&mut r)?;
+        if r.u32()? as usize != staged.layers.len() {
+            return Err(CheckpointError::ModelMismatch("LSTM layer count"));
+        }
+        for cell in staged.layers.iter_mut() {
+            cell.load_state(&mut r)?;
+        }
+        staged.head.load_state(&mut r)?;
+        r.expect_end()?;
+        *self = staged;
+        Ok(())
     }
 
     /// Reference-path stack: runs over a normalized window; caches
@@ -292,7 +485,7 @@ impl LoadPredictor for LstmPredictor {
                     self.scaler = Scaler::fit(&self.history);
                 }
                 let history = std::mem::take(&mut self.history);
-                self.train_epochs(&history, self.retrain_epochs);
+                let _ = self.train_epochs(&history, self.retrain_epochs);
                 self.history = history;
             }
         }
@@ -325,11 +518,36 @@ impl LoadPredictor for LstmPredictor {
 
     fn pretrain(&mut self, series: &[f64]) {
         self.scaler = Scaler::fit(series);
-        self.train_epochs(series, self.cfg.epochs);
+        if self.cfg.patience == 0 {
+            // paper-faithful fixed-epoch path, bit-identical to before
+            // early stopping existed
+            self.epochs_run = self.train_epochs(series, self.cfg.epochs);
+        } else {
+            self.pretrain_early_stopped(series);
+        }
     }
 
     fn name(&self) -> &'static str {
         "LSTM"
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checkpoint_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.restore_bytes(bytes)
+    }
+
+    fn epochs_trained(&self) -> usize {
+        self.epochs_run
+    }
+
+    fn enable_online_retraining(&mut self, every: usize, epochs: usize) {
+        if every > 0 && epochs > 0 {
+            self.retrain_every = every;
+            self.retrain_epochs = epochs;
+        }
     }
 
     fn reset(&mut self) {

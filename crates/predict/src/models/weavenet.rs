@@ -2,10 +2,13 @@
 //! ReLU activations and a dense head over the final timestep — the
 //! WaveNet-family baseline in Figure 6a.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter, TAG_WEAVENET};
 use crate::models::LagWindow;
 use crate::nn::{CausalConv1d, Dense};
 use crate::predictor::LoadPredictor;
-use crate::train::{windowed_pairs, Scaler, TrainConfig};
+use crate::train::{
+    holdout_split, run_early_stopped, val_error_over, windowed_pairs, Scaler, TrainConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,6 +38,9 @@ pub struct WeaveNetPredictor {
     /// Global Adam step, persisted across pretrain calls so optimizer
     /// moments and bias correction stay consistent on retraining.
     train_step: u64,
+    /// Effective pretraining epochs (the restored-best epoch when early
+    /// stopping fires, the full budget otherwise).
+    epochs_run: usize,
     /// Route through the original `Vec<Vec>` NN path (differential
     /// testing; bit-identical to the flat path).
     use_reference_nn: bool,
@@ -90,6 +96,7 @@ impl WeaveNetPredictor {
             cfg,
             trained: false,
             train_step: 0,
+            epochs_run: 0,
             use_reference_nn: false,
             raw_buf: Vec::new(),
             norm_buf: Vec::new(),
@@ -181,6 +188,106 @@ impl WeaveNetPredictor {
             std::mem::swap(&mut self.dy_flat, &mut self.dx_flat);
         }
     }
+
+    /// One training pass over every window pair. Both paths are
+    /// bit-identical; the optimized one reuses the flat buffers.
+    fn fit_pass(&mut self, pairs: &[(Vec<f64>, f64)]) {
+        for (x, target) in pairs {
+            if self.use_reference_nn {
+                let (activations, y) = self.run(x);
+                let derr = 2.0 * (y - target);
+                let steps = x.len();
+                let top_act = activations.last().expect("at least one conv layer");
+                let dlast = self.head.backward(&top_act[steps - 1], &[derr]);
+                // seed gradient only at the final timestep of the top layer
+                let top_ch = self.convs.last().expect("non-empty stack").out_ch();
+                let mut dy: Vec<Vec<f64>> = vec![vec![0.0; top_ch]; steps];
+                dy[steps - 1] = dlast;
+                for l in (0..self.convs.len()).rev() {
+                    // leaky-ReLU gate: damp gradient on the negative branch
+                    for (dt, at) in dy.iter_mut().zip(&activations[l]) {
+                        for (dv, &av) in dt.iter_mut().zip(at) {
+                            if av < 0.0 {
+                                *dv *= LEAK;
+                            }
+                        }
+                    }
+                    dy = self.convs[l].backward(&dy);
+                }
+            } else {
+                let y = self.run_flat(x);
+                let derr = 2.0 * (y - target);
+                self.backward_flat_stack(derr, x.len());
+            }
+            self.train_step += 1;
+            let t = self.train_step;
+            for conv in self.convs.iter_mut() {
+                conv.apply_grads(t);
+            }
+            self.head.apply_grads(t);
+        }
+    }
+
+    /// Validation error (normalized MAE) over a normalized slice with the
+    /// current weights.
+    fn val_error_norm(&mut self, val: &[f64]) -> f64 {
+        let (lags, scaler) = (self.cfg.lags, self.scaler);
+        val_error_over(val, lags, scaler, |x| {
+            if self.use_reference_nn {
+                self.run(x).1
+            } else {
+                self.run_flat(x)
+            }
+        })
+    }
+
+    /// Serializes the model to checkpoint bytes (DESIGN.md §15).
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new(TAG_WEAVENET);
+        w.u64(self.cfg.epochs as u64);
+        w.u64(self.cfg.lags as u64);
+        w.f64(self.cfg.lr);
+        w.u8(u8::from(self.trained));
+        w.u64(self.train_step);
+        w.u64(self.epochs_run as u64);
+        self.scaler.save_state(&mut w);
+        w.u32(self.convs.len() as u32);
+        for conv in &self.convs {
+            conv.save_state(&mut w);
+        }
+        self.head.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a checkpoint written by a same-shaped model.
+    /// Transactional: on any error, `self` is untouched.
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut staged = self.clone();
+        let (tag, mut r) = CkptReader::open(bytes)?;
+        if tag != TAG_WEAVENET {
+            return Err(CheckpointError::ModelMismatch("not a WeaveNet checkpoint"));
+        }
+        let _epochs = r.u64()?;
+        let lags = r.u64()? as usize;
+        if lags != staged.cfg.lags {
+            return Err(CheckpointError::ModelMismatch("lag window length"));
+        }
+        let _lr = r.f64()?; // informational; Adam state validates lr per buffer
+        staged.trained = r.u8()? != 0;
+        staged.train_step = r.u64()?;
+        staged.epochs_run = r.u64()? as usize;
+        staged.scaler = Scaler::load_state(&mut r)?;
+        if r.u32()? as usize != staged.convs.len() {
+            return Err(CheckpointError::ModelMismatch("conv stack depth"));
+        }
+        for conv in staged.convs.iter_mut() {
+            conv.load_state(&mut r)?;
+        }
+        staged.head.load_state(&mut r)?;
+        r.expect_end()?;
+        *self = staged;
+        Ok(())
+    }
 }
 
 impl LoadPredictor for WeaveNetPredictor {
@@ -216,51 +323,50 @@ impl LoadPredictor for WeaveNetPredictor {
     fn pretrain(&mut self, series: &[f64]) {
         self.scaler = Scaler::fit(series);
         let norm = self.scaler.transform_series(series);
+        if self.cfg.patience > 0 {
+            if let Some((_, val)) = holdout_split(&norm, self.cfg.lags) {
+                // train on the full series and watch validation error on the
+                // recent tail: a convergence signal, not a generalization
+                // gate — a forecaster must absorb the latest diurnal phase
+                // (see the LSTM's pretrain_early_stopped). The flag must be
+                // set before the first snapshot so restoring keeps it
+                let pairs = windowed_pairs(&norm, self.cfg.lags);
+                self.trained = true;
+                let cfg = self.cfg;
+                self.epochs_run = run_early_stopped(self, cfg, |m| {
+                    m.fit_pass(&pairs);
+                    m.val_error_norm(val)
+                });
+                return;
+            }
+        }
+        // paper-faithful fixed-epoch path, bit-identical to before early
+        // stopping existed (and the fallback for too-short series)
         let pairs = windowed_pairs(&norm, self.cfg.lags);
         if pairs.is_empty() {
             return;
         }
         for _ in 0..self.cfg.epochs {
-            for (x, target) in &pairs {
-                if self.use_reference_nn {
-                    let (activations, y) = self.run(x);
-                    let derr = 2.0 * (y - target);
-                    let steps = x.len();
-                    let top_act = activations.last().expect("at least one conv layer");
-                    let dlast = self.head.backward(&top_act[steps - 1], &[derr]);
-                    // seed gradient only at the final timestep of the top layer
-                    let top_ch = self.convs.last().expect("non-empty stack").out_ch();
-                    let mut dy: Vec<Vec<f64>> = vec![vec![0.0; top_ch]; steps];
-                    dy[steps - 1] = dlast;
-                    for l in (0..self.convs.len()).rev() {
-                        // leaky-ReLU gate: damp gradient on the negative branch
-                        for (dt, at) in dy.iter_mut().zip(&activations[l]) {
-                            for (dv, &av) in dt.iter_mut().zip(at) {
-                                if av < 0.0 {
-                                    *dv *= LEAK;
-                                }
-                            }
-                        }
-                        dy = self.convs[l].backward(&dy);
-                    }
-                } else {
-                    let y = self.run_flat(x);
-                    let derr = 2.0 * (y - target);
-                    self.backward_flat_stack(derr, x.len());
-                }
-                self.train_step += 1;
-                let t = self.train_step;
-                for conv in self.convs.iter_mut() {
-                    conv.apply_grads(t);
-                }
-                self.head.apply_grads(t);
-            }
+            self.fit_pass(&pairs);
         }
         self.trained = true;
+        self.epochs_run = self.cfg.epochs;
     }
 
     fn name(&self) -> &'static str {
         "WeaveNet"
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checkpoint_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.restore_bytes(bytes)
+    }
+
+    fn epochs_trained(&self) -> usize {
+        self.epochs_run
     }
 
     fn reset(&mut self) {

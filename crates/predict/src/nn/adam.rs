@@ -1,5 +1,7 @@
 //! The Adam optimizer (Kingma & Ba) for flat parameter buffers.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter};
+
 /// Per-parameter-buffer Adam state with bias correction.
 ///
 /// # Example
@@ -74,6 +76,28 @@ impl Adam {
     /// The configured learning rate.
     pub fn learning_rate(&self) -> f64 {
         self.lr
+    }
+
+    /// Serializes the optimizer state (learning rate + both moment
+    /// buffers) into a checkpoint.
+    pub(crate) fn save_state(&self, w: &mut CkptWriter) {
+        w.f64(self.lr);
+        w.f64s(&self.m);
+        w.f64s(&self.v);
+    }
+
+    /// Restores optimizer state saved by [`save_state`](Self::save_state).
+    /// The learning rate and buffer lengths must match this instance
+    /// bit-for-bit — a drifted hyper-parameter would silently change the
+    /// remaining training schedule.
+    pub(crate) fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<(), CheckpointError> {
+        let lr = r.f64()?;
+        if lr.to_bits() != self.lr.to_bits() {
+            return Err(CheckpointError::ModelMismatch("adam learning rate"));
+        }
+        r.f64s_into(&mut self.m, "adam first moment")?;
+        r.f64s_into(&mut self.v, "adam second moment")?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! exponentially growing receptive field that characterizes the
 //! WaveNet/WeaveNet family.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter};
 use crate::nn::adam::Adam;
 use crate::nn::dense::clip;
 use crate::nn::linalg::xavier;
@@ -239,6 +240,40 @@ impl CausalConv1d {
         self.opt_b.step(&mut self.b, &self.db, t);
         self.dw.iter_mut().for_each(|v| *v = 0.0);
         self.db.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Serializes shape, weights, bias and optimizer state. Gradient
+    /// accumulators and forward caches are not saved — a checkpoint is
+    /// only taken between training steps, where both are empty.
+    pub(crate) fn save_state(&self, w: &mut CkptWriter) {
+        w.u32(self.in_ch as u32);
+        w.u32(self.out_ch as u32);
+        w.u32(self.dilation as u32);
+        w.f64s(&self.w);
+        w.f64s(&self.b);
+        self.opt_w.save_state(w);
+        self.opt_b.save_state(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// layer of identical shape; accumulators and caches are cleared.
+    pub(crate) fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<(), CheckpointError> {
+        if r.u32()? as usize != self.in_ch
+            || r.u32()? as usize != self.out_ch
+            || r.u32()? as usize != self.dilation
+        {
+            return Err(CheckpointError::ModelMismatch("conv layer shape"));
+        }
+        r.f64s_into(&mut self.w, "conv weights")?;
+        r.f64s_into(&mut self.b, "conv bias")?;
+        self.opt_w.load_state(r)?;
+        self.opt_b.load_state(r)?;
+        self.dw.iter_mut().for_each(|v| *v = 0.0);
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+        self.cache = None;
+        self.cache_flat.clear();
+        self.cache_steps = 0;
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! A fully connected layer with gradient accumulation and an Adam step.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter};
 use crate::nn::adam::Adam;
 use crate::nn::linalg::{
     matvec, matvec_into, matvec_transposed, matvec_transposed_into, outer_accumulate, xavier,
@@ -130,6 +131,33 @@ impl Dense {
     /// Immutable view of the weights (for tests/inspection).
     pub fn weights(&self) -> &[f64] {
         &self.w
+    }
+
+    /// Serializes dimensions, weights, bias and optimizer state.
+    /// Gradient accumulators are not saved — they are zero between
+    /// training steps, which is the only point a checkpoint is taken.
+    pub(crate) fn save_state(&self, w: &mut CkptWriter) {
+        w.u32(self.in_dim as u32);
+        w.u32(self.out_dim as u32);
+        w.f64s(&self.w);
+        w.f64s(&self.b);
+        self.opt_w.save_state(w);
+        self.opt_b.save_state(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// layer of identical shape; accumulators are zeroed.
+    pub(crate) fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<(), CheckpointError> {
+        if r.u32()? as usize != self.in_dim || r.u32()? as usize != self.out_dim {
+            return Err(CheckpointError::ModelMismatch("dense layer dimensions"));
+        }
+        r.f64s_into(&mut self.w, "dense weights")?;
+        r.f64s_into(&mut self.b, "dense bias")?;
+        self.opt_w.load_state(r)?;
+        self.opt_b.load_state(r)?;
+        self.dw.iter_mut().for_each(|v| *v = 0.0);
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@
 //! cell update. Caches per-timestep activations so a sequence can be
 //! unrolled forward and gradients propagated backward through time.
 
+use crate::checkpoint::{CheckpointError, CkptReader, CkptWriter};
 use crate::nn::adam::Adam;
 use crate::nn::dense::clip;
 use crate::nn::linalg::{
@@ -464,6 +465,45 @@ impl LstmCell {
     /// identity after training.
     pub fn weights(&self) -> (&[f64], &[f64], &[f64]) {
         (&self.wx, &self.wh, &self.b)
+    }
+
+    /// Serializes dimensions, weights and optimizer state. Gradient
+    /// accumulators and activation caches are not saved — a checkpoint is
+    /// only taken between training steps, where both are empty.
+    pub(crate) fn save_state(&self, w: &mut CkptWriter) {
+        w.u32(self.input as u32);
+        w.u32(self.hidden as u32);
+        w.f64s(&self.wx);
+        w.f64s(&self.wh);
+        w.f64s(&self.b);
+        self.opt_wx.save_state(w);
+        self.opt_wh.save_state(w);
+        self.opt_b.save_state(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// cell of identical shape. Accumulators are zeroed, caches cleared,
+    /// and the column-major weight mirrors refreshed — the same
+    /// invariants [`apply_grads`](Self::apply_grads) re-establishes after
+    /// every optimizer step.
+    pub(crate) fn load_state(&mut self, r: &mut CkptReader<'_>) -> Result<(), CheckpointError> {
+        if r.u32()? as usize != self.input || r.u32()? as usize != self.hidden {
+            return Err(CheckpointError::ModelMismatch("lstm cell dimensions"));
+        }
+        r.f64s_into(&mut self.wx, "lstm input weights")?;
+        r.f64s_into(&mut self.wh, "lstm recurrent weights")?;
+        r.f64s_into(&mut self.b, "lstm bias")?;
+        self.opt_wx.load_state(r)?;
+        self.opt_wh.load_state(r)?;
+        self.opt_b.load_state(r)?;
+        self.dwx.iter_mut().for_each(|v| *v = 0.0);
+        self.dwh.iter_mut().for_each(|v| *v = 0.0);
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+        self.clear_cache();
+        let gates = 4 * self.hidden;
+        transpose_into(&self.wx, gates, self.input, &mut self.wx_t);
+        transpose_into(&self.wh, gates, self.hidden, &mut self.wh_t);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! The [`LoadPredictor`] trait and the [`PredictorKind`] registry.
 
+use crate::checkpoint::CheckpointError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,6 +34,37 @@ pub trait LoadPredictor {
 
     /// Clears online state (observations), keeping trained weights.
     fn reset(&mut self);
+
+    /// Serializes the trained state to versioned checkpoint bytes
+    /// (DESIGN.md §15), or `None` for predictors without trained state
+    /// worth caching (the classical family re-derives everything from
+    /// observations).
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores trained state from [`checkpoint`](Self::checkpoint)
+    /// bytes. Fails loud — and leaves `self` untouched — on a damaged,
+    /// truncated, version-bumped, or differently-shaped checkpoint. The
+    /// default (classical models) rejects every checkpoint as
+    /// [`CheckpointError::Unsupported`].
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), CheckpointError> {
+        Err(CheckpointError::Unsupported)
+    }
+
+    /// Effective pretraining epochs of the current weights: the restored
+    /// best epoch when early stopping fired, the full budget otherwise,
+    /// 0 for untrained or classical models.
+    fn epochs_trained(&self) -> usize {
+        0
+    }
+
+    /// Arms periodic online fine-tuning over the recent observation tail
+    /// (the paper's §8 "constantly retrain in the background" extension):
+    /// every `every` observations, run `epochs` fine-tuning passes.
+    /// Models without a retraining loop — the classical family fits
+    /// online by construction — ignore this. Zero values disable.
+    fn enable_online_retraining(&mut self, _every: usize, _epochs: usize) {}
 }
 
 /// Identifies one of the eight predictors compared in Figure 6a.

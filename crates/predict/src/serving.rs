@@ -1,0 +1,204 @@
+//! Batched multi-series forecasting: one trained model serves many
+//! function stages.
+//!
+//! Fifer keeps a per-stage forecast, but the stages of one application
+//! see the same workload envelope — the paper pretrains a single LSTM on
+//! the application's arrival trace and queries it per stage (§4.5, §5.1).
+//! Training N per-stage copies multiplies the pretraining wall N× for
+//! bit-identical weights. [`BatchedForecaster`] keeps exactly one model
+//! plus one observation lag-window per stage, so pretraining happens
+//! once and every stage's forecast reuses the same flat NN workspace.
+//!
+//! Forecasts are bit-identical to running N independently pretrained
+//! copies of the same model (same config and seed), because the shared
+//! weights are read-only at forecast time — pinned by this module's
+//! tests.
+
+use crate::checkpoint::CheckpointError;
+use crate::models::{LagWindow, LstmPredictor};
+use crate::predictor::LoadPredictor;
+
+/// One shared [`LstmPredictor`] serving forecasts for many series.
+#[derive(Debug, Clone)]
+pub struct BatchedForecaster {
+    model: LstmPredictor,
+    windows: Vec<LagWindow>,
+    /// Scratch: padded raw lag window of the series being forecast.
+    raw_buf: Vec<f64>,
+    /// Last forecast per series, in series order.
+    forecasts: Vec<f64>,
+}
+
+impl BatchedForecaster {
+    /// Wraps `model` to serve `series_count` independent series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series_count` is zero.
+    pub fn new(model: LstmPredictor, series_count: usize) -> Self {
+        assert!(series_count > 0, "need at least one series");
+        let lags = model.lags();
+        BatchedForecaster {
+            model,
+            windows: (0..series_count).map(|_| LagWindow::new(lags)).collect(),
+            raw_buf: Vec::new(),
+            forecasts: vec![0.0; series_count],
+        }
+    }
+
+    /// Number of series this forecaster serves.
+    pub fn series_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Pretrains the shared model once for all series.
+    pub fn pretrain(&mut self, series: &[f64]) {
+        self.model.pretrain(series);
+    }
+
+    /// Restores the shared model from checkpoint bytes (warm start).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.model.restore(bytes)
+    }
+
+    /// Serializes the shared model to checkpoint bytes.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.model
+            .checkpoint()
+            .expect("LSTM always supports checkpointing")
+    }
+
+    /// Feeds one observed rate sample for series `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn observe(&mut self, idx: usize, rate: f64) {
+        self.windows[idx].push(rate);
+    }
+
+    /// Forecasts the next interval for series `idx` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn forecast(&mut self, idx: usize) -> f64 {
+        if self.windows[idx].is_empty() {
+            return 0.0;
+        }
+        self.windows[idx].padded_into(&mut self.raw_buf);
+        self.model.forecast_window(&self.raw_buf)
+    }
+
+    /// Forecasts every series in one pass over the shared workspace.
+    /// Returns the forecasts in series order; series with no observations
+    /// yet forecast 0 (matching
+    /// [`LoadPredictor::forecast`]).
+    pub fn forecast_all(&mut self) -> &[f64] {
+        for i in 0..self.windows.len() {
+            self.forecasts[i] = if self.windows[i].is_empty() {
+                0.0
+            } else {
+                self.windows[i].padded_into(&mut self.raw_buf);
+                self.model.forecast_window(&self.raw_buf)
+            };
+        }
+        &self.forecasts
+    }
+
+    /// Read access to the shared model (e.g. for
+    /// [`epochs_trained`](crate::LoadPredictor::epochs_trained)).
+    pub fn model(&self) -> &LstmPredictor {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::LoadPredictor;
+    use crate::train::TrainConfig;
+
+    fn trace(phase: f64) -> Vec<f64> {
+        (0..120)
+            .map(|i| 55.0 + 30.0 * ((i as f64 + phase) * 0.21).sin())
+            .collect()
+    }
+
+    /// The batched forecaster must be bit-identical to N independently
+    /// pretrained copies of the same model, each fed one series.
+    #[test]
+    fn batched_matches_independent_models_bitwise() {
+        let series = trace(0.0);
+        let model = LstmPredictor::new(TrainConfig::fast(), 8, 21, 2);
+        let mut batched = BatchedForecaster::new(model.clone(), 3);
+        batched.pretrain(&series);
+        let mut solo: Vec<LstmPredictor> = (0..3)
+            .map(|_| {
+                let mut m = model.clone();
+                m.pretrain(&series);
+                m
+            })
+            .collect();
+        for step in 0..30 {
+            for (idx, m) in solo.iter_mut().enumerate() {
+                let v = 40.0 + 10.0 * idx as f64 + (step as f64 * 0.4).cos() * 15.0;
+                m.observe(v);
+                batched.observe(idx, v);
+            }
+            let got = batched.forecast_all().to_vec();
+            for (idx, m) in solo.iter_mut().enumerate() {
+                assert_eq!(
+                    got[idx],
+                    m.forecast(),
+                    "series {idx} diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_series_forecast_matches_forecast_all() {
+        let mut b = BatchedForecaster::new(LstmPredictor::new(TrainConfig::fast(), 8, 5, 1), 2);
+        b.pretrain(&trace(3.0));
+        b.observe(0, 50.0);
+        b.observe(1, 80.0);
+        let one = b.forecast(0);
+        let other = b.forecast(1);
+        let all = b.forecast_all();
+        assert_eq!(all, [one, other]);
+    }
+
+    #[test]
+    fn unobserved_series_forecasts_zero() {
+        let mut b = BatchedForecaster::new(LstmPredictor::new(TrainConfig::fast(), 8, 5, 1), 2);
+        b.pretrain(&trace(1.0));
+        b.observe(0, 60.0);
+        let f = b.forecast_all();
+        assert!(f[0] > 0.0);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn warm_start_round_trips_through_checkpoint() {
+        let series = trace(2.0);
+        let model = LstmPredictor::new(TrainConfig::fast(), 8, 33, 2);
+        let mut cold = BatchedForecaster::new(model.clone(), 2);
+        cold.pretrain(&series);
+        let mut warm = BatchedForecaster::new(model, 2);
+        warm.restore(&cold.checkpoint()).expect("restore");
+        for idx in 0..2 {
+            for &v in &series[series.len() - 10..] {
+                cold.observe(idx, v);
+                warm.observe(idx, v);
+            }
+        }
+        assert_eq!(cold.forecast_all(), warm.forecast_all());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn zero_series_rejected() {
+        let _ = BatchedForecaster::new(LstmPredictor::new(TrainConfig::fast(), 4, 1, 1), 0);
+    }
+}

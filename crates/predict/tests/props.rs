@@ -83,4 +83,125 @@ proptest! {
         let f = p.forecast();
         prop_assert!(f.is_finite() && f >= 0.0, "forecast {f}");
     }
+
+    /// Early stopping never trains past the configured epoch budget,
+    /// whatever the series or the patience/warmup knobs.
+    #[test]
+    fn early_stopping_respects_epoch_budget(
+        series in prop::collection::vec(0.0f64..2_000.0, 30..120),
+        epochs in 1usize..12,
+        patience in 1usize..5,
+        warmup in 0usize..6,
+    ) {
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = epochs;
+        cfg.patience = patience;
+        cfg.min_delta = 1e-4;
+        cfg.warmup = warmup;
+        let mut p = fifer_predict::LstmPredictor::new(cfg, 4, 3, 1);
+        p.pretrain(&series);
+        prop_assert!(
+            p.epochs_trained() <= epochs,
+            "trained {} epochs with a budget of {epochs}",
+            p.epochs_trained()
+        );
+    }
+
+    /// The early-stopped model never worsens validation relative to the
+    /// weights it claims to have: at its reported `epochs_trained()` it
+    /// IS the fixed-epoch run with that budget, bit for bit (training
+    /// is deterministic and best-restore rewinds to exactly that
+    /// epoch's snapshot) — so its validation error matches that run's
+    /// exactly, and by the stopper's own bookkeeping no later observed
+    /// epoch was better than it by `min_delta` or more.
+    #[test]
+    fn early_stopped_model_is_the_fixed_run_at_its_effective_epochs(
+        series in prop::collection::vec(20.0f64..500.0, 45..100),
+    ) {
+        let mut cfg = TrainConfig::fast();
+        cfg.min_delta = 1e-3;
+        cfg.patience = 3;
+        cfg.warmup = 2;
+        let mut early = fifer_predict::LstmPredictor::new(cfg, 4, 3, 1);
+        early.pretrain(&series);
+        let effective = early.epochs_trained();
+        prop_assert!(effective >= 1 && effective <= cfg.epochs);
+        let mut fixed_cfg = cfg.with_early_stopping(0, 0.0);
+        fixed_cfg.epochs = effective;
+        let mut fixed = fifer_predict::LstmPredictor::new(fixed_cfg, 4, 3, 1);
+        fixed.pretrain(&series);
+        let e = early.validation_error(&series).expect("series long enough");
+        let f = fixed.validation_error(&series).expect("series long enough");
+        prop_assert_eq!(
+            e.to_bits(),
+            f.to_bits(),
+            "early-stopped validation error {} != fixed {}-epoch run's {}",
+            e, effective, f
+        );
+        for &v in &series[series.len() - 10..] {
+            early.observe(v);
+            fixed.observe(v);
+            prop_assert_eq!(early.forecast().to_bits(), fixed.forecast().to_bits());
+        }
+    }
+
+    /// `patience == 0` IS the paper-faithful fixed-epoch path: a config
+    /// that merely mentions early-stopping knobs but leaves patience at
+    /// zero forecasts bit-identically to the plain default.
+    #[test]
+    fn zero_patience_is_bit_identical_to_fixed_epochs(
+        series in prop::collection::vec(0.0f64..2_000.0, 30..90),
+    ) {
+        let cfg = TrainConfig::fast();
+        let mut plain = fifer_predict::LstmPredictor::new(cfg, 4, 3, 1);
+        let mut zeroed = fifer_predict::LstmPredictor::new(
+            cfg.with_early_stopping(0, 0.5),
+            4,
+            3,
+            1,
+        );
+        plain.pretrain(&series);
+        zeroed.pretrain(&series);
+        for &v in &series[series.len() - 12..] {
+            plain.observe(v);
+            zeroed.observe(v);
+            prop_assert_eq!(
+                plain.forecast().to_bits(),
+                zeroed.forecast().to_bits(),
+                "zero-patience path diverged from the fixed-epoch path"
+            );
+        }
+    }
+
+    /// Arming online retraining without feeding any new observations is
+    /// the identity: the model forecasts bit-identically to a frozen
+    /// twin until a retraining round actually fires.
+    #[test]
+    fn online_retraining_with_empty_tail_is_identity(
+        series in prop::collection::vec(0.0f64..2_000.0, 40..90),
+        every in 8usize..32,
+    ) {
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 2;
+        let mut frozen = fifer_predict::LstmPredictor::new(cfg, 4, 3, 1);
+        let mut live = fifer_predict::LstmPredictor::new(cfg, 4, 3, 1);
+        frozen.pretrain(&series);
+        live.pretrain(&series);
+        live.enable_online_retraining(every, 1);
+        // no tail at all: pure inference must match exactly
+        for _ in 0..4 {
+            prop_assert_eq!(frozen.forecast().to_bits(), live.forecast().to_bits());
+        }
+        // a tail shorter than one retraining round must also match —
+        // retraining only fires on multiples of `every`
+        for &v in series.iter().take(every - 1) {
+            frozen.observe(v);
+            live.observe(v);
+            prop_assert_eq!(
+                frozen.forecast().to_bits(),
+                live.forecast().to_bits(),
+                "online retraining mutated the model before its first round"
+            );
+        }
+    }
 }

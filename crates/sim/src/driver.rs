@@ -163,6 +163,26 @@ impl<'a> Simulation<'a> {
         Self::with_resource_manager(cfg, stream, rm)
     }
 
+    /// [`new`](Self::new) with a model-checkpoint cache: a neural
+    /// predictor whose (kind, seed, pretrain series) key hits `cache`
+    /// warm-starts from the stored checkpoint instead of pretraining —
+    /// bit-identical forecasts, none of the training wall. Returns how
+    /// the predictor was served alongside the prepared run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new_served(
+        cfg: SimConfig,
+        stream: &'a JobStream,
+        cache: Option<&fifer_predict::ModelCache>,
+    ) -> (Self, fifer_core::WarmStart) {
+        let (rm, warm) =
+            cfg.rm
+                .build_rm_served(cfg.seed, &cfg.pretrain_series, cfg.use_reference_nn, cache);
+        (Self::with_resource_manager(cfg, stream, rm), warm)
+    }
+
     /// Prepares a run driven by a caller-supplied policy object instead of
     /// the registry-built one — the extension point for custom (sixth,
     /// seventh, …) resource managers. `cfg.rm` still parameterizes the

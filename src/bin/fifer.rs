@@ -42,6 +42,8 @@ struct Args {
     serial_engine: bool,
     harvest: bool,
     rightsize: bool,
+    model_cache: Option<String>,
+    online_retrain: bool,
 }
 
 fn usage() -> ! {
@@ -77,6 +79,11 @@ fn usage() -> ! {
          --decision-trace <file.jsonl>             export the last RM's scaling decisions as JSONL\n\
          --faults <spec>                           seeded fault plan, e.g.\n\
                                                    seed=7,spawn=0.05@500,crash=0.02,straggler=0.1x4,retries=8,outage=2@100+60\n\
+         --model-cache <dir>                       checkpoint pretrained neural predictors in <dir>;\n\
+                                                   a repeated (model, seed, series) run warm-starts\n\
+                                                   from the cache with bit-identical forecasts\n\
+         --online-retrain                          keep fine-tuning the neural predictor on the\n\
+                                                   observed rate tail during the run (paper §8)\n\
          --audit                                   run the invariant auditor at every event commit\n\
          --shards <n>                              event-engine shards (default 0 = one per core);\n\
                                                    results are bit-identical at every shard count\n\
@@ -112,6 +119,8 @@ fn parse_args() -> Args {
         serial_engine: false,
         harvest: false,
         rightsize: false,
+        model_cache: None,
+        online_retrain: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -185,6 +194,8 @@ fn parse_args() -> Args {
             "--audit" => args.audit = true,
             "--harvest" => args.harvest = true,
             "--rightsize" => args.rightsize = true,
+            "--model-cache" => args.model_cache = Some(value(&mut i)),
+            "--online-retrain" => args.online_retrain = true,
             "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--serial-engine" => args.serial_engine = true,
             "--help" | "-h" => usage(),
@@ -275,6 +286,12 @@ fn main() {
         "rm,slo_violations_whole,slo_violations_steady,avg_containers,median_ms,p99_ms,spawns,energy_kj\n",
     );
     let mut audit_failed = false;
+    let cache = args.model_cache.as_ref().map(|dir| {
+        ModelCache::open(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot open model cache {dir}: {e}");
+            exit(1)
+        })
+    });
     for kind in &args.rm {
         let mut cfg = if args.large {
             SimConfig::large_scale(kind.config(), avg_rate)
@@ -308,12 +325,23 @@ fn main() {
             cfg.trace.capacity = 1 << 20;
             cfg.trace.jsonl = Some(path.clone());
         }
+        if args.online_retrain {
+            cfg.rm.online_retrain = OnlineRetrainConfig::paper_default();
+        }
         if cfg.rm.is_proactive() {
             let cut = (stream.len() * 6 / 10).max(1);
             let arrivals: Vec<SimTime> = stream.iter().take(cut).map(|j| j.arrival).collect();
             cfg.pretrain_series = window_max_series(&arrivals, 5);
         }
-        let r = Simulation::new(cfg, &stream).run();
+        let (sim, warm) = Simulation::new_served(cfg, &stream, cache.as_ref());
+        match warm {
+            WarmStart::Warm => println!("{kind}: predictor warm-started from model cache"),
+            WarmStart::Cold if cache.is_some() => {
+                println!("{kind}: predictor trained cold, checkpoint stored to model cache")
+            }
+            _ => {}
+        }
+        let r = sim.run();
         if let Some(path) = &args.json {
             // the last RM listed wins when --compare is combined with --json
             if let Err(e) = fifer::metrics::report::write_file(path, &r.to_json()) {

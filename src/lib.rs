@@ -42,10 +42,13 @@ pub use fifer_workloads as workloads;
 
 /// The common imports for driving a simulation end to end.
 pub mod prelude {
-    pub use fifer_core::rm::{HarvestConfig, KeepAliveConfig, RmConfig, RmKind};
+    pub use fifer_core::rm::{
+        HarvestConfig, KeepAliveConfig, OnlineRetrainConfig, RmConfig, RmKind,
+    };
     pub use fifer_core::slack::{AppPlan, SlackPolicy};
+    pub use fifer_core::WarmStart;
     pub use fifer_metrics::{SimDuration, SimTime};
-    pub use fifer_predict::{LoadPredictor, PredictorKind};
+    pub use fifer_predict::{LoadPredictor, ModelCache, PredictorKind};
     pub use fifer_sim::{FaultPlan, SimConfig, SimResult, Simulation};
     pub use fifer_workloads::{
         Application, AzureWorkloadConfig, JobStream, Microservice, PoissonTrace, TraceGenerator,

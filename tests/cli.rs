@@ -336,3 +336,66 @@ fn replay_of_missing_file_fails_cleanly() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot replay"));
 }
+
+#[test]
+fn model_cache_cold_then_warm_round_trip() {
+    let dir = std::env::temp_dir().join("fifer_cli_model_cache_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |label: &str| -> String {
+        let out = fifer()
+            .args([
+                "--rm",
+                "fifer",
+                "--rate",
+                "5",
+                "--secs",
+                "120",
+                "--seed",
+                "11",
+                "--model-cache",
+                dir.to_str().expect("utf-8 temp dir"),
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{label}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // first run trains cold and must say it stored a checkpoint
+    let first = run("cold run");
+    assert!(
+        first.contains("trained cold, checkpoint stored"),
+        "first run should report a cold start: {first}"
+    );
+    // an identical second run must warm-start from that checkpoint
+    let second = run("warm run");
+    assert!(
+        second.contains("warm-started from model cache"),
+        "second run should warm-start: {second}"
+    );
+    // warm-starting must not change the simulation: the summary rows
+    // (slo/containers/latency percentiles) are byte-identical
+    let row = |s: &str| {
+        s.lines()
+            .find(|l| l.trim_start().starts_with("Fifer") && !l.contains("predictor"))
+            .map(str::to_owned)
+    };
+    assert_eq!(row(&first), row(&second), "warm start changed the results");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_model_cache_is_a_clean_error() {
+    let out = fifer()
+        .args(["--rm", "fifer", "--model-cache", "/proc/nonexistent/cache"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open model cache"));
+}

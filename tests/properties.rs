@@ -395,6 +395,35 @@ proptest! {
         prop_assert_eq!(baseline, disabled);
     }
 
+    /// `OnlineRetrainConfig::none()` is inert: a Fifer run with online
+    /// retraining explicitly disabled replays the plain Fifer run byte
+    /// for byte — the §8 extension only changes behaviour when armed.
+    #[test]
+    fn disabled_online_retraining_is_byte_identical(
+        seed in 0u64..500,
+        rate in 2.0f64..8.0,
+    ) {
+        use fifer::core::rm::OnlineRetrainConfig;
+        let stream = JobStream::generate(
+            &PoissonTrace::new(rate),
+            WorkloadMix::Medium,
+            SimDuration::from_secs(20),
+            seed,
+        );
+        let mk = |rm: fifer::core::rm::RmConfig| {
+            let mut cfg = SimConfig::prototype(rm, rate);
+            cfg.seed = seed;
+            Simulation::new(cfg, &stream).run().to_json()
+        };
+        let baseline = mk(RmKind::Fifer.config());
+        let disabled = mk(
+            RmKind::Fifer
+                .config()
+                .with_online_retrain(OnlineRetrainConfig::none()),
+        );
+        prop_assert_eq!(baseline, disabled);
+    }
+
     /// The hybrid histogram's windows for arbitrary idle samples: the
     /// keep-alive window always covers the pre-warm window (head
     /// percentile), both are inside the histogram's range plus the
