@@ -3,4 +3,4 @@
 //! without a dependency inversion. Kept here so existing
 //! `fifer_bench::pool::execute` callers keep compiling.
 
-pub use fifer_core::pool::{default_workers, execute};
+pub use fifer_core::pool::{default_workers, detected_cores, execute};

@@ -983,8 +983,16 @@ impl ResourceManager for HybridHistPolicy {
     fn on_arrival(&mut self, view: &ClusterView, stage: &StageView, out: &mut Vec<Decision>) {
         self.grow_to(stage.stage + 1);
         if let Some(prev) = self.last_arrival[stage.stage] {
+            // the source policy histograms per-app idle times, where one
+            // app has one container; shared stages fan arrivals across a
+            // whole pool, so an individual container's expected idle gap
+            // is the stage-level gap times the pool size. Recording the
+            // raw stage gap collapses every busy stage into the first
+            // bin and derives keep-alive windows below the idle-scan
+            // granularity — silently inert keep-alive.
             let gap = view.now.saturating_since(prev);
-            self.hists[stage.stage].record(gap.as_secs());
+            let pool = stage.num_containers.max(1) as f64;
+            self.hists[stage.stage].record((gap.as_secs_f64() * pool).round() as u64);
         }
         self.last_arrival[stage.stage] = Some(view.now);
         out.push(Decision::DispatchBatch { stage: stage.stage });

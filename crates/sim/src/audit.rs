@@ -85,7 +85,9 @@ impl Simulation<'_> {
         // where every shard's queues and phase work have settled.
         let deep = match &self.queue {
             EngineQueue::Serial(_) => audit.checks.is_multiple_of(DEEP_SCAN_PERIOD),
-            EngineQueue::Sharded(_) => matches!(event, Event::MonitorTick),
+            EngineQueue::Sharded(_) | EngineQueue::Parallel(_) => {
+                matches!(event, Event::MonitorTick)
+            }
         };
         if deep {
             self.check_deep(&mut msgs);

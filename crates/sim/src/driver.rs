@@ -33,7 +33,10 @@ use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::container::Container;
 use crate::energy::{EnergyMeter, PowerModel};
-use crate::engine::{resolve_shards, EngineQueue, Event, EventQueue, ShardedEventQueue};
+use crate::engine::{
+    resolve_shards, resolve_workers, EngineQueue, Event, EventQueue, ParallelEventQueue,
+    ShardedEventQueue,
+};
 use crate::fault::FaultKind;
 use crate::results::SimResult;
 use crate::stage::{StageRuntime, StageTask};
@@ -232,11 +235,21 @@ impl<'a> Simulation<'a> {
         let trace = SimTrace::new(cfg.trace.capacity);
         let (queue, par_workers) = if cfg.use_serial_engine {
             (EngineQueue::Serial(EventQueue::new()), 1)
-        } else {
+        } else if cfg.use_merge_engine {
             let shards = resolve_shards(cfg.shards);
             let workers = shards.min(fifer_core::pool::default_workers());
             (
                 EngineQueue::Sharded(ShardedEventQueue::new(shards)),
+                workers,
+            )
+        } else {
+            let shards = resolve_shards(cfg.shards);
+            let workers = resolve_workers(cfg.workers, shards);
+            let lookahead = cfg
+                .lookahead
+                .unwrap_or_else(|| derive_lookahead(&cfg, &stages, &apps));
+            (
+                EngineQueue::Parallel(ParallelEventQueue::new(shards, workers, lookahead)),
                 workers,
             )
         };
@@ -816,6 +829,42 @@ impl<'a> Simulation<'a> {
                 .schedule(now + self.cfg.monitor_interval, Event::MonitorTick);
         }
     }
+}
+
+/// Derives the parallel engine's conservative lookahead window from the
+/// run's minimum cross-shard interaction latency: the smallest delay any
+/// event handler can put between a commit and the events it schedules.
+/// Candidates are chain hand-off overheads (stage→stage transitions),
+/// the cold-start floor (warm-node cold start at the 0.9 jitter bound),
+/// the tick intervals, and the fault plan's minimum latency; the result
+/// is clamped to `[100µs, 1s]`. The window is a pure throughput knob —
+/// commit-order identity holds for any value (see [`crate::engine`]) —
+/// so events that undercut it (same-instant warm-ups, sub-window crash
+/// points) merely take the engine's slower overflow path.
+pub(crate) fn derive_lookahead(
+    cfg: &SimConfig,
+    stages: &[StageRuntime],
+    apps: &BTreeMap<(usize, Application), AppRuntime>,
+) -> SimDuration {
+    let mut min: Option<SimDuration> = None;
+    let mut fold = |d: SimDuration| {
+        if !d.is_zero() {
+            min = Some(min.map_or(d, |m| m.min(d)));
+        }
+    };
+    for app in apps.values() {
+        fold(app.transition_overhead);
+    }
+    for s in stages {
+        // 0.9 is the lower edge of the spawn jitter band (lifecycle.rs)
+        fold(s.microservice.spec().warm_node_cold_start().mul_f64(0.9));
+    }
+    fold(cfg.reactive_interval.min(cfg.monitor_interval));
+    if let Some(d) = cfg.faults.min_event_latency() {
+        fold(d);
+    }
+    min.unwrap_or(SimDuration::from_millis(1))
+        .clamp(SimDuration::from_micros(100), SimDuration::from_secs(1))
 }
 
 #[cfg(test)]

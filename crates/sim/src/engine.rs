@@ -1,5 +1,5 @@
 //! The discrete-event engine: a time-ordered event queue with a
-//! deterministic tie-break sequence number, in two interchangeable
+//! deterministic tie-break sequence number, in three interchangeable
 //! implementations.
 //!
 //! [`EventQueue`] is the reference serial engine: one binary heap over
@@ -7,17 +7,26 @@
 //! across shards — each shard owns a pre-sorted arrival run (consumed by
 //! cursor, so the bulk of a replay never touches a heap) plus a small heap
 //! for dynamically scheduled events — and commits events by merging the
-//! shard heads in `(time, seq)` order. Sequence numbers are assigned from
-//! one global counter at schedule time, so the merged order is the *exact*
-//! total order the serial engine produces: every run is bit-identical
-//! across engines and shard counts by construction (see DESIGN.md §12 for
-//! the determinism argument). Cross-shard schedules land in the owning
-//! shard's exchange heap and are counted, never reordered.
+//! shard heads in `(time, seq)` order. [`ParallelEventQueue`] — the
+//! default engine — keeps the same shards but drains them in conservative
+//! lookahead *epochs*: per epoch a worker pool empties every shard's
+//! window `[T, T + lookahead]` concurrently, the windows are merged into
+//! one sorted commit slab, and events scheduled mid-commit that land back
+//! inside the open window are served through a small overflow heap so the
+//! committed order is exact for *any* window size (see DESIGN.md §12/§16).
+//!
+//! Sequence numbers are assigned from one global counter at schedule
+//! time, so the merged order is the *exact* total order the serial engine
+//! produces: every run is bit-identical across engines, shard counts and
+//! worker counts by construction. Cross-shard schedules land in the
+//! owning shard's exchange heap and are counted, never reordered.
 
 use crate::fault::FaultKind;
-use fifer_metrics::SimTime;
+use fifer_core::pool::{Job, WorkerPool};
+use fifer_metrics::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
 
 /// Hard cap on the shard count: beyond this the per-event head merge
 /// costs more than any queue-locality win.
@@ -32,6 +41,18 @@ pub fn resolve_shards(requested: usize) -> usize {
         requested
     };
     n.clamp(1, MAX_SHARDS)
+}
+
+/// Resolves a configured epoch-worker count against a resolved shard
+/// count: `0` (auto) means one worker per available core, and a worker
+/// beyond the shard count would never have a drain task to claim.
+pub fn resolve_workers(requested: usize, shards: usize) -> usize {
+    let n = if requested == 0 {
+        fifer_core::pool::default_workers()
+    } else {
+        requested
+    };
+    n.clamp(1, shards.max(1))
 }
 
 /// Events the simulator processes. Variants carry indices into the
@@ -241,6 +262,20 @@ impl ShardQueue {
             self.heap.pop()
         }
     }
+
+    /// Moves every pending event with `at <= horizon` into `out`. The
+    /// arrival run contributes a contiguous prefix (one `partition_point`
+    /// plus a memcpy); the heap is popped while its head is in the window.
+    /// `out` is *not* sorted across the two sources — the epoch engine
+    /// sorts the merged slab once.
+    fn drain_window(&mut self, horizon: SimTime, out: &mut Vec<Scheduled>) {
+        let in_window = self.arrivals[self.cursor..].partition_point(|s| s.at <= horizon);
+        out.extend_from_slice(&self.arrivals[self.cursor..self.cursor + in_window]);
+        self.cursor += in_window;
+        while self.heap.peek().is_some_and(|s| s.at <= horizon) {
+            out.push(self.heap.pop().expect("peeked head vanished"));
+        }
+    }
 }
 
 /// The sharded event engine: per-shard queues committed in one global
@@ -395,16 +430,357 @@ impl ShardedEventQueue {
     }
 }
 
-/// The engine behind one simulation run: the reference serial heap or the
-/// sharded queue set. The driver talks to this enum only; the
-/// [`SimConfig::use_serial_engine`](crate::config::SimConfig) differential
-/// flag picks the variant.
+/// Epoch batches below this many events are drained inline even when the
+/// pool has threads: waking workers costs single-digit microseconds per
+/// epoch, which only pays off once an epoch carries real work. The
+/// previous epoch's size is the estimate (epoch sizes move smoothly), so
+/// the choice is deterministic in the event sequence alone — it can never
+/// affect results, only which thread does the draining.
+const PAR_DRAIN_MIN: usize = 2_048;
+
+/// One epoch-engine shard: the pending-event queue plus the reused buffer
+/// its window drains into. Lives behind a `Mutex` shared with the worker
+/// pool; between epoch barriers only the engine thread touches it, so
+/// those locks are uncontended.
+#[derive(Debug, Default)]
+struct EpochShard {
+    queue: ShardQueue,
+    run: Vec<Scheduled>,
+}
+
+/// State shared between the [`ParallelEventQueue`] handle and its pool
+/// workers (which are `'static`, hence the `Arc`).
+#[derive(Debug)]
+struct EpochShared {
+    shards: Vec<Mutex<EpochShard>>,
+    /// Inclusive upper time bound of the epoch currently being drained.
+    horizon: Mutex<SimTime>,
+}
+
+const POISONED: &str = "engine shard poisoned";
+
+/// The parallel epoch engine: sharded pending-event storage drained in
+/// conservative lookahead windows by a persistent worker pool, committed
+/// in the global `(time, seq)` total order.
+///
+/// # The epoch/lookahead commit model
+///
+/// When the current epoch is exhausted, [`pop`](Self::pop) runs the epoch
+/// barrier: it takes `T` = the minimum `(time, seq)` head over all
+/// shards, sets the window `[T, T + lookahead]`, and has every shard
+/// drain its in-window events into a per-shard buffer — concurrently, on
+/// the pool — before concatenating and sorting them into one commit slab.
+/// Commits then walk the slab head-to-head against a small *overflow*
+/// heap, which receives any event scheduled during the commit phase whose
+/// time lands back inside the open window (zero-latency warm-ups,
+/// same-instant dispatch fan-out). Events scheduled beyond the window go
+/// to their owner shard's exchange heap and are picked up by a later
+/// epoch.
+///
+/// # Determinism
+///
+/// Bit-identity with [`EventQueue`] holds by construction for **any**
+/// lookahead, shard count and worker count: the slab holds exactly the
+/// pending events with `time ≤ horizon` at barrier time, every event
+/// scheduled mid-commit with `time ≤ horizon` joins through the overflow
+/// heap carrying a globally-assigned sequence number, and both structures
+/// are merged in `(time, seq)` order — so the committed sequence is the
+/// serial engine's total order, always. The lookahead is purely a
+/// throughput knob: wider windows amortize the barrier over more events
+/// but push more mid-commit schedules through the (slower) overflow path.
+/// A window no larger than the minimum cross-shard interaction latency
+/// (min chain hand-off overhead, cold-start floor, tick interval) keeps
+/// the overflow path reserved for genuinely simultaneous events.
+pub struct ParallelEventQueue {
+    shared: Arc<EpochShared>,
+    pool: WorkerPool,
+    /// The per-shard window drain, built once (capturing `shared`) so
+    /// epoch barriers allocate nothing.
+    drain_job: Job,
+    /// The current epoch's merged, sorted commit run, read by cursor.
+    slab: Vec<Scheduled>,
+    cursor: usize,
+    /// Mid-commit schedules that landed inside the open window.
+    overflow: BinaryHeap<Scheduled>,
+    /// Inclusive upper bound of the current window (mirror of the shared
+    /// copy, readable without a lock).
+    horizon: SimTime,
+    lookahead: SimDuration,
+    next_seq: u64,
+    now: SimTime,
+    len: usize,
+    /// Owner shard of the event currently committing (`None` before the
+    /// first pop), for cross-shard exchange accounting.
+    committing: Option<usize>,
+    cross_shard_events: u64,
+    /// Events that entered commit through the overflow heap.
+    overflow_events: u64,
+    /// Epoch barriers run.
+    epochs: u64,
+}
+
+impl ParallelEventQueue {
+    /// Creates an empty engine at time zero with `shards` shards (clamped
+    /// to `[1, MAX_SHARDS]`), a pool of `workers` epoch workers (clamped
+    /// to `[1, shards]`; 1 drains inline on the engine thread), and the
+    /// given lookahead window.
+    pub fn new(shards: usize, workers: usize, lookahead: SimDuration) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let workers = resolve_workers(workers.max(1), shards);
+        let shared = Arc::new(EpochShared {
+            shards: (0..shards)
+                .map(|_| Mutex::new(EpochShard::default()))
+                .collect(),
+            horizon: Mutex::new(SimTime::ZERO),
+        });
+        let job_shared = Arc::clone(&shared);
+        let drain_job: Job = Arc::new(move |i| {
+            let horizon = *job_shared.horizon.lock().expect(POISONED);
+            let shard = &mut *job_shared.shards[i].lock().expect(POISONED);
+            shard.run.clear();
+            shard.queue.drain_window(horizon, &mut shard.run);
+        });
+        ParallelEventQueue {
+            shared,
+            pool: WorkerPool::new(workers),
+            drain_job,
+            slab: Vec::new(),
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            horizon: SimTime::ZERO,
+            lookahead,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            len: 0,
+            committing: None,
+            cross_shard_events: 0,
+            overflow_events: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Number of epoch workers (including the engine thread).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The conservative lookahead window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Epoch barriers run so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Events that committed through the overflow heap — i.e. were
+    /// scheduled while their own window was already open. Zero whenever
+    /// the lookahead is below the minimum scheduling latency of the run
+    /// (the conservative-window safety property the proptests pin).
+    pub fn overflow_events(&self) -> u64 {
+        self.overflow_events
+    }
+
+    /// Events scheduled while a *different* shard's event was committing —
+    /// the cross-shard exchange traffic.
+    pub fn cross_shard_events(&self) -> u64 {
+        self.cross_shard_events
+    }
+
+    /// Appends one event to its owner shard's static arrival run. Only
+    /// valid before the first [`Self::pop`], in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after draining started or out of time order.
+    pub fn preload_arrival(&mut self, at: SimTime, event: Event) {
+        assert!(self.epochs == 0, "arrival preload after draining started");
+        let shard = owner_shard(&event, self.shards());
+        let run = &mut self.shared.shards[shard]
+            .lock()
+            .expect(POISONED)
+            .queue
+            .arrivals;
+        assert!(
+            run.last().is_none_or(|p| p.at <= at),
+            "arrival preload out of time order"
+        );
+        run.push(Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+        self.len += 1;
+    }
+
+    /// Schedules `event` at absolute time `at`, routing it to its owner
+    /// shard (or to the overflow heap when `at` falls inside the epoch
+    /// window currently committing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let shard = owner_shard(&event, self.shards());
+        self.push_dynamic(shard, at, event);
+    }
+
+    /// Schedules `event` on the shard owning subject id `owner` — the fast
+    /// path for call sites that already know the owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_owned(&mut self, owner: usize, at: SimTime, event: Event) {
+        let shard = owner % self.shards();
+        debug_assert_eq!(shard, owner_shard(&event, self.shards()));
+        self.push_dynamic(shard, at, event);
+    }
+
+    fn push_dynamic(&mut self, shard: usize, at: SimTime, event: Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let s = Scheduled {
+            at,
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        self.len += 1;
+        if self.committing.is_some() && at <= self.horizon {
+            // lands inside the open window: the already-drained slab can't
+            // receive it, so exact commit order flows through the overflow
+            // heap (its fresh sequence number slots it after every pending
+            // same-instant event, exactly where the serial heap puts it)
+            self.overflow.push(s);
+            self.overflow_events += 1;
+        } else {
+            self.shared.shards[shard]
+                .lock()
+                .expect(POISONED)
+                .queue
+                .heap
+                .push(s);
+        }
+        if self.committing.is_some_and(|d| d != shard) {
+            self.cross_shard_events += 1;
+        }
+    }
+
+    /// Pops the globally earliest event, advancing the clock to its time.
+    /// Runs the epoch barrier internally whenever the current window is
+    /// exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        loop {
+            let slab_head = self.slab.get(self.cursor).map(|s| (s.at, s.seq));
+            let over_head = self.overflow.peek().map(|s| (s.at, s.seq));
+            let s = match (slab_head, over_head) {
+                (Some(k), Some(o)) if k > o => self.overflow.pop().expect("peeked head vanished"),
+                (Some(_), _) => {
+                    let s = self.slab[self.cursor];
+                    self.cursor += 1;
+                    s
+                }
+                (None, Some(_)) => self.overflow.pop().expect("peeked head vanished"),
+                (None, None) => {
+                    if self.len == 0 || !self.advance_epoch() {
+                        return None;
+                    }
+                    continue;
+                }
+            };
+            debug_assert!(s.at >= self.now, "epoch yielded an out-of-order event");
+            self.now = s.at;
+            self.len -= 1;
+            self.committing = Some(owner_shard(&s.event, self.shards()));
+            return Some((s.at, s.event));
+        }
+    }
+
+    /// The epoch barrier: window selection, (possibly parallel) per-shard
+    /// drain, merge, sort. Returns `false` when no shard has a pending
+    /// event. Reuses the slab and every per-shard run buffer — steady-state
+    /// epochs allocate nothing once the buffers reach the run's high-water
+    /// epoch size.
+    fn advance_epoch(&mut self) -> bool {
+        debug_assert!(self.cursor == self.slab.len() && self.overflow.is_empty());
+        let parallel_worthwhile = self.slab.len() >= PAR_DRAIN_MIN;
+        self.slab.clear();
+        self.cursor = 0;
+        let mut next: Option<SimTime> = None;
+        for m in &self.shared.shards {
+            if let Some((at, _)) = m.lock().expect(POISONED).queue.head_key() {
+                next = Some(next.map_or(at, |t: SimTime| t.min(at)));
+            }
+        }
+        let Some(t) = next else { return false };
+        let horizon = t.saturating_add(self.lookahead);
+        *self.shared.horizon.lock().expect(POISONED) = horizon;
+        self.horizon = horizon;
+        if parallel_worthwhile {
+            self.pool.run(self.shards(), &self.drain_job);
+        } else {
+            for i in 0..self.shards() {
+                (self.drain_job)(i);
+            }
+        }
+        for m in &self.shared.shards {
+            let shard = m.lock().expect(POISONED);
+            self.slab.extend_from_slice(&shard.run);
+        }
+        self.slab.sort_unstable_by_key(|s| (s.at, s.seq));
+        self.epochs += 1;
+        true
+    }
+
+    /// Number of pending events (shard queues + current slab + overflow).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for ParallelEventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEventQueue")
+            .field("shards", &self.shards())
+            .field("workers", &self.workers())
+            .field("lookahead", &self.lookahead)
+            .field("now", &self.now)
+            .field("len", &self.len)
+            .field("epochs", &self.epochs)
+            .finish()
+    }
+}
+
+/// The engine behind one simulation run: the reference serial heap, the
+/// head-merging sharded queue set, or the parallel epoch engine (the
+/// default). The driver talks to this enum only; the
+/// [`SimConfig::use_serial_engine`](crate::config::SimConfig) and
+/// `use_merge_engine` differential flags pick the variant.
 #[derive(Debug)]
 pub enum EngineQueue {
     /// The reference single-heap engine.
     Serial(EventQueue),
-    /// The sharded engine (any shard count, including 1).
+    /// The head-merging sharded engine (any shard count, including 1).
     Sharded(ShardedEventQueue),
+    /// The parallel epoch engine (any shard/worker count, including 1/1).
+    Parallel(ParallelEventQueue),
 }
 
 impl EngineQueue {
@@ -413,6 +789,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.now(),
             EngineQueue::Sharded(q) => q.now(),
+            EngineQueue::Parallel(q) => q.now(),
         }
     }
 
@@ -425,6 +802,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.schedule(at, event),
             EngineQueue::Sharded(q) => q.schedule(at, event),
+            EngineQueue::Parallel(q) => q.schedule(at, event),
         }
     }
 
@@ -438,6 +816,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.schedule(at, event),
             EngineQueue::Sharded(q) => q.schedule_owned(owner, at, event),
+            EngineQueue::Parallel(q) => q.schedule_owned(owner, at, event),
         }
     }
 
@@ -451,6 +830,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.schedule(at, event),
             EngineQueue::Sharded(q) => q.preload_arrival(at, event),
+            EngineQueue::Parallel(q) => q.preload_arrival(at, event),
         }
     }
 
@@ -459,6 +839,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.pop(),
             EngineQueue::Sharded(q) => q.pop(),
+            EngineQueue::Parallel(q) => q.pop(),
         }
     }
 
@@ -467,6 +848,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.len(),
             EngineQueue::Sharded(q) => q.len(),
+            EngineQueue::Parallel(q) => q.len(),
         }
     }
 
@@ -480,6 +862,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(_) => 1,
             EngineQueue::Sharded(q) => q.shards(),
+            EngineQueue::Parallel(q) => q.shards(),
         }
     }
 
@@ -488,6 +871,7 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(_) => 0,
             EngineQueue::Sharded(q) => q.cross_shard_events(),
+            EngineQueue::Parallel(q) => q.cross_shard_events(),
         }
     }
 }
@@ -692,6 +1076,133 @@ mod tests {
         assert!(resolve_shards(0) <= MAX_SHARDS);
         assert_eq!(resolve_shards(3), 3);
         assert_eq!(resolve_shards(1_000_000), MAX_SHARDS);
+    }
+
+    #[test]
+    fn resolve_workers_clamps_to_shards() {
+        assert!(resolve_workers(0, 8) >= 1);
+        assert!(resolve_workers(0, 8) <= 8);
+        assert_eq!(resolve_workers(3, 8), 3);
+        assert_eq!(resolve_workers(16, 4), 4);
+        assert_eq!(resolve_workers(1, 0), 1);
+    }
+
+    fn serial_reference() -> Vec<(SimTime, Event)> {
+        let mut q = EventQueue::new();
+        let qs = std::cell::RefCell::new(&mut q);
+        drive(
+            |t, e| qs.borrow_mut().schedule(t, e),
+            |t, e| qs.borrow_mut().schedule(t, e),
+            || qs.borrow_mut().pop(),
+        )
+    }
+
+    #[test]
+    fn parallel_commit_order_is_bit_identical_to_serial_at_any_shape() {
+        let serial = serial_reference();
+        let lookaheads = [
+            SimDuration::ZERO,
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(3_600),
+        ];
+        for shards in [1, 2, 3, 7, MAX_SHARDS] {
+            for workers in [1, 2, 4] {
+                for lookahead in lookaheads {
+                    let mut q = ParallelEventQueue::new(shards, workers, lookahead);
+                    let qs = std::cell::RefCell::new(&mut q);
+                    let order = drive(
+                        |t, e| qs.borrow_mut().schedule(t, e),
+                        |t, e| qs.borrow_mut().preload_arrival(t, e),
+                        || qs.borrow_mut().pop(),
+                    );
+                    assert_eq!(
+                        order, serial,
+                        "{shards} shards × {workers} workers × {lookahead:?} \
+                         lookahead must replay serial order"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_wide_window_routes_in_window_schedules_through_overflow() {
+        // A huge window pulls everything into one epoch, so every dynamic
+        // event scheduled mid-commit lands inside the open window.
+        let mut q = ParallelEventQueue::new(3, 1, SimDuration::from_secs(3_600));
+        let qs = std::cell::RefCell::new(&mut q);
+        drive(
+            |t, e| qs.borrow_mut().schedule(t, e),
+            |t, e| qs.borrow_mut().preload_arrival(t, e),
+            || qs.borrow_mut().pop(),
+        );
+        assert!(
+            q.overflow_events() > 0,
+            "wide window must exercise overflow"
+        );
+        assert!(q.epochs() >= 1);
+    }
+
+    #[test]
+    fn parallel_zero_lookahead_only_overflows_same_instant_events() {
+        // With a zero window, only events scheduled at exactly `now` while
+        // a same-time commit is in flight can land in-window (the drive
+        // harness emits those via ContainerWarm at `now`).
+        let serial = serial_reference();
+        let same_instant = serial
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::ContainerWarm { .. }))
+            .count() as u64;
+        let mut q = ParallelEventQueue::new(4, 2, SimDuration::ZERO);
+        let qs = std::cell::RefCell::new(&mut q);
+        drive(
+            |t, e| qs.borrow_mut().schedule(t, e),
+            |t, e| qs.borrow_mut().preload_arrival(t, e),
+            || qs.borrow_mut().pop(),
+        );
+        assert!(
+            q.overflow_events() <= same_instant,
+            "zero lookahead may only overflow same-instant schedules \
+             ({} > {same_instant})",
+            q.overflow_events(),
+        );
+    }
+
+    #[test]
+    fn parallel_len_and_counters_track_events() {
+        let mut q = ParallelEventQueue::new(3, 2, SimDuration::from_millis(10));
+        assert!(q.is_empty());
+        q.preload_arrival(secs(1), Event::JobArrival { job: 0 });
+        q.preload_arrival(secs(1), Event::JobArrival { job: 1 });
+        q.schedule(secs(3), Event::MonitorTick);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0, secs(1));
+        assert_eq!(q.len(), 2);
+        // draining job 0's shard: remote push is exchange traffic
+        q.schedule(secs(2), Event::TaskFinish { container: 1 }); // shard 1
+        assert_eq!(q.cross_shard_events(), 1);
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn parallel_rejects_scheduling_into_the_past() {
+        let mut q = ParallelEventQueue::new(2, 1, SimDuration::from_millis(1));
+        q.schedule(secs(5), Event::MonitorTick);
+        q.pop();
+        q.schedule(secs(1), Event::ReactiveTick);
+    }
+
+    #[test]
+    #[should_panic(expected = "preload after draining")]
+    fn parallel_rejects_late_preloads() {
+        let mut q = ParallelEventQueue::new(2, 1, SimDuration::from_millis(1));
+        q.schedule(secs(1), Event::MonitorTick);
+        q.pop();
+        q.preload_arrival(secs(2), Event::JobArrival { job: 0 });
     }
 
     #[test]

@@ -469,20 +469,20 @@ fn hybridhist_on_azure_matches_golden() {
     let mut cfg = SimConfig::prototype(RmKind::HybridHist.config(), azure.total_rate);
     cfg.idle_timeout = SimDuration::from_secs(10);
     let r = Simulation::new(cfg, &stream).run();
-    assert_eq!(r.total_spawns, 233, "spawn count drifted");
+    assert_eq!(r.total_spawns, 234, "spawn count drifted");
     assert_eq!(
-        r.blocking_cold_starts, 233,
+        r.blocking_cold_starts, 234,
         "blocking cold-start count drifted"
     );
     assert_eq!(
         r.headline(),
         Headline {
-            slo_violations: 0.09685230024213075,
-            avg_containers: 54.88121457755179,
-            median_ms: 303.497,
+            slo_violations: 0.09765940274414851,
+            avg_containers: 91.91528447803576,
+            median_ms: 303.404,
             p99_ms: 5632.130059999993,
-            cold_starts: 233,
-            energy_joules: 30593.558,
+            cold_starts: 234,
+            energy_joules: 30526.8265,
         },
         "azure headline drifted from the golden"
     );

@@ -1,0 +1,116 @@
+//! Steady-state allocation test for the parallel epoch engine: after one
+//! warm-up round grows the reused buffers (per-shard drain runs, the
+//! commit slab, the overflow and exchange heaps) to their high-water
+//! capacity, further epochs — window selection, parallel drain, merge,
+//! sort, commit, mid-commit scheduling — must not touch the heap at all.
+//! A counting global allocator makes any regression an exact,
+//! reproducible failure.
+//!
+//! This file holds exactly one `#[test]` — the allocation counter is
+//! process-global, and a second concurrently-running test would make the
+//! delta nondeterministic.
+
+use fifer_metrics::{SimDuration, SimTime};
+use fifer_sim::engine::{Event, ParallelEventQueue};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Delegates to the system allocator, counting every allocation and
+/// reallocation (frees are not counted: releasing retained capacity is
+/// not the regression this test guards against).
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One identically-shaped round: schedules `events` future arrivals in a
+/// burst starting at `base`, then drains them, fanning each out into one
+/// in-window follow-up (the overflow path) and one beyond-window
+/// follow-up (the exchange heaps). Every round touches the same buffers
+/// to the same high-water marks, so round 1 pays all capacity growth.
+fn round(q: &mut ParallelEventQueue, base: SimTime, events: u64) -> SimTime {
+    for j in 0..events {
+        q.schedule(
+            base + SimDuration::from_micros(j % 97),
+            Event::JobArrival { job: j as usize },
+        );
+    }
+    let mut last = base;
+    while let Some((t, e)) = q.pop() {
+        last = t;
+        if let Event::JobArrival { job } = e {
+            if job % 2 == 0 {
+                // inside the window: commits via the overflow heap
+                q.schedule(
+                    t,
+                    Event::ContainerWarm {
+                        container: job as u64,
+                    },
+                );
+            } else {
+                // beyond the window: parks in an owner-shard heap until a
+                // later epoch of this same round
+                q.schedule(
+                    t + SimDuration::from_millis(50),
+                    Event::TaskFinish {
+                        container: job as u64,
+                    },
+                );
+            }
+        }
+    }
+    last + SimDuration::from_secs(1)
+}
+
+#[test]
+fn steady_state_epochs_do_not_allocate() {
+    // --- inline drain path: one worker, epochs below the pool threshold ---
+    let mut q = ParallelEventQueue::new(3, 1, SimDuration::from_millis(1));
+    let mut base = round(&mut q, SimTime::ZERO, 256); // warm-up
+    let before = allocations();
+    for _ in 0..4 {
+        base = round(&mut q, base, 256);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state inline epochs must be allocation-free, saw {delta}"
+    );
+    assert!(q.epochs() > 0 && q.overflow_events() > 0);
+
+    // --- pooled drain path: two workers, epochs past the pool threshold ---
+    let mut q = ParallelEventQueue::new(4, 2, SimDuration::from_secs(3_600));
+    let mut base = round(&mut q, SimTime::ZERO, 4_096); // warm-up
+    let before = allocations();
+    for _ in 0..3 {
+        base = round(&mut q, base, 4_096);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state pooled epochs must be allocation-free, saw {delta}"
+    );
+    let _ = base;
+}

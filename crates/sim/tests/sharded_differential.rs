@@ -1,12 +1,13 @@
-//! Differential tests for the two event engines: the sharded parallel
-//! engine (`use_serial_engine = false`, the default) must replay the
-//! reference serial engine exactly — byte-identical headline JSON,
-//! decision-trace JSONL (including the global sequence numbers) and audit
-//! outcomes — at every shard count, for every resource manager, with and
-//! without injected faults. The engine commits events in one global
-//! `(time, seq)` total order regardless of how the pending set is
-//! partitioned, so equality here is byte equality on the serialized
-//! artifacts, not a tolerance.
+//! Differential tests for the three event engines: the parallel epoch
+//! engine (`use_serial_engine = false`, the default) and the head-merging
+//! sharded engine (`use_merge_engine = true`) must replay the reference
+//! serial engine exactly — byte-identical headline JSON, decision-trace
+//! JSONL (including the global sequence numbers) and audit outcomes — at
+//! every shard count, every worker count and every lookahead window, for
+//! every resource manager, with and without injected faults. The engines
+//! commit events in one global `(time, seq)` total order regardless of
+//! how the pending set is partitioned or drained, so equality here is
+//! byte equality on the serialized artifacts, not a tolerance.
 
 use fifer_core::rm::RmKind;
 use fifer_metrics::{SimDuration, SimTime};
@@ -106,6 +107,89 @@ fn hybridhist_on_azure_is_bit_identical_across_engines() {
             "hybridhist/azure @ {shards} shards: decision-trace JSONL diverged from serial"
         );
     }
+}
+
+/// The parallel epoch engine across worker counts {1, 2, MAX} × shard
+/// counts {1, 3, MAX}, under a sampled fault plan with harvesting and
+/// right-sizing active (the Harvest RM): every combination must replay
+/// the serial engine byte-for-byte. Worker count is pinned explicitly so
+/// multi-worker epochs run even on a single-core host.
+#[test]
+fn parallel_workers_are_bit_identical_under_faults_and_harvesting() {
+    let s = stream(6.0, 40, 23);
+    let mut base = SimConfig::prototype(RmKind::Harvest.config(), 6.0);
+    base.faults = FaultPlan::sampled(3, 5, 40);
+    let serial = {
+        let mut cfg = base.clone();
+        cfg.use_serial_engine = true;
+        artifacts(cfg, &s)
+    };
+    for shards in [1, 3, MAX_SHARDS] {
+        // MAX workers == one per shard (resolve_workers clamps to shards)
+        for workers in [1, 2, shards] {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            cfg.workers = workers;
+            let got = artifacts(cfg, &s);
+            assert_eq!(
+                serial, got,
+                "parallel @ {shards} shards x {workers} workers diverged from serial"
+            );
+        }
+    }
+}
+
+/// Explicit lookahead overrides — a zero window, a window wider than the
+/// whole run, and the auto-derived one — all replay serial exactly: the
+/// window is a throughput knob, never a correctness knob.
+#[test]
+fn parallel_lookahead_is_a_pure_throughput_knob() {
+    let s = stream(6.0, 40, 31);
+    let serial = {
+        let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), 6.0);
+        cfg.use_serial_engine = true;
+        artifacts(cfg, &s)
+    };
+    for lookahead in [
+        Some(SimDuration::ZERO),
+        Some(SimDuration::from_secs(3_600)),
+        None,
+    ] {
+        let mut cfg = SimConfig::prototype(RmKind::Fifer.config(), 6.0);
+        cfg.shards = 3;
+        cfg.workers = 2;
+        cfg.lookahead = lookahead;
+        assert_eq!(
+            serial,
+            artifacts(cfg, &s),
+            "lookahead {lookahead:?} diverged from serial"
+        );
+    }
+}
+
+/// The head-merging sharded engine stays available behind
+/// `use_merge_engine` as a second reference, still byte-identical.
+#[test]
+fn merge_engine_remains_a_bit_identical_reference() {
+    let s = stream(5.0, 40, 37);
+    let run = |serial: bool, merge: bool| {
+        let mut cfg = SimConfig::prototype(RmKind::Bline.config(), 5.0);
+        cfg.use_serial_engine = serial;
+        cfg.use_merge_engine = merge;
+        cfg.shards = 3;
+        artifacts(cfg, &s)
+    };
+    let serial = run(true, false);
+    assert_eq!(
+        serial,
+        run(false, true),
+        "merge engine diverged from serial"
+    );
+    assert_eq!(
+        serial,
+        run(false, false),
+        "parallel engine diverged from serial"
+    );
 }
 
 /// One hand-written fault plan with a node-outage window plus crashes.
@@ -250,6 +334,9 @@ fn burst_50k_cores_is_identical_and_single_digit_seconds() {
             mem_per_node_gb: 192.0,
         };
         cfg.use_serial_engine = serial;
+        // pin two epoch workers so the slow lane exercises multi-worker
+        // parallel commit even on a single-core host
+        cfg.workers = 2;
         // no warmup: records then cover every job, so the completion
         // accounting below is exact
         cfg.warmup = SimDuration::ZERO;

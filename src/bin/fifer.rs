@@ -39,6 +39,8 @@ struct Args {
     faults: FaultPlan,
     audit: bool,
     shards: usize,
+    workers: usize,
+    lookahead: Option<SimDuration>,
     serial_engine: bool,
     harvest: bool,
     rightsize: bool,
@@ -87,6 +89,11 @@ fn usage() -> ! {
          --audit                                   run the invariant auditor at every event commit\n\
          --shards <n>                              event-engine shards (default 0 = one per core);\n\
                                                    results are bit-identical at every shard count\n\
+         --workers <n>                             epoch workers for the parallel engine (default\n\
+                                                   0 = min(cores, shards)); never affects results\n\
+         --lookahead <ms>                          conservative lookahead window in milliseconds\n\
+                                                   (default: derived from the minimum cross-shard\n\
+                                                   latency); any value preserves bit-identity\n\
          --serial-engine                           use the reference serial event engine"
     );
     exit(2)
@@ -116,6 +123,8 @@ fn parse_args() -> Args {
         faults: FaultPlan::none(),
         audit: false,
         shards: 0,
+        workers: 0,
+        lookahead: None,
         serial_engine: false,
         harvest: false,
         rightsize: false,
@@ -197,6 +206,11 @@ fn parse_args() -> Args {
             "--model-cache" => args.model_cache = Some(value(&mut i)),
             "--online-retrain" => args.online_retrain = true,
             "--shards" => args.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lookahead" => {
+                let ms: f64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                args.lookahead = Some(SimDuration::from_millis_f64(ms));
+            }
             "--serial-engine" => args.serial_engine = true,
             "--help" | "-h" => usage(),
             other => {
@@ -311,6 +325,8 @@ fn main() {
         cfg.faults = args.faults.clone();
         cfg.audit = args.audit;
         cfg.shards = args.shards;
+        cfg.workers = args.workers;
+        cfg.lookahead = args.lookahead;
         cfg.use_serial_engine = args.serial_engine;
         if args.harvest || args.rightsize {
             // bolt harvesting / right-sizing onto any RM: paper-default
