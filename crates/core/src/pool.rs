@@ -270,10 +270,14 @@ fn worker_loop(shared: &PoolShared) {
                 }
                 if st.generation != seen {
                     seen = st.generation;
-                    break (
-                        st.job.clone().expect("batch started without a job"),
-                        st.generation,
-                    );
+                    // The caller clears `job` once the batch has fully
+                    // drained, so a worker waking only after that point
+                    // finds a new generation with nothing to run — record
+                    // it as seen and park again.
+                    if let Some(job) = st.job.clone() {
+                        break (job, st.generation);
+                    }
+                    continue;
                 }
                 st = shared.work.wait(st).expect("worker pool poisoned");
             }
@@ -405,6 +409,27 @@ mod tests {
             pool.run(7, &job);
         }
         assert_eq!(sum.load(Ordering::SeqCst), 200 * (1..=7).sum::<usize>());
+    }
+
+    #[test]
+    fn worker_pool_tolerates_workers_waking_after_batch_completion() {
+        // Tiny batches in a wide pool: the caller routinely drains the
+        // whole batch (and clears the job) before a notified worker
+        // re-acquires the lock. A late waker must park again, not panic
+        // on the missing job — a panic here poisons the pool mutex and
+        // crashes every later run().
+        let pool = WorkerPool::new(4);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let job: Job = {
+            let sum = Arc::clone(&sum);
+            Arc::new(move |i| {
+                sum.fetch_add(i + 1, Ordering::SeqCst);
+            })
+        };
+        for _ in 0..2000 {
+            pool.run(1, &job);
+        }
+        assert_eq!(sum.load(Ordering::SeqCst), 2000);
     }
 
     #[test]

@@ -517,16 +517,20 @@ pub struct ParallelEventQueue {
     overflow_events: u64,
     /// Epoch barriers run.
     epochs: u64,
+    /// Set by the first [`Self::pop`] (even one that finds the queue
+    /// empty and runs no barrier); arrival preloads are refused after.
+    draining: bool,
 }
 
 impl ParallelEventQueue {
     /// Creates an empty engine at time zero with `shards` shards (clamped
-    /// to `[1, MAX_SHARDS]`), a pool of `workers` epoch workers (clamped
-    /// to `[1, shards]`; 1 drains inline on the engine thread), and the
-    /// given lookahead window.
+    /// to `[1, MAX_SHARDS]`), a pool of `workers` epoch workers (`0` auto:
+    /// one per available core; otherwise clamped to `[1, shards]`; 1
+    /// drains inline on the engine thread), and the given lookahead
+    /// window.
     pub fn new(shards: usize, workers: usize, lookahead: SimDuration) -> Self {
         let shards = shards.clamp(1, MAX_SHARDS);
-        let workers = resolve_workers(workers.max(1), shards);
+        let workers = resolve_workers(workers, shards);
         let shared = Arc::new(EpochShared {
             shards: (0..shards)
                 .map(|_| Mutex::new(EpochShard::default()))
@@ -556,6 +560,7 @@ impl ParallelEventQueue {
             cross_shard_events: 0,
             overflow_events: 0,
             epochs: 0,
+            draining: false,
         }
     }
 
@@ -605,7 +610,7 @@ impl ParallelEventQueue {
     ///
     /// Panics if called after draining started or out of time order.
     pub fn preload_arrival(&mut self, at: SimTime, event: Event) {
-        assert!(self.epochs == 0, "arrival preload after draining started");
+        assert!(!self.draining, "arrival preload after draining started");
         let shard = owner_shard(&event, self.shards());
         let run = &mut self.shared.shards[shard]
             .lock()
@@ -682,6 +687,7 @@ impl ParallelEventQueue {
     /// Runs the epoch barrier internally whenever the current window is
     /// exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.draining = true;
         loop {
             let slab_head = self.slab.get(self.cursor).map(|s| (s.at, s.seq));
             let over_head = self.overflow.peek().map(|s| (s.at, s.seq));
@@ -1203,6 +1209,24 @@ mod tests {
         q.schedule(secs(1), Event::MonitorTick);
         q.pop();
         q.preload_arrival(secs(2), Event::JobArrival { job: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "preload after draining")]
+    fn parallel_rejects_preloads_after_empty_pop() {
+        // a pop that finds the queue empty runs no epoch barrier, but it
+        // still starts draining — the preload contract keys off that, not
+        // off the epoch counter
+        let mut q = ParallelEventQueue::new(2, 1, SimDuration::from_millis(1));
+        assert!(q.pop().is_none());
+        q.preload_arrival(secs(1), Event::JobArrival { job: 0 });
+    }
+
+    #[test]
+    fn parallel_worker_count_zero_means_auto() {
+        let q = ParallelEventQueue::new(4, 0, SimDuration::from_millis(1));
+        assert_eq!(q.workers(), resolve_workers(0, 4));
+        assert!(q.workers() >= 1);
     }
 
     #[test]
